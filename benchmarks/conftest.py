@@ -1,0 +1,65 @@
+"""Shared fixtures for the reproduction benches.
+
+The paper's Figures 5 and 6 (and the headline claims) come from ONE protocol:
+densities 5..40, four algorithms, ten seeds.  The sweep is expensive, so it
+runs once per session and is shared; its scale can be trimmed via environment
+variables for quick iterations:
+
+    REPRO_BENCH_SEEDS      (default 10 — the paper's count)
+    REPRO_BENCH_DENSITIES  (default "5,10,15,20,25,30,35,40")
+    REPRO_BENCH_ITERATIONS (default 10 — 50 s at the 5 s filter period)
+
+Every bench prints its table/series and also appends it to
+``benchmarks/results/report.txt`` so the artifacts survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _int_env(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def bench_densities() -> tuple[float, ...]:
+    raw = os.environ.get("REPRO_BENCH_DENSITIES", "5,10,15,20,25,30,35,40")
+    return tuple(float(x) for x in raw.split(","))
+
+
+def bench_seeds() -> int:
+    return _int_env("REPRO_BENCH_SEEDS", 10)
+
+
+def bench_iterations() -> int:
+    return _int_env("REPRO_BENCH_ITERATIONS", 10)
+
+
+@pytest.fixture(scope="session")
+def paper_sweep():
+    """The Figure 5/6 runs (shared by every bench that needs them)."""
+    from repro.experiments.sweep import density_sweep
+
+    return density_sweep(
+        bench_densities(), n_seeds=bench_seeds(), n_iterations=bench_iterations()
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "report.txt"
+    handle = path.open("a")
+
+    def emit(text: str) -> None:
+        print(text)
+        handle.write(text + "\n\n")
+        handle.flush()
+
+    yield emit
+    handle.close()

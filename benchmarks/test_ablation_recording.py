@@ -1,0 +1,82 @@
+"""Ablation — the recording/holder-bound knobs DESIGN.md calls out.
+
+The holder count N_s is the paper's "controllable" quantity: it sets both
+CDPF's communication cost (N_s (Dp+Dm+Dw)) and its spatial resolution.  Two
+knobs bound it: the linear-probability record threshold and the optional
+top-k recorder cap.  This bench sweeps both and prints the cost/accuracy
+frontier.
+"""
+
+import numpy as np
+
+from repro.core.cdpf import CDPFTracker
+from repro.core.propagation import PropagationConfig
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_tracking
+from repro.scenario import make_paper_scenario, make_trajectory
+
+
+def run_config(cfg, n_seeds=4, density=20.0):
+    rmses, bytes_, holders = [], [], []
+    for seed in range(n_seeds):
+        rng = np.random.default_rng(4000 + seed)
+        scenario = make_paper_scenario(density_per_100m2=density, rng=rng)
+        trajectory = make_trajectory(n_iterations=10, rng=rng)
+        tracker = CDPFTracker(scenario, rng=np.random.default_rng(seed), config=cfg)
+        result = run_tracking(
+            tracker, scenario, trajectory, rng=np.random.default_rng(8000 + seed)
+        )
+        rmses.append(result.rmse)
+        bytes_.append(result.total_bytes)
+        holders.append(np.mean(tracker.stats.holders_per_iteration))
+    return float(np.nanmean(rmses)), float(np.mean(bytes_)), float(np.mean(holders))
+
+
+def test_record_threshold_sweep(report_sink, benchmark):
+    thresholds = [0.0, 0.25, 0.5, 0.7]
+
+    def sweep():
+        return {
+            t: run_config(PropagationConfig(record_threshold=t)) for t in thresholds
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[t, *results[t]] for t in thresholds]
+    report_sink(
+        render_table(
+            ["record_threshold", "RMSE (m)", "bytes", "mean holders"],
+            rows,
+            title="Ablation: linear-probability record threshold (density 20)",
+        )
+    )
+    # wider recording -> more holders -> more cost
+    holders = [results[t][2] for t in thresholds]
+    assert holders[0] > holders[-1]
+    costs = [results[t][1] for t in thresholds]
+    assert costs[0] > costs[-1]
+    # every configuration still tracks
+    assert all(results[t][0] < 8.0 for t in thresholds)
+
+
+def test_max_recorders_cap(report_sink, benchmark):
+    caps = [None, 16, 8, 4]
+
+    def sweep():
+        return {
+            str(c): run_config(PropagationConfig(max_recorders=c)) for c in caps
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[str(c), *results[str(c)]] for c in caps]
+    report_sink(
+        render_table(
+            ["max_recorders", "RMSE (m)", "bytes", "mean holders"],
+            rows,
+            title="Ablation: hard recorder cap (the paper's 'controllable N_s')",
+        )
+    )
+    # the cap monotonically squeezes holder count and cost
+    assert results["4"][2] < results["None"][2]
+    assert results["4"][1] < results["None"][1]
+    # a tight cap costs accuracy
+    assert results["4"][0] >= results["None"][0] * 0.8

@@ -1,0 +1,58 @@
+"""Figure 4 — estimation example at 20 nodes / 100 m^2.
+
+Regenerates the real trajectory plus the CDPF and CDPF-NE estimated tracks
+and prints them as series (the data behind the paper's plot).  Shape checks:
+both tracks follow the crossing, and CDPF-NE's error exceeds CDPF's on
+average while staying within a tolerable band.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4_estimation_example
+from repro.experiments.report import render_table
+
+
+def test_figure4(report_sink, benchmark):
+    data = benchmark.pedantic(
+        lambda: figure4_estimation_example(density=20.0, n_iterations=10, seed=2011),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for k in range(data.truth.shape[0]):
+        cdpf = data.cdpf.get(k)
+        ne = data.cdpf_ne.get(k)
+        rows.append(
+            [
+                k,
+                data.truth[k, 0],
+                data.truth[k, 1],
+                cdpf[0] if cdpf is not None else None,
+                cdpf[1] if cdpf is not None else None,
+                ne[0] if ne is not None else None,
+                ne[1] if ne is not None else None,
+            ]
+        )
+    report_sink(
+        render_table(
+            ["k", "x_true", "y_true", "x_cdpf", "y_cdpf", "x_ne", "y_ne"],
+            rows,
+            title="Figure 4: estimation example (density 20 nodes/100 m^2)",
+        )
+    )
+    report_sink(
+        f"Figure 4 RMSE: CDPF={data.cdpf_rmse:.2f} m, CDPF-NE={data.cdpf_ne_rmse:.2f} m; "
+        f"max per-iteration error: CDPF={data.max_error('cdpf'):.2f} m, "
+        f"CDPF-NE={data.max_error('cdpf_ne'):.2f} m "
+        f"(paper: errors up to ~3 m, CDPF-NE 'a little greater' than CDPF)"
+    )
+
+    # --- shape assertions -------------------------------------------------
+    assert len(data.cdpf) >= 9  # estimates for nearly every iteration
+    assert len(data.cdpf_ne) >= 9
+    assert data.cdpf_rmse < 5.0  # tracks the crossing
+    assert data.cdpf_ne_rmse < 10.0
+    # the paper's Fig. 4 trajectory crosses left-to-right near y = 100
+    assert data.truth[-1, 0] > 100.0
+    assert np.abs(data.truth[:, 1] - 100.0).max() < 20.0

@@ -1,0 +1,27 @@
+"""The paper's §VI/§VIII headline claims, paper-vs-measured in one table."""
+
+from repro.experiments.report import render_table
+from repro.experiments.summary import extract_headline_claims
+
+
+def test_headline_claims(paper_sweep, report_sink, benchmark):
+    claims = benchmark.pedantic(
+        lambda: extract_headline_claims(paper_sweep), rounds=1, iterations=1
+    )
+    report_sink(
+        render_table(
+            ["Claim", "Paper", "Measured"],
+            [list(r) for r in claims.as_rows()],
+            title="Headline claims (paper vs measured)",
+        )
+    )
+
+    # the load-bearing qualitative claims must hold
+    assert claims.sdpf_cost_above_cpf
+    assert claims.orderings_hold
+    assert claims.cdpf_vs_sdpf_cost_reduction_max > 0.65
+    assert claims.cdpf_ne_vs_sdpf_cost_reduction_mean > 0.65
+    # CDPF's error stays in SDPF's ballpark while costing a fraction
+    assert -0.5 < claims.cdpf_vs_sdpf_error_increase_mean < 1.0
+    # CDPF-NE trades accuracy for the minimum cost
+    assert claims.cdpf_ne_vs_sdpf_error_increase_high_density > 0.0

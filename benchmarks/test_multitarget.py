@@ -1,0 +1,77 @@
+"""Extension bench — multi-target CDPF (after Sheng et al. [5]).
+
+Two targets cross the field on parallel tracks; the extension must (a) birth
+exactly one CDPF clique per target, (b) keep both under a few meters of
+error, and (c) spend roughly the traffic of two independent single-target
+runs (no cross-target amplification).
+"""
+
+import numpy as np
+
+from repro.core.cdpf import CDPFTracker
+from repro.core.multitarget import MultiTargetCDPF
+from repro.experiments.report import render_table
+from repro.experiments.runner import (
+    generate_multi_step_context,
+    run_tracking,
+)
+from repro.models.trajectory import random_turn_trajectory
+from repro.scenario import make_paper_scenario
+
+
+def run_multi(seed=0, density=15.0):
+    rng = np.random.default_rng(4900 + seed)
+    scenario = make_paper_scenario(density_per_100m2=density, rng=rng)
+    trajectories = [
+        random_turn_trajectory(10, start=(0.0, 60.0), rng=rng),
+        random_turn_trajectory(10, start=(0.0, 140.0), rng=rng),
+    ]
+    mt = MultiTargetCDPF(scenario, rng=np.random.default_rng(seed))
+    sense = np.random.default_rng(8900 + seed)
+    errors = []
+    for k in range(trajectories[0].n_iterations + 1):
+        ctx = generate_multi_step_context(scenario, trajectories, k, sense)
+        estimates = mt.step(ctx)
+        ref = mt.estimate_iteration()
+        for est in estimates.values():
+            errors.append(
+                min(
+                    float(np.linalg.norm(est - t.position_at_iteration(ref)))
+                    for t in trajectories
+                )
+            )
+    rmse = float(np.sqrt(np.mean(np.square(errors)))) if errors else float("nan")
+    # baseline: one single-target run on the same world
+    single = CDPFTracker(scenario, rng=np.random.default_rng(seed))
+    single_res = run_tracking(
+        single, scenario, trajectories[0], rng=np.random.default_rng(9900 + seed)
+    )
+    return {
+        "tracks": len(mt.live_tracks),
+        "rmse": rmse,
+        "bytes": mt.accounting.total_bytes,
+        "single_bytes": single_res.total_bytes,
+    }
+
+
+def test_multitarget(report_sink, benchmark):
+    def sweep():
+        return [run_multi(seed=s) for s in range(3)]
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [i, r["tracks"], r["rmse"], r["bytes"], r["single_bytes"]]
+        for i, r in enumerate(runs)
+    ]
+    report_sink(
+        render_table(
+            ["seed", "live tracks", "RMSE (m)", "bytes (2 targets)", "bytes (1 target)"],
+            rows,
+            title="Extension: multi-target CDPF (two parallel crossings, density 15)",
+        )
+    )
+    for r in runs:
+        assert r["tracks"] == 2
+        assert r["rmse"] < 6.0
+        # two targets cost roughly twice one target, never wildly more
+        assert r["bytes"] < 3.5 * r["single_bytes"]

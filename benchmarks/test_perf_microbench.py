@@ -1,0 +1,91 @@
+"""Performance microbenchmarks of the hot paths.
+
+These time the kernels the guides say to keep vectorized: spatial queries at
+the paper's maximum density, resampling at CPF's particle count, a full SIR
+step, one CDPF iteration, and a broadcast through the medium.  Regressions
+here are what would make the full sweep intractable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cdpf import CDPFTracker
+from repro.experiments.runner import generate_step_context
+from repro.filters.resampling import systematic_resample
+from repro.filters.sir import Observation, SIRFilter
+from repro.models.constant_velocity import ConstantVelocityModel
+from repro.models.measurement import BearingMeasurement
+from repro.network.messages import MeasurementMessage
+from repro.scenario import make_paper_scenario, make_trajectory
+
+
+@pytest.fixture(scope="module")
+def dense_world():
+    rng = np.random.default_rng(5000)
+    scenario = make_paper_scenario(density_per_100m2=40.0, rng=rng)  # 16 000 nodes
+    trajectory = make_trajectory(n_iterations=10, rng=rng)
+    return scenario, trajectory
+
+
+def test_grid_disk_query(dense_world, benchmark):
+    scenario, _ = dense_world
+    index = scenario.deployment.index
+    center = np.array([100.0, 100.0])
+    hits = benchmark(index.query_disk, center, 10.0)
+    assert hits.size > 50  # ~125 expected at density 40
+
+
+def test_grid_segment_query(dense_world, benchmark):
+    scenario, _ = dense_world
+    index = scenario.deployment.index
+    hits = benchmark(index.query_segment, np.array([50.0, 100.0]), np.array([65.0, 100.0]), 10.0)
+    assert hits.size > 50
+
+
+def test_systematic_resampling_1000(benchmark):
+    rng = np.random.default_rng(0)
+    w = rng.uniform(0, 1, 1000)
+    idx = benchmark(lambda: systematic_resample(w, rng=np.random.default_rng(1)))
+    assert idx.shape == (1000,)
+
+
+def test_sir_step_1000_particles(benchmark):
+    dyn = ConstantVelocityModel(dt=5.0, sigma_x=0.5, sigma_y=0.5)
+    meas = BearingMeasurement(noise_std=0.05, reference="node")
+    sensors = [np.array([0.0, 0.0]), np.array([50.0, 0.0]), np.array([0.0, 50.0])]
+    obs = [Observation(meas, 0.5, s) for s in sensors]
+
+    def step():
+        f = SIRFilter(dyn, 1000, rng=np.random.default_rng(2), roughening=0.2)
+        f.initialize(np.array([20.0, 20.0, 3.0, 0.0]), np.eye(4))
+        return f.step(obs)
+
+    est = benchmark(step)
+    assert est.shape == (4,)
+
+
+def test_medium_broadcast_at_max_density(dense_world, benchmark):
+    scenario, _ = dense_world
+    medium = scenario.make_medium()
+    msg = MeasurementMessage(sender=0, iteration=0, value=0.5)
+    # the central node has >1000 receivers at density 40
+
+    def bcast():
+        medium.clear_inboxes()
+        return medium.broadcast(scenario.sink_node(), msg, 0)
+
+    delivery = benchmark(bcast)
+    assert delivery.receivers.size > 500
+
+
+def test_cdpf_full_iteration(dense_world, benchmark):
+    scenario, trajectory = dense_world
+
+    def one_iteration():
+        tracker = CDPFTracker(scenario, rng=np.random.default_rng(3))
+        rng = np.random.default_rng(4)
+        tracker.step(generate_step_context(scenario, trajectory, 0, rng))
+        return tracker.step(generate_step_context(scenario, trajectory, 1, rng))
+
+    est = benchmark.pedantic(one_iteration, rounds=3, iterations=1)
+    assert est is not None

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare all trackers on the same world: the accuracy-communication tradeoff.
+
+Runs CPF, the compression DPFs, SDPF, CDPF and CDPF-NE on identical
+deployments/trajectories (paired seeds) and prints the tradeoff table the
+paper's evaluation revolves around: estimation error vs communication cost.
+
+Run:  python examples/compare_trackers.py [density] [n_seeds]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    CDPFTracker,
+    CPFTracker,
+    DPFTracker,
+    SDPFTracker,
+    make_paper_scenario,
+    make_trajectory,
+    run_tracking,
+)
+from repro.experiments.report import render_table
+
+
+def main(density: float = 20.0, n_seeds: int = 5) -> None:
+    factories = {
+        "CPF": lambda s, r: CPFTracker(s, rng=r),
+        "DPF-gmm": lambda s, r: DPFTracker(s, rng=r, compression="gmm"),
+        "DPF-quantized": lambda s, r: DPFTracker(s, rng=r, compression="quantized"),
+        "SDPF": lambda s, r: SDPFTracker(s, rng=r),
+        "CDPF": lambda s, r: CDPFTracker(s, rng=r),
+        "CDPF-NE": lambda s, r: CDPFTracker(s, rng=r, neighborhood_estimation=True),
+    }
+    agg = {name: {"rmse": [], "bytes": [], "msgs": []} for name in factories}
+
+    for seed in range(n_seeds):
+        world_rng = np.random.default_rng(900 + seed)
+        scenario = make_paper_scenario(density_per_100m2=density, rng=world_rng)
+        trajectory = make_trajectory(n_iterations=10, rng=world_rng)
+        for name, make in factories.items():
+            tracker = make(scenario, np.random.default_rng(seed))
+            result = run_tracking(
+                tracker, scenario, trajectory, rng=np.random.default_rng(7000 + seed)
+            )
+            agg[name]["rmse"].append(result.rmse)
+            agg[name]["bytes"].append(result.total_bytes)
+            agg[name]["msgs"].append(result.total_messages)
+
+    rows = []
+    sdpf_bytes = np.mean(agg["SDPF"]["bytes"])
+    for name, a in agg.items():
+        rows.append(
+            [
+                name,
+                float(np.nanmean(a["rmse"])),
+                float(np.mean(a["bytes"])),
+                float(np.mean(a["msgs"])),
+                f"{100 * (1 - np.mean(a['bytes']) / sdpf_bytes):+.0f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["tracker", "RMSE (m)", "bytes", "messages", "bytes vs SDPF"],
+            rows,
+            title=f"Accuracy vs communication at {density:.0f} nodes/100 m^2 "
+            f"({n_seeds} seeds)",
+        )
+    )
+    print(
+        "\nReading: CDPF trades a modest accuracy loss for an order-of-magnitude\n"
+        "communication reduction; CDPF-NE pushes cost to the propagation-only\n"
+        "minimum at a further accuracy cost — the paper's §VI conclusion."
+    )
+
+
+if __name__ == "__main__":
+    density = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    n_seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    main(density, n_seeds)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Stress scenario: a genuinely maneuvering target (accumulating random turns).
+
+The paper's evaluation target jitters around a straight crossing (see
+DESIGN.md).  This example switches the turn model to an accumulating random
+walk — the hard case the paper leaves to future work ("evaluate CDPF's
+tolerance to uncertain factors") — and compares how each tracker degrades.
+
+Run:  python examples/maneuvering_target.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CDPFTracker, CPFTracker, SDPFTracker, make_paper_scenario, run_tracking
+from repro.experiments.report import render_table
+from repro.models.trajectory import random_turn_trajectory
+
+
+def run_mode(turn_mode: str, n_seeds: int = 5) -> dict[str, float]:
+    rmse: dict[str, list[float]] = {}
+    for seed in range(n_seeds):
+        world_rng = np.random.default_rng(500 + seed)
+        scenario = make_paper_scenario(density_per_100m2=20.0, rng=world_rng)
+        # start mid-field so a wandering target stays inside longer
+        trajectory = random_turn_trajectory(
+            10,
+            start=(40.0, 100.0),
+            turn_mode=turn_mode,
+            rng=world_rng,
+        )
+        for name, make in {
+            "CPF": lambda s, r: CPFTracker(s, rng=r),
+            "SDPF": lambda s, r: SDPFTracker(s, rng=r),
+            "CDPF": lambda s, r: CDPFTracker(s, rng=r),
+            "CDPF-NE": lambda s, r: CDPFTracker(s, rng=r, neighborhood_estimation=True),
+        }.items():
+            tracker = make(scenario, np.random.default_rng(seed))
+            result = run_tracking(
+                tracker, scenario, trajectory, rng=np.random.default_rng(7000 + seed)
+            )
+            rmse.setdefault(name, []).append(result.rmse)
+    return {name: float(np.nanmean(v)) for name, v in rmse.items()}
+
+
+def main() -> None:
+    jitter = run_mode("jitter")
+    walk = run_mode("random_walk")
+    rows = [
+        [name, jitter[name], walk[name], f"{walk[name] / jitter[name]:.1f}x"]
+        for name in jitter
+    ]
+    print(
+        render_table(
+            ["tracker", "RMSE jitter (m)", "RMSE random-walk (m)", "degradation"],
+            rows,
+            title="Maneuvering-target stress test (20 nodes/100 m^2, 5 seeds)",
+        )
+    )
+    print(
+        "\nReading: the centralized filter re-acquires a maneuvering target from\n"
+        "its global measurement pool and barely degrades; the node-hosted\n"
+        "filters depend on the predicted-area geometry, so hard maneuvers cost\n"
+        "them several times their jitter-case error.  CDPF-NE degrades the\n"
+        "least in RELATIVE terms only because its dead-reckoning error floor\n"
+        "is already high in the easy case."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Multi-target extension: two targets crossing the field simultaneously.
+
+The paper tracks one target; its related work (Sheng et al. [5]) handles
+several with per-target sensor cliques.  This example runs the
+:class:`~repro.core.multitarget.MultiTargetCDPF` extension — independent
+CDPF cliques with local spatial-gating association, cluster-based track
+birth, and evidence-based pruning — on two parallel crossings.
+
+Run:  python examples/multi_target.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import make_paper_scenario
+from repro.core.multitarget import MultiTargetCDPF
+from repro.experiments.runner import generate_multi_step_context
+from repro.models.trajectory import random_turn_trajectory
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    scenario = make_paper_scenario(density_per_100m2=15.0, rng=rng)
+    trajectories = [
+        random_turn_trajectory(10, start=(0.0, 60.0), rng=rng),
+        random_turn_trajectory(10, start=(0.0, 140.0), rng=rng),
+    ]
+
+    mt = MultiTargetCDPF(scenario, rng=rng)
+    sense_rng = np.random.default_rng(18)
+
+    errors: dict[int, list[float]] = {}
+    for k in range(trajectories[0].n_iterations + 1):
+        ctx = generate_multi_step_context(scenario, trajectories, k, sense_rng)
+        estimates = mt.step(ctx)
+        ref = mt.estimate_iteration()
+        line = f"k={k:2d}: {len(ctx.detectors):3d} detectors, {len(mt.live_tracks)} tracks"
+        for tid, est in sorted(estimates.items()):
+            # score each estimate against the nearest true target
+            errs = [
+                float(np.linalg.norm(est - t.position_at_iteration(ref)))
+                for t in trajectories
+            ]
+            e = min(errs)
+            errors.setdefault(tid, []).append(e)
+            line += f" | track {tid}: ({est[0]:6.1f},{est[1]:6.1f}) err {e:4.1f} m"
+        print(line)
+
+    print()
+    for tid, errs in sorted(errors.items()):
+        print(f"track {tid}: RMSE {float(np.sqrt(np.mean(np.square(errs)))):.2f} m "
+              f"over {len(errs)} estimates")
+    acc = mt.accounting
+    print(f"combined traffic for both targets: {acc.total_bytes} bytes "
+          f"in {acc.total_messages} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: completely distributed particle filters for target tracking in WSNs.
+
+A full reproduction of Jiang & Ravindran, "Completely Distributed Particle
+Filters for Target Tracking in Sensor Networks" (IPDPS 2011): the CDPF and
+CDPF-NE algorithms, the CPF and SDPF baselines, the WSN simulation substrate
+they run on, and the harness that regenerates every table and figure of the
+paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import CDPFTracker, make_paper_scenario, make_trajectory, run_tracking
+>>> rng = np.random.default_rng(7)
+>>> scenario = make_paper_scenario(density_per_100m2=20.0, rng=rng)
+>>> trajectory = make_trajectory(n_iterations=50, rng=rng)
+>>> tracker = CDPFTracker(scenario, rng=rng)
+>>> result = run_tracking(tracker, scenario, trajectory, rng=rng)
+>>> result.rmse < 10.0
+True
+"""
+
+from .baselines import CPFTracker, DPFTracker, SDPFTracker
+from .core import CDPFTracker, PropagationConfig
+from .experiments import TrackingResult, density_sweep, run_tracking
+from .filters import ParticleSet, SIRFilter
+from .models import BearingMeasurement, ConstantVelocityModel, random_turn_trajectory
+from .network import DataSizes, Medium, RadioModel, uniform_deployment
+from .scenario import Scenario, StepContext, make_paper_scenario, make_trajectory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPFTracker", "DPFTracker", "SDPFTracker", "CDPFTracker", "PropagationConfig",
+    "TrackingResult", "density_sweep", "run_tracking",
+    "ParticleSet", "SIRFilter",
+    "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
+    "DataSizes", "Medium", "RadioModel", "uniform_deployment",
+    "Scenario", "StepContext", "make_paper_scenario", "make_trajectory",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baseline trackers the paper compares against: CPF and SDPF (+ compression DPFs)."""
+
+from .cpf import CPFTracker, fuse_origin_bearings
+from .dpf_compression import DPFTracker, dequantize_bearing, quantize_bearing
+from .sdpf import SDPFTracker
+
+__all__ = [
+    "CPFTracker", "fuse_origin_bearings",
+    "DPFTracker", "dequantize_bearing", "quantize_bearing",
+    "SDPFTracker",
+]

@@ -1,0 +1,412 @@
+"""SDPF: the semi-distributed particle filter baseline (Coates & Ing [7]).
+
+Particles are maintained on sensor nodes exactly as in CDPF — the propagation,
+division and combination mechanics are shared with
+:mod:`repro.core.propagation` — but the filter keeps the *classic* step order,
+which forces weight aggregation through a **global transceiver** assumed to be
+one radio hop from every node.  Each iteration:
+
+1. **propagation** — every holder broadcasts its (up to ``particles_per_node``)
+   particles one hop; recorders record/divide/combine           [N_s (D_p + D_w)]
+2. **measurement sharing** — holders that detected broadcast     [N_n D_m]
+3. **likelihood + weight update** locally on every holder
+4. **weight aggregation** — three-way handshake with the transceiver:
+   query broadcast, per-holder weight reports, total broadcast  [N_s D_w + 2 msgs]
+5. **resampling** — holders normalize by the total and apply the drop rule;
+   per-node particle lists are capped at ``particles_per_node``
+6. **estimation** — the transceiver, which received every weight (and knows
+   the static host positions), computes the global estimate; unlike CDPF the
+   estimate is available for the *current* iteration.
+
+The per-iteration cost is Table I's  N_s (D_p + D_m + 2 D_w)  row, which the
+simulator's ledger reproduces exactly (a test asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.propagation import (
+    PropagationConfig,
+    division_shares,
+    implied_velocity,
+    select_recorders,
+)
+from ..network.messages import (
+    MeasurementMessage,
+    ParticleMessage,
+    QueryMessage,
+    TotalWeightMessage,
+    WeightReportMessage,
+)
+from ..scenario import Scenario, StepContext
+
+__all__ = ["SDPFTracker"]
+
+
+@dataclass
+class _NodeParticles:
+    """A holder's particle list: velocities (n, 2) and weights (n,)."""
+
+    velocities: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def total(self) -> float:
+        return float(self.weights.sum())
+
+
+class SDPFTracker:
+    """Semi-distributed PF with transceiver-based weight aggregation."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        rng: np.random.Generator,
+        config: PropagationConfig | None = None,
+        particles_per_node: int = 8,
+        initial_weight: float = 1.0,
+        medium=None,
+    ) -> None:
+        if particles_per_node < 1:
+            raise ValueError(f"particles_per_node must be >= 1, got {particles_per_node}")
+        self.name = "SDPF"
+        self.scenario = scenario
+        self.rng = rng
+        if config is None:
+            # blend (not track) by default: SDPF's per-node particle lists
+            # draw their diversity from per-particle displacement velocities
+            config = PropagationConfig(
+                predicted_area_radius=scenario.sensing_radius, velocity_mode="blend"
+            )
+        self.config = config
+        self.particles_per_node = particles_per_node
+        self.initial_weight = float(initial_weight)
+        self.medium = medium if medium is not None else scenario.make_medium()
+        self.neighbors = scenario.make_neighbor_tables()
+        self.holders: dict[int, _NodeParticles] = {}
+        self._estimate: np.ndarray | None = None
+        self._estimate_iter: int | None = None
+        self._velocity_estimate: np.ndarray | None = None
+        self._last_sender_positions: np.ndarray | None = None
+        self._last_predictions: np.ndarray | None = None
+        self._last_union_count = 1
+        self.transceiver_id = -1  # pseudo-node; not part of the deployment
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_particles_total(self) -> int:
+        """N_s: the number of particles currently maintained network-wide."""
+        return sum(p.n for p in self.holders.values())
+
+    def estimate_iteration(self) -> int | None:
+        return self._estimate_iter
+
+    @property
+    def accounting(self):
+        return self.medium.accounting
+
+    # ------------------------------------------------------------------
+
+    def step(self, ctx: StepContext) -> np.ndarray | None:
+        detectors = set(int(d) for d in np.asarray(ctx.detectors).ravel())
+        if not self.holders:
+            self._initialize(detectors)
+            if not self.holders:
+                return None
+            # aggregation + estimation still run in the birth iteration
+            return self._aggregate_and_estimate(ctx.iteration)
+
+        self._propagate(ctx.iteration)
+        created = self._create_new_particles(detectors)
+        self._update_weights(ctx, detectors, skip=created)
+        return self._aggregate_and_estimate(ctx.iteration)
+
+    # ------------------------------------------------------------------
+
+    def _initialize(self, detectors: set[int]) -> None:
+        if not detectors:
+            return
+        v0 = np.asarray(self.scenario.prior_velocity, dtype=np.float64)
+        m = self.particles_per_node
+        for nid in sorted(detectors):
+            # sample the velocity prior: per-particle diversity is the whole
+            # point of holding m particles per node (identical velocities
+            # would make the m-fold propagation cost pure waste)
+            velocities = v0 + self.rng.normal(
+                0.0, self.scenario.prior_velocity_std, size=(m, 2)
+            )
+            self.holders[nid] = _NodeParticles(
+                velocities=velocities,
+                weights=np.full(m, self.initial_weight / m),
+            )
+
+    def _create_new_particles(self, detectors: set[int]) -> set[int]:
+        """Same creation rule as CDPF: detectors outside all predicted areas."""
+        positions = self.scenario.deployment.positions
+        if self.holders:
+            base = float(np.mean([p.total for p in self.holders.values()]))
+        else:
+            base = self.initial_weight
+        sender_pos = self._last_sender_positions
+        predictions = self._last_predictions
+        comm_r2 = self.scenario.radio.comm_radius**2
+        slack_r = self.config.creation_slack * self.config.predicted_area_radius
+        v0 = np.asarray(self.scenario.prior_velocity, dtype=np.float64)
+        m = self.particles_per_node
+        area_ratio = (self.scenario.sensing_radius / self.scenario.radio.comm_radius) ** 2
+        track_alive = bool(self.holders)
+        created: set[int] = set()
+        for nid in sorted(detectors):
+            if nid in self.holders or not self.medium.is_available(nid):
+                continue
+            if track_alive:
+                # local creation rate limit (see core.cdpf)
+                n_codetectors = max(1.0, (self.neighbors.degree(nid) + 1) * area_ratio)
+                if self.rng.uniform() >= min(1.0, self.config.creation_limit / n_codetectors):
+                    continue
+            if sender_pos is not None and sender_pos.size:
+                heard = np.sum((sender_pos - positions[nid]) ** 2, axis=1) <= comm_r2
+                if heard.any():
+                    d_pred = np.sqrt(
+                        np.sum((predictions[heard] - positions[nid]) ** 2, axis=1)
+                    )
+                    if (d_pred <= slack_r).any():
+                        continue
+            if self._estimate is not None:
+                # displacement from the last global estimate to the creator —
+                # a direct velocity observation (see core.cdpf)
+                velocity = (positions[nid] - self._estimate) / self.scenario.dynamics.dt
+            else:
+                velocity = v0
+            velocities = velocity + self.rng.normal(
+                0.0, self.scenario.prior_velocity_std, size=(m, 2)
+            )
+            self.holders[nid] = _NodeParticles(
+                velocities=velocities,
+                weights=np.full(m, base / m),
+            )
+            created.add(nid)
+        return created
+
+    # ------------------------------------------------------------------
+
+    def _propagate(self, k: int) -> None:
+        """Step 1: broadcast particle lists; record/divide/combine per particle."""
+        positions = self.scenario.deployment.positions
+        index = self.scenario.deployment.index
+        dt = self.scenario.dynamics.dt
+        cfg = self.config
+
+        broadcast: list[ParticleMessage] = []
+        for nid in sorted(self.holders):
+            if not self.medium.is_available(nid):
+                continue  # sleeping/failed holder: its particles leak away
+            p = self.holders[nid]
+            states = np.hstack([np.tile(positions[nid], (p.n, 1)), p.velocities])
+            msg = ParticleMessage(sender=nid, iteration=k, states=states, weights=p.weights)
+            self.medium.broadcast(nid, msg, k)
+            broadcast.append(msg)
+        if not broadcast:
+            self.holders = {}
+            return
+
+        # Per-broadcast recording (consistent across receivers, evaluated once
+        # per particle — see the Theorem-2 note in repro.core.cdpf).
+        all_states = np.vstack([m.states for m in broadcast])
+        self._last_sender_positions = all_states[:, :2]
+        self._last_predictions = all_states[:, :2] + all_states[:, 2:] * dt
+        comm_radius = self.scenario.radio.comm_radius
+        shares_at: dict[int, list[tuple[float, np.ndarray]]] = {}
+        all_recorder_ids: set[int] = set()
+        for msg in broadcast:
+            # one spatial query per message covering all of its particles'
+            # predicted areas, then vectorized per-particle filtering
+            preds = msg.states[:, :2] + msg.states[:, 2:] * dt
+            center = preds.mean(axis=0)
+            spread = float(np.max(np.linalg.norm(preds - center, axis=1))) if preds.shape[0] > 1 else 0.0
+            sender_pos0 = msg.states[0, :2]
+            cand_all = index.query_disk(center, cfg.predicted_area_radius + spread)
+            if cand_all.size == 0:
+                continue
+            d_sender_all = np.sqrt(
+                np.sum((positions[cand_all] - sender_pos0) ** 2, axis=1)
+            )
+            cand_all = cand_all[d_sender_all <= comm_radius]
+            if cand_all.size == 0:
+                continue
+            cand_pos_all = positions[cand_all]
+            for j in range(msg.n_particles):
+                s_state = msg.states[j]
+                sender_pos, sender_vel = s_state[:2], s_state[2:]
+                pred = preds[j]
+                in_area = (
+                    np.sum((cand_pos_all - pred) ** 2, axis=1)
+                    <= cfg.predicted_area_radius**2
+                )
+                cand = cand_all[in_area]
+                if cand.size == 0:
+                    continue
+                rec_ids, probs = select_recorders(cand, positions[cand], pred, cfg)
+                if rec_ids.size == 0:
+                    continue
+                all_recorder_ids.update(rec_ids.tolist())
+                rec_shares = division_shares(probs, float(msg.weights[j]))
+                for rid, share in zip(rec_ids.tolist(), rec_shares.tolist()):
+                    if not self.medium.is_available(rid):
+                        continue
+                    vel = implied_velocity(
+                        sender_pos,
+                        positions[rid],
+                        sender_vel,
+                        dt,
+                        cfg.velocity_mode,
+                        cfg.velocity_alpha,
+                        track_velocity=self._velocity_estimate,
+                    )
+                    shares_at.setdefault(rid, []).append((share, vel))
+
+        new_holders: dict[int, _NodeParticles] = {}
+        for rid in sorted(shares_at):
+            received = shares_at[rid]
+            weights = np.array([s[0] for s in received])
+            velocities = np.vstack([s[1] for s in received])
+            # local thinning: keep the top particles_per_node shares,
+            # preserving the node's total weight through the cut
+            if weights.size > self.particles_per_node:
+                order = np.argsort(weights)[::-1][: self.particles_per_node]
+                total_before = weights.sum()
+                weights, velocities = weights[order], velocities[order]
+                kept = weights.sum()
+                if kept > 0:
+                    weights = weights * (total_before / kept)
+            new_holders[rid] = _NodeParticles(velocities=velocities, weights=weights)
+
+        self.holders = new_holders
+        self._last_union_count = max(len(all_recorder_ids), 1)
+        self.medium.clear_inboxes()
+
+    # ------------------------------------------------------------------
+
+    def _update_weights(
+        self, ctx: StepContext, detectors: set[int], skip: set[int] = frozenset()
+    ) -> None:
+        """Steps 2 + 3: share measurements among holders, multiply likelihoods."""
+        positions = self.scenario.deployment.positions
+        measurement = self.scenario.measurement
+        k = ctx.iteration
+        sharers = sorted(
+            nid
+            for nid in self.holders
+            if nid in detectors and self.medium.is_available(nid)
+        )
+        for s in sharers:
+            msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
+            self.medium.broadcast(s, msg, k)
+        for r in sorted(self.holders):
+            if r in skip:
+                self.medium.collect(r)
+                continue
+            inbox = [m for m in self.medium.collect(r) if isinstance(m, MeasurementMessage)]
+            own = [(r, ctx.measurements[r])] if r in detectors else []
+            pairs = [(m.sender, m.value) for m in inbox] + own
+            if not pairs:
+                continue
+            state = np.concatenate([positions[r], np.zeros(2)])[None, :]
+            # discretization-aware sigma inflation (see core.cdpf)
+            from ..core.cdpf import quantization_sigma
+
+            lam = (self.neighbors.degree(r) + 1) / (
+                np.pi * self.scenario.radio.comm_radius**2
+            )
+            kernels = []
+            for sender, z in pairs:
+                ref = measurement.reference_point(positions[sender])
+                d_sr = float(np.linalg.norm(positions[r] - ref))
+                sq = quantization_sigma(lam, d_sr) if d_sr > 0 else 0.0
+                sigma_eff = float(np.hypot(measurement.noise_std, sq))
+                kernels.append(
+                    float(
+                        measurement.log_kernel(
+                            state, z, positions[sender], noise_std=sigma_eff
+                        )[0]
+                    )
+                )
+            # tempered fusion — same rationale as CDPF (see core.cdpf)
+            log_lik = float(np.mean(kernels))
+            p = self.holders[r]
+            p.weights = p.weights * float(np.exp(log_lik))
+        self.medium.clear_inboxes()
+
+    # ------------------------------------------------------------------
+
+    def _aggregate_and_estimate(self, k: int) -> np.ndarray | None:
+        """Steps 4-6: transceiver handshake, normalize + drop, global estimate."""
+        positions = self.scenario.deployment.positions
+
+        # (a) transceiver query broadcast (1 global message)
+        self.medium.global_broadcast(
+            QueryMessage(sender=self.transceiver_id, iteration=k), k
+        )
+        # (b) every holder reports its weights (N_s * D_w bytes, one msg each);
+        #     the transceiver is simulated by the harness, so the reports are
+        #     charged out of band rather than delivered to a field inbox.
+        reported: list[tuple[int, np.ndarray]] = []
+        for nid in sorted(self.holders):
+            p = self.holders[nid]
+            report = WeightReportMessage(sender=nid, iteration=k, weights=p.weights)
+            self.medium.charge_out_of_band(
+                k, report.category, report.size_bytes(self.medium.sizes), 1
+            )
+            reported.append((nid, p.weights))
+        total = float(sum(w.sum() for _, w in reported))
+        # (c) transceiver broadcasts the total (1 global message)
+        self.medium.global_broadcast(
+            TotalWeightMessage(sender=self.transceiver_id, iteration=k, total_weight=max(total, 0.0)),
+            k,
+        )
+        self.medium.clear_inboxes()
+
+        # resampling: normalize by the total; a holder drops out when its
+        # share falls below drop_threshold times the average per-node share
+        # (scale-free, so a freshly initialized population of equal-weight
+        # holders always survives)
+        if total > 0 and self.holders:
+            threshold = self.config.drop_threshold / len(self.holders)
+            for nid in list(self.holders):
+                p = self.holders[nid]
+                p.weights = p.weights / total
+                if p.weights.sum() < threshold:
+                    del self.holders[nid]
+
+        if not reported:
+            return None
+        # transceiver-side estimate: weights + static (a-priori known) host positions
+        ids = [nid for nid, _ in reported]
+        w_sums = np.array([float(w.sum()) for _, w in reported])
+        w_total = float(w_sums.sum())
+        if w_total > 0:
+            est = (w_sums / w_total) @ positions[ids]
+        else:
+            est = positions[ids].mean(axis=0)
+        # velocity estimate for new-particle seeding: finite difference of
+        # successive global estimates (the transceiver never sees velocities)
+        if self._estimate is not None and self._estimate_iter == k - 1:
+            self._velocity_estimate = (est - self._estimate) / self.scenario.dynamics.dt
+        self._estimate = est
+        self._estimate_iter = k
+        return self._estimate
+
+    # convenience for tests -------------------------------------------------
+
+    @property
+    def holder_ids(self) -> list[int]:
+        return sorted(self.holders)

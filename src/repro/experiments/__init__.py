@@ -1,0 +1,26 @@
+"""Experiment harness: runner, metrics, cost model, sweeps, figure generators."""
+
+from .costmodel import CostModel, cdpf_cost, cdpf_ne_cost, cpf_cost, dpf_cost, sdpf_cost, table1_rows
+from .figures import (
+    Figure4Data,
+    figure4_estimation_example,
+    figure5_communication_cost,
+    figure6_estimation_error,
+)
+from .report import format_number, render_ascii_chart, render_series, render_table
+from .summary import HeadlineClaims, extract_headline_claims
+from .trace import IterationSnapshot, TraceRecorder, render_field_map
+from .sweep import SweepPoint, SweepResult, default_tracker_factories, density_sweep
+from .metrics import ErrorSummary, cost_series, per_iteration_errors, rmse, summarize_errors
+from .runner import TrackingResult, generate_step_context, run_tracking
+
+__all__ = [
+    "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
+    "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
+    "format_number", "render_ascii_chart", "render_series", "render_table",
+    "HeadlineClaims", "extract_headline_claims",
+    "IterationSnapshot", "TraceRecorder", "render_field_map",
+    "SweepPoint", "SweepResult", "default_tracker_factories", "density_sweep",
+    "ErrorSummary", "cost_series", "per_iteration_errors", "rmse", "summarize_errors",
+    "TrackingResult", "generate_step_context", "run_tracking",
+]

@@ -1,0 +1,132 @@
+"""Table I: analyzed communication costs of the four particle filters.
+
+The paper's §II-B derives per-iteration communication costs:
+
+    CPF      N * D_m * H          (convergecast of raw measurements)
+    DPF      N * P * H            (convergecast of compressed measurements)
+    SDPF     N_s (D_p + D_m + 2 D_w)  [+ 2 transceiver broadcasts]
+    CDPF     N_s (D_p + D_m + D_w)
+    CDPF-NE  N_s (D_p + D_w)      (§V-C: only particle propagation remains)
+
+This module expresses those formulas as code, so the benchmarks can print
+Table I and — more importantly — cross-check the simulator's measured ledger
+against the analysis (the SDPF/CDPF/CDPF-NE terms match exactly; CPF matches
+once the measured hop distribution is plugged in for H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.messages import DataSizes
+
+__all__ = [
+    "CostModel",
+    "cpf_cost",
+    "dpf_cost",
+    "sdpf_cost",
+    "cdpf_cost",
+    "cdpf_ne_cost",
+    "table1_rows",
+]
+
+
+def cpf_cost(n_detectors: int, hops: float, sizes: DataSizes) -> float:
+    """CPF per-iteration cost: N * D_m * H (H = mean hops to the sink)."""
+    _check(n_detectors, hops)
+    return n_detectors * sizes.measurement * hops
+
+
+def dpf_cost(n_detectors: int, hops: float, compressed_bytes: float, sizes: DataSizes) -> float:
+    """Compression-based DPF: N * P * H, with P the compressed message size."""
+    _check(n_detectors, hops)
+    if compressed_bytes < 0:
+        raise ValueError("compressed_bytes must be non-negative")
+    return n_detectors * compressed_bytes * hops
+
+
+def sdpf_cost(n_particles: int, sizes: DataSizes, *, include_handshake: bool = True) -> float:
+    """SDPF per-iteration cost: N_s (D_p + D_m + 2 D_w) [+ 2 broadcasts].
+
+    The paper's derivation: propagation N_s (D_p + D_w), measurement sharing
+    bounded by N_s D_m, aggregation N_s D_w plus the transceiver's two
+    broadcast messages (query + total), each one weight-sized.
+    """
+    _check(n_particles, 1.0)
+    base = n_particles * (sizes.particle + sizes.measurement + 2 * sizes.weight)
+    if include_handshake:
+        base += 2 * (sizes.header + sizes.weight)
+    return base
+
+
+def cdpf_cost(n_particles: int, sizes: DataSizes) -> float:
+    """CDPF per-iteration cost: N_s (D_p + D_m + D_w) — no weight aggregation."""
+    _check(n_particles, 1.0)
+    return n_particles * (sizes.particle + sizes.measurement + sizes.weight)
+
+
+def cdpf_ne_cost(n_particles: int, sizes: DataSizes) -> float:
+    """CDPF-NE per-iteration cost: N_s (D_p + D_w) — propagation only."""
+    _check(n_particles, 1.0)
+    return n_particles * (sizes.particle + sizes.weight)
+
+
+def _check(count: int, hops: float) -> None:
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if hops < 0:
+        raise ValueError(f"hops must be non-negative, got {hops}")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Table I evaluated for a concrete configuration.
+
+    Parameters mirror the symbols of §II-B: ``n_detectors`` is N (nodes with
+    measurements), ``n_particles`` is N_s (network-wide maintained
+    particles), ``hops`` is the convergecast hop count H, and
+    ``compressed_bytes`` is DPF's P.
+    """
+
+    sizes: DataSizes
+    n_detectors: int
+    n_particles: int
+    hops: float
+    compressed_bytes: float = 1.0
+
+    def cpf(self) -> float:
+        return cpf_cost(self.n_detectors, self.hops, self.sizes)
+
+    def dpf(self) -> float:
+        return dpf_cost(self.n_detectors, self.hops, self.compressed_bytes, self.sizes)
+
+    def sdpf(self) -> float:
+        return sdpf_cost(self.n_particles, self.sizes)
+
+    def cdpf(self) -> float:
+        return cdpf_cost(self.n_particles, self.sizes)
+
+    def cdpf_ne(self) -> float:
+        return cdpf_ne_cost(self.n_particles, self.sizes)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "CPF": self.cpf(),
+            "DPF": self.dpf(),
+            "SDPF": self.sdpf(),
+            "CDPF": self.cdpf(),
+            "CDPF-NE": self.cdpf_ne(),
+        }
+
+
+def table1_rows(sizes: DataSizes | None = None) -> list[tuple[str, str]]:
+    """The symbolic Table I, row for row (method, cost formula)."""
+    return [
+        ("CPF", "N * Dm * Hmax"),
+        ("DPF", "N * P * Hmax"),
+        ("SDPF", "Ns * (Dp + Dm + 2*Dw)"),
+        ("CDPF", "Ns * (Dp + Dm + Dw)"),
+        ("CDPF-NE", "Ns * (Dp + Dw)"),
+    ]

@@ -1,0 +1,108 @@
+"""Data generators for the paper's figures.
+
+Each function regenerates one figure's underlying data series:
+
+* :func:`figure4_estimation_example` — one run at 20 nodes/100 m^2: the real
+  trajectory plus the CDPF and CDPF-NE estimated tracks.
+* :func:`figure5_communication_cost` — total communication bytes vs node
+  density for CPF/SDPF/CDPF/CDPF-NE.
+* :func:`figure6_estimation_error` — RMSE vs node density for the same four.
+
+The functions return plain data (arrays/dicts); the benches render them with
+:mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cdpf import CDPFTracker
+from ..scenario import make_paper_scenario, make_trajectory
+from .runner import run_tracking
+from .sweep import SweepResult, density_sweep
+
+__all__ = [
+    "Figure4Data",
+    "figure4_estimation_example",
+    "figure5_communication_cost",
+    "figure6_estimation_error",
+]
+
+PAPER_DENSITIES = (5, 10, 15, 20, 25, 30, 35, 40)
+
+
+@dataclass
+class Figure4Data:
+    """The estimation-example tracks (paper Fig. 4)."""
+
+    truth: np.ndarray  # (K + 1, 2) true positions at filter instants
+    cdpf: dict[int, np.ndarray]  # iteration -> estimate
+    cdpf_ne: dict[int, np.ndarray]
+    cdpf_rmse: float
+    cdpf_ne_rmse: float
+
+    def max_error(self, which: str = "cdpf_ne") -> float:
+        """Largest per-iteration error of one track (paper: 'up to 3 m')."""
+        estimates = getattr(self, which)
+        if not estimates:
+            return float("nan")
+        return max(
+            float(np.linalg.norm(est - self.truth[k])) for k, est in estimates.items()
+        )
+
+
+def figure4_estimation_example(
+    *,
+    density: float = 20.0,
+    n_iterations: int = 10,
+    seed: int = 2011,
+) -> Figure4Data:
+    """One run at the paper's Fig. 4 density with both CDPF variants."""
+    world_rng = np.random.default_rng(seed)
+    scenario = make_paper_scenario(density_per_100m2=density, rng=world_rng)
+    trajectory = make_trajectory(n_iterations=n_iterations, rng=world_rng)
+
+    results = {}
+    for name, ne in (("cdpf", False), ("cdpf_ne", True)):
+        tracker = CDPFTracker(
+            scenario, rng=np.random.default_rng(seed + 1), neighborhood_estimation=ne
+        )
+        results[name] = run_tracking(
+            tracker, scenario, trajectory, rng=np.random.default_rng(seed + 2)
+        )
+    return Figure4Data(
+        truth=trajectory.iteration_positions(),
+        cdpf=results["cdpf"].estimates,
+        cdpf_ne=results["cdpf_ne"].estimates,
+        cdpf_rmse=results["cdpf"].rmse,
+        cdpf_ne_rmse=results["cdpf_ne"].rmse,
+    )
+
+
+def figure5_communication_cost(
+    *,
+    densities=PAPER_DENSITIES,
+    n_seeds: int = 10,
+    n_iterations: int = 10,
+) -> SweepResult:
+    """Communication cost vs density (paper Fig. 5's data)."""
+    return density_sweep(densities, n_seeds=n_seeds, n_iterations=n_iterations)
+
+
+def figure6_estimation_error(
+    *,
+    densities=PAPER_DENSITIES,
+    n_seeds: int = 10,
+    n_iterations: int = 10,
+    sweep: SweepResult | None = None,
+) -> SweepResult:
+    """RMSE vs density (paper Fig. 6's data).
+
+    Figures 5 and 6 come from the same runs, so pass the Figure 5 sweep via
+    ``sweep`` to avoid recomputing it.
+    """
+    if sweep is not None:
+        return sweep
+    return density_sweep(densities, n_seeds=n_seeds, n_iterations=n_iterations)

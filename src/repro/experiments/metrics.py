@@ -1,0 +1,97 @@
+"""Tracking metrics: estimation error and communication cost series.
+
+The paper's two evaluation criteria (§VI): root mean squared error of the
+position estimates, and communication cost in bytes.  We additionally track
+message counts, per-iteration series, and coverage (the fraction of
+iterations for which the tracker produced an estimate) — a tracker that loses
+the target would otherwise show a deceptively low RMSE over the few
+iterations it survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.medium import CommAccounting
+
+__all__ = ["rmse", "per_iteration_errors", "ErrorSummary", "summarize_errors", "cost_series"]
+
+
+def per_iteration_errors(
+    estimates: dict[int, np.ndarray], truth: np.ndarray
+) -> dict[int, float]:
+    """Euclidean position error per iteration for which an estimate exists.
+
+    ``truth`` is the ``(K + 1, 2)`` array of true positions at filter
+    instants 0..K; ``estimates`` maps iteration index -> (2,) estimate.
+    """
+    errors: dict[int, float] = {}
+    for k, est in estimates.items():
+        if not 0 <= k < truth.shape[0]:
+            raise ValueError(f"estimate for iteration {k} outside truth range")
+        errors[k] = float(np.linalg.norm(np.asarray(est, dtype=np.float64) - truth[k]))
+    return errors
+
+
+def rmse(estimates: dict[int, np.ndarray], truth: np.ndarray) -> float:
+    """Root mean squared position error over the estimated iterations."""
+    errors = per_iteration_errors(estimates, truth)
+    if not errors:
+        return float("nan")
+    e = np.array(list(errors.values()))
+    return float(np.sqrt(np.mean(e * e)))
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """RMSE plus the context needed to compare trackers fairly."""
+
+    rmse: float
+    mean_error: float
+    max_error: float
+    n_estimates: int
+    n_iterations: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of iterations the tracker produced an estimate for."""
+        return self.n_estimates / self.n_iterations if self.n_iterations else 0.0
+
+
+def summarize_errors(
+    estimates: dict[int, np.ndarray], truth: np.ndarray, n_iterations: int
+) -> ErrorSummary:
+    errors = per_iteration_errors(estimates, truth)
+    if errors:
+        e = np.array(list(errors.values()))
+        return ErrorSummary(
+            rmse=float(np.sqrt(np.mean(e * e))),
+            mean_error=float(e.mean()),
+            max_error=float(e.max()),
+            n_estimates=len(errors),
+            n_iterations=n_iterations,
+        )
+    return ErrorSummary(
+        rmse=float("nan"),
+        mean_error=float("nan"),
+        max_error=float("nan"),
+        n_estimates=0,
+        n_iterations=n_iterations,
+    )
+
+
+def cost_series(accounting: CommAccounting, n_iterations: int) -> dict[str, np.ndarray]:
+    """Dense per-iteration byte and message series from a ledger."""
+    b = accounting.bytes_by_iteration()
+    m = accounting.messages_by_iteration()
+    bytes_arr = np.zeros(n_iterations + 1, dtype=np.int64)
+    msgs_arr = np.zeros(n_iterations + 1, dtype=np.int64)
+    for k, v in b.items():
+        if 0 <= k <= n_iterations:
+            bytes_arr[k] = v
+    for k, v in m.items():
+        if 0 <= k <= n_iterations:
+            msgs_arr[k] = v
+    return {"bytes": bytes_arr, "messages": msgs_arr}

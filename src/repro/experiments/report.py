@@ -1,0 +1,146 @@
+"""Plain-text rendering of tables and figure data (no plotting deps).
+
+The benches print the same rows/series the paper reports; these helpers keep
+the formatting in one place so every bench output looks consistent and is
+trivially diffable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_series", "render_ascii_chart", "format_number"]
+
+
+def format_number(x, precision: int = 2) -> str:
+    """Compact numeric formatting: ints as ints, floats rounded, NaN as '-'."""
+    if x is None:
+        return "-"
+    if isinstance(x, str):
+        return x
+    xf = float(x)
+    if np.isnan(xf):
+        return "-"
+    if float(xf).is_integer() and abs(xf) < 1e15:
+        return str(int(xf))
+    return f"{xf:.{precision}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Monospace table with a header rule, sized to its widest cells."""
+    str_rows = [[format_number(c, precision) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt_row(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    x_values: Sequence,
+    series: dict[str, Sequence],
+    *,
+    height: int = 12,
+    width: int = 64,
+    title: str | None = None,
+    log_y: bool = False,
+) -> str:
+    """Terminal line chart: one mark per curve, linear or log y-axis.
+
+    Good enough to see orderings and trends in a captured bench log; the
+    exact numbers live in the accompanying :func:`render_series` table.
+    """
+    if height < 2 or width < 8:
+        raise ValueError("chart too small")
+    names = list(series)
+    marks = "*o+x#@%&"
+    data = {n: np.asarray(series[n], dtype=np.float64) for n in names}
+    for n in names:
+        if data[n].shape[0] != len(x_values):
+            raise ValueError(f"series {n!r} length differs from x values")
+    all_vals = np.concatenate([v[np.isfinite(v)] for v in data.values()])
+    if all_vals.size == 0:
+        raise ValueError("no finite data to chart")
+    if log_y:
+        all_vals = all_vals[all_vals > 0]
+        if all_vals.size == 0:
+            raise ValueError("log chart needs positive data")
+        lo, hi = np.log10(all_vals.min()), np.log10(all_vals.max())
+    else:
+        lo, hi = float(all_vals.min()), float(all_vals.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n_x = len(x_values)
+    for si, n in enumerate(names):
+        mark = marks[si % len(marks)]
+        for i, v in enumerate(data[n]):
+            if not np.isfinite(v) or (log_y and v <= 0):
+                continue
+            y = np.log10(v) if log_y else v
+            col = int(i / max(n_x - 1, 1) * (width - 1))
+            row = height - 1 - int(round((y - lo) / (hi - lo) * (height - 1)))
+            grid[row][col] = mark
+
+    top = 10**hi if log_y else hi
+    bottom = 10**lo if log_y else lo
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{format_number(top):>10} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{format_number(bottom):>10} +" + "-" * width)
+    lines.append(
+        " " * 12
+        + f"x: {format_number(x_values[0])} .. {format_number(x_values[-1])}"
+        + ("   (log y)" if log_y else "")
+    )
+    lines.append(
+        " " * 12
+        + "legend: "
+        + "  ".join(f"{marks[i % len(marks)]}={n}" for i, n in enumerate(names))
+    )
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """A figure's data as a table: one x column, one column per curve."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(f"series {name!r} length differs from x values")
+    rows = [
+        [x, *(series[name][i] for name in names)] for i, x in enumerate(x_values)
+    ]
+    return render_table([x_label, *names], rows, title=title, precision=precision)

@@ -1,0 +1,143 @@
+"""Parameter sweeps: the engine behind Figures 5 and 6.
+
+The paper's protocol (§VI-A): for each node density in 5..40 nodes/100 m^2,
+run each of the four algorithms on the same deployments/trajectories for ten
+random seeds and report the averages.  :func:`density_sweep` reproduces that
+protocol; per-(density, algorithm) aggregates come back as a
+:class:`SweepResult` that the figure benches render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.cpf import CPFTracker
+from ..baselines.sdpf import SDPFTracker
+from ..core.cdpf import CDPFTracker
+from ..scenario import Scenario, make_paper_scenario, make_trajectory
+from .runner import TrackingResult, run_tracking
+
+__all__ = ["SweepPoint", "SweepResult", "density_sweep", "default_tracker_factories"]
+
+TrackerFactory = Callable[[Scenario, np.random.Generator], object]
+
+
+def default_tracker_factories() -> dict[str, TrackerFactory]:
+    """The paper's four algorithms, in Figure 5/6 legend order."""
+    return {
+        "CPF": lambda s, rng: CPFTracker(s, rng=rng),
+        "SDPF": lambda s, rng: SDPFTracker(s, rng=rng),
+        "CDPF": lambda s, rng: CDPFTracker(s, rng=rng),
+        "CDPF-NE": lambda s, rng: CDPFTracker(s, rng=rng, neighborhood_estimation=True),
+    }
+
+
+@dataclass
+class SweepPoint:
+    """Aggregates for one (density, algorithm) cell."""
+
+    density: float
+    algorithm: str
+    rmse_runs: list[float] = field(default_factory=list)
+    bytes_runs: list[int] = field(default_factory=list)
+    messages_runs: list[int] = field(default_factory=list)
+    coverage_runs: list[float] = field(default_factory=list)
+
+    @property
+    def rmse(self) -> float:
+        vals = [v for v in self.rmse_runs if np.isfinite(v)]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    @property
+    def rmse_std(self) -> float:
+        vals = [v for v in self.rmse_runs if np.isfinite(v)]
+        return float(np.std(vals)) if vals else float("nan")
+
+    @property
+    def total_bytes(self) -> float:
+        return float(np.mean(self.bytes_runs)) if self.bytes_runs else float("nan")
+
+    @property
+    def total_messages(self) -> float:
+        return float(np.mean(self.messages_runs)) if self.messages_runs else float("nan")
+
+    @property
+    def coverage(self) -> float:
+        return float(np.mean(self.coverage_runs)) if self.coverage_runs else float("nan")
+
+
+@dataclass
+class SweepResult:
+    """All (density, algorithm) cells of one sweep."""
+
+    densities: list[float]
+    algorithms: list[str]
+    points: dict[tuple[float, str], SweepPoint]
+
+    def series(self, algorithm: str, metric: str) -> np.ndarray:
+        """One algorithm's metric across densities (Figure 5/6's curves)."""
+        return np.array(
+            [getattr(self.points[(d, algorithm)], metric) for d in self.densities]
+        )
+
+    def reduction_vs(self, algorithm: str, baseline: str, metric: str = "total_bytes") -> np.ndarray:
+        """Fractional reduction of ``algorithm`` relative to ``baseline`` per density."""
+        a = self.series(algorithm, metric)
+        b = self.series(baseline, metric)
+        return 1.0 - a / b
+
+
+def density_sweep(
+    densities: Sequence[float] = (5, 10, 15, 20, 25, 30, 35, 40),
+    *,
+    n_seeds: int = 10,
+    n_iterations: int = 10,
+    factories: dict[str, TrackerFactory] | None = None,
+    base_seed: int = 2011,
+    scenario_kwargs: dict | None = None,
+    trajectory_kwargs: dict | None = None,
+    on_result: Callable[[float, str, int, TrackingResult], None] | None = None,
+) -> SweepResult:
+    """The Figure 5/6 protocol: densities x algorithms x seeds.
+
+    Every algorithm at a given (density, seed) sees the *same* deployment and
+    trajectory — paired comparisons, matching the paper's "variable random
+    seeds" averaging while eliminating cross-algorithm deployment variance.
+    Pass ``scenario_kwargs`` / ``trajectory_kwargs`` jointly when changing
+    the field geometry: the default trajectory enters at (0, 100).
+    """
+    if factories is None:
+        factories = default_tracker_factories()
+    scenario_kwargs = scenario_kwargs or {}
+    trajectory_kwargs = trajectory_kwargs or {}
+    points: dict[tuple[float, str], SweepPoint] = {
+        (float(d), name): SweepPoint(float(d), name)
+        for d in densities
+        for name in factories
+    }
+    for d in densities:
+        for seed in range(n_seeds):
+            world_rng = np.random.default_rng(base_seed + 1000 * seed + int(d))
+            scenario = make_paper_scenario(density_per_100m2=float(d), rng=world_rng, **scenario_kwargs)
+            trajectory = make_trajectory(
+                n_iterations=n_iterations, rng=world_rng, **trajectory_kwargs
+            )
+            for name, make in factories.items():
+                tracker = make(scenario, np.random.default_rng(base_seed + seed))
+                sense_rng = np.random.default_rng(base_seed + 7000 + seed)
+                result = run_tracking(tracker, scenario, trajectory, rng=sense_rng)
+                pt = points[(float(d), name)]
+                pt.rmse_runs.append(result.rmse)
+                pt.bytes_runs.append(result.total_bytes)
+                pt.messages_runs.append(result.total_messages)
+                pt.coverage_runs.append(result.error.coverage)
+                if on_result is not None:
+                    on_result(float(d), name, seed, result)
+    return SweepResult(
+        densities=[float(d) for d in densities],
+        algorithms=list(factories),
+        points=points,
+    )

@@ -1,0 +1,91 @@
+"""Degeneracy and health diagnostics for particle populations.
+
+These are the quantities filter practitioners watch (Arulampalam et al. [3]):
+effective sample size, weight entropy, the count of surviving ancestors, and
+a combined :class:`FilterHealth` snapshot used by the integration tests to
+assert that the distributed filters stay alive along the whole trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .particles import ParticleSet
+
+__all__ = [
+    "effective_sample_size",
+    "weight_entropy",
+    "max_weight_ratio",
+    "unique_ancestors",
+    "FilterHealth",
+    "health_of",
+]
+
+
+def _norm(weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0:
+        raise ValueError("empty weight vector")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive total")
+    return w / total
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """N_eff = 1 / sum(w^2) over normalized weights; in [1, n]."""
+    w = _norm(weights)
+    return float(1.0 / np.sum(w * w))
+
+
+def weight_entropy(weights: np.ndarray) -> float:
+    """Shannon entropy (nats) of the normalized weights; max = log(n)."""
+    w = _norm(weights)
+    nz = w[w > 0]
+    return float(-np.sum(nz * np.log(nz)))
+
+
+def max_weight_ratio(weights: np.ndarray) -> float:
+    """max(w) / (1/n): 1 means perfectly uniform, n means total collapse."""
+    w = _norm(weights)
+    return float(w.max() * w.size)
+
+
+def unique_ancestors(indices: np.ndarray) -> int:
+    """Number of distinct parents that survived a resampling pass."""
+    return int(np.unique(np.asarray(indices)).size)
+
+
+@dataclass(frozen=True)
+class FilterHealth:
+    """A point-in-time health snapshot of a particle population."""
+
+    n_particles: int
+    ess: float
+    ess_ratio: float
+    entropy: float
+    entropy_ratio: float
+    max_weight_ratio: float
+
+    @property
+    def degenerate(self) -> bool:
+        """Rule of thumb: ESS below 10 % of n signals severe degeneracy."""
+        return self.ess_ratio < 0.1
+
+
+def health_of(particles: ParticleSet) -> FilterHealth:
+    """Compute a :class:`FilterHealth` snapshot for a particle set."""
+    n = particles.n
+    ess = effective_sample_size(particles.weights)
+    ent = weight_entropy(particles.weights)
+    max_ent = np.log(n) if n > 1 else 1.0
+    return FilterHealth(
+        n_particles=n,
+        ess=ess,
+        ess_ratio=ess / n,
+        entropy=ent,
+        entropy_ratio=ent / max_ent,
+        max_weight_ratio=max_weight_ratio(particles.weights),
+    )

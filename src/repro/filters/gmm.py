@@ -1,0 +1,180 @@
+"""Diagonal-covariance Gaussian mixture models, fit with EM.
+
+Substrate for the compression-based DPF baselines: Sheng et al. [5] compress
+a particle population into a small Gaussian mixture whose parameters — not
+the particles — travel between sensor cliques.  A K-component diagonal GMM
+over d-dimensional states costs ``K * (2d + 1)`` scalars on the wire, versus
+``n * d`` for raw particles.
+
+Diagonal covariances keep EM closed-form, numerically robust at the tiny
+sample sizes a leader node holds, and cheap to serialize; the reconstruction
+error this introduces is part of what the DPF-vs-CDPF benches measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GaussianMixture", "fit_gmm"]
+
+_MIN_VAR = 1e-6
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """A K-component diagonal-covariance mixture over R^d.
+
+    Attributes
+    ----------
+    weights: ``(k,)`` mixing proportions (sum to 1).
+    means: ``(k, d)`` component means.
+    variances: ``(k, d)`` per-dimension variances (diagonal covariances).
+    """
+
+    weights: np.ndarray
+    means: np.ndarray
+    variances: np.ndarray
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=np.float64)
+        m = np.atleast_2d(np.asarray(self.means, dtype=np.float64))
+        v = np.atleast_2d(np.asarray(self.variances, dtype=np.float64))
+        if w.ndim != 1 or m.shape[0] != w.shape[0] or v.shape != m.shape:
+            raise ValueError("inconsistent GMM parameter shapes")
+        if (w < 0).any() or not np.isclose(w.sum(), 1.0, atol=1e-6):
+            raise ValueError("mixture weights must be non-negative and sum to 1")
+        if (v <= 0).any():
+            raise ValueError("variances must be positive")
+        object.__setattr__(self, "weights", w / w.sum())
+        object.__setattr__(self, "means", m)
+        object.__setattr__(self, "variances", v)
+
+    @property
+    def n_components(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.means.shape[1]
+
+    @property
+    def n_params(self) -> int:
+        """Scalar count on the wire: K * (2d + 1)."""
+        return self.n_components * (2 * self.dim + 1)
+
+    def mean(self) -> np.ndarray:
+        return self.weights @ self.means
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw n samples (component choice + per-dimension Gaussians)."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        comps = rng.choice(self.n_components, size=n, p=self.weights)
+        noise = rng.normal(size=(n, self.dim))
+        return self.means[comps] + noise * np.sqrt(self.variances[comps])
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """log density at each row of ``x`` (stable log-sum-exp over components)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        diff = x[:, None, :] - self.means[None, :, :]  # (n, k, d)
+        quad = np.sum(diff * diff / self.variances[None, :, :], axis=2)
+        log_norm = -0.5 * (
+            self.dim * np.log(2 * np.pi) + np.sum(np.log(self.variances), axis=1)
+        )
+        comp_log = np.log(self.weights)[None, :] + log_norm[None, :] - 0.5 * quad
+        m = comp_log.max(axis=1, keepdims=True)
+        return (m + np.log(np.sum(np.exp(comp_log - m), axis=1, keepdims=True))).ravel()
+
+    # -- wire format ------------------------------------------------------
+
+    def to_params(self) -> np.ndarray:
+        """Flatten to the wire vector [w | means | variances]."""
+        return np.concatenate(
+            [self.weights, self.means.ravel(), self.variances.ravel()]
+        )
+
+    @staticmethod
+    def from_params(params: np.ndarray, n_components: int, dim: int) -> "GaussianMixture":
+        params = np.asarray(params, dtype=np.float64)
+        expected = n_components * (2 * dim + 1)
+        if params.shape != (expected,):
+            raise ValueError(f"expected {expected} params, got {params.shape}")
+        k = n_components
+        weights = params[:k]
+        means = params[k : k + k * dim].reshape(k, dim)
+        variances = params[k + k * dim :].reshape(k, dim)
+        return GaussianMixture(weights=weights, means=means, variances=variances)
+
+
+def fit_gmm(
+    data: np.ndarray,
+    n_components: int,
+    *,
+    rng: np.random.Generator,
+    sample_weights: np.ndarray | None = None,
+    n_iter: int = 50,
+    tol: float = 1e-6,
+) -> GaussianMixture:
+    """Weighted EM for a diagonal GMM.
+
+    Initialization: means drawn from the weighted data, uniform weights,
+    per-dimension data variance.  Empty components are re-seeded on a random
+    data point.  Degenerate inputs (fewer distinct points than components)
+    still return a valid mixture — variances are floored at 1e-6.
+    """
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    n, d = data.shape
+    if n == 0:
+        raise ValueError("cannot fit a GMM to zero samples")
+    if n_components < 1:
+        raise ValueError(f"n_components must be >= 1, got {n_components}")
+    if sample_weights is None:
+        sw = np.full(n, 1.0 / n)
+    else:
+        sw = np.asarray(sample_weights, dtype=np.float64)
+        if sw.shape != (n,) or (sw < 0).any() or sw.sum() <= 0:
+            raise ValueError("sample_weights must be non-negative, matching data length")
+        sw = sw / sw.sum()
+
+    k = min(n_components, n)
+    init_idx = rng.choice(n, size=k, replace=False, p=sw) if n > 1 else np.zeros(k, dtype=int)
+    means = data[init_idx].copy()
+    global_var = np.maximum(np.average((data - sw @ data) ** 2, axis=0, weights=sw), _MIN_VAR)
+    variances = np.tile(global_var, (k, 1))
+    weights = np.full(k, 1.0 / k)
+
+    prev_ll = -np.inf
+    for _ in range(n_iter):
+        # E step: responsibilities (n, k), weighted by sample weights
+        mixture = GaussianMixture(weights=weights, means=means, variances=variances)
+        diff = data[:, None, :] - means[None, :, :]
+        quad = np.sum(diff * diff / variances[None, :, :], axis=2)
+        log_norm = -0.5 * (d * np.log(2 * np.pi) + np.sum(np.log(variances), axis=1))
+        comp_log = np.log(weights)[None, :] + log_norm[None, :] - 0.5 * quad
+        m = comp_log.max(axis=1, keepdims=True)
+        log_total = m + np.log(np.sum(np.exp(comp_log - m), axis=1, keepdims=True))
+        resp = np.exp(comp_log - log_total)
+        ll = float(sw @ log_total.ravel())
+
+        # M step (weighted)
+        r = resp * sw[:, None]
+        nk = r.sum(axis=0)
+        for j in range(k):
+            if nk[j] <= 1e-12:  # re-seed an empty component
+                means[j] = data[rng.integers(n)]
+                variances[j] = global_var
+                nk[j] = 1e-12
+            else:
+                means[j] = (r[:, j] @ data) / nk[j]
+                dv = data - means[j]
+                variances[j] = np.maximum((r[:, j] @ (dv * dv)) / nk[j], _MIN_VAR)
+        weights = np.maximum(nk, 1e-12)
+        weights = weights / weights.sum()
+
+        if abs(ll - prev_ll) < tol:
+            break
+        prev_ll = ll
+
+    return GaussianMixture(weights=weights, means=means, variances=variances)

@@ -1,0 +1,163 @@
+"""Kalman and extended Kalman filters.
+
+The paper's related work (§VII, [27]) frames the Kalman filter as the optimal
+Bayesian estimator under linear-Gaussian assumptions; particle filters
+approximate the optimum when those assumptions break (bearings-only
+measurements are nonlinear).  We implement both:
+
+* :class:`KalmanFilter` — exact linear-Gaussian filter; the reference
+  solution the PF substrate is validated against in tests (a bootstrap PF on
+  a linear-Gaussian problem must converge to the KF posterior).
+* :class:`ExtendedKalmanFilter` — first-order linearization for nonlinear
+  scalar measurements (bearing / range), used as an extra baseline bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KalmanFilter", "ExtendedKalmanFilter", "bearing_jacobian", "range_jacobian"]
+
+
+def _validate_square(m: np.ndarray, d: int, name: str) -> np.ndarray:
+    m = np.asarray(m, dtype=np.float64)
+    if m.shape != (d, d):
+        raise ValueError(f"{name} must be ({d}, {d}), got {m.shape}")
+    return m
+
+
+class KalmanFilter:
+    """Standard discrete-time Kalman filter ``x' = F x + w, z = H x + v``."""
+
+    def __init__(self, f: np.ndarray, q: np.ndarray, h: np.ndarray, r: np.ndarray) -> None:
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim != 2 or f.shape[0] != f.shape[1]:
+            raise ValueError(f"F must be square, got {f.shape}")
+        d = f.shape[0]
+        h = np.atleast_2d(np.asarray(h, dtype=np.float64))
+        if h.shape[1] != d:
+            raise ValueError(f"H must have {d} columns, got {h.shape}")
+        m = h.shape[0]
+        self.f = f
+        self.q = _validate_square(q, d, "Q")
+        self.h = h
+        self.r = _validate_square(np.atleast_2d(r), m, "R")
+        self.state_dim = d
+        self.meas_dim = m
+        self.x: np.ndarray | None = None
+        self.p: np.ndarray | None = None
+
+    def initialize(self, mean: np.ndarray, cov: np.ndarray) -> None:
+        self.x = np.asarray(mean, dtype=np.float64).copy()
+        self.p = _validate_square(cov, self.state_dim, "P0").copy()
+
+    def _require(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.x is None or self.p is None:
+            raise RuntimeError("filter not initialized")
+        return self.x, self.p
+
+    def predict(self) -> None:
+        x, p = self._require()
+        self.x = self.f @ x
+        self.p = self.f @ p @ self.f.T + self.q
+
+    def update(self, z: np.ndarray) -> None:
+        x, p = self._require()
+        z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+        innovation = z - self.h @ x
+        s = self.h @ p @ self.h.T + self.r
+        k = p @ self.h.T @ np.linalg.solve(s, np.eye(self.meas_dim))
+        self.x = x + k @ innovation
+        # Joseph form: numerically stable covariance update.
+        ikh = np.eye(self.state_dim) - k @ self.h
+        self.p = ikh @ p @ ikh.T + k @ self.r @ k.T
+
+    def step(self, z: np.ndarray) -> np.ndarray:
+        self.predict()
+        self.update(z)
+        return self.x.copy()
+
+
+def bearing_jacobian(state: np.ndarray, sensor_position: np.ndarray) -> np.ndarray:
+    """d arctan2(y - sy, x - sx) / d state, for a 4-D CV state (1 x 4 row)."""
+    dx = state[0] - sensor_position[0]
+    dy = state[1] - sensor_position[1]
+    r2 = dx * dx + dy * dy
+    if r2 == 0.0:
+        raise FloatingPointError("bearing Jacobian undefined at the sensor position")
+    return np.array([[-dy / r2, dx / r2, 0.0, 0.0]])
+
+
+def range_jacobian(state: np.ndarray, sensor_position: np.ndarray) -> np.ndarray:
+    """d ||pos - sensor|| / d state (1 x 4 row)."""
+    dx = state[0] - sensor_position[0]
+    dy = state[1] - sensor_position[1]
+    r = np.hypot(dx, dy)
+    if r == 0.0:
+        raise FloatingPointError("range Jacobian undefined at the sensor position")
+    return np.array([[dx / r, dy / r, 0.0, 0.0]])
+
+
+class ExtendedKalmanFilter:
+    """EKF for scalar nonlinear measurements over a linear CV transition.
+
+    ``measure_fn(state, sensor_position) -> float`` and
+    ``jacobian_fn(state, sensor_position) -> (1, d)`` supply the measurement
+    model; multiple sensors per step are fused sequentially.
+    """
+
+    def __init__(
+        self,
+        f: np.ndarray,
+        q: np.ndarray,
+        measure_fn,
+        jacobian_fn,
+        r_scalar: float,
+        *,
+        angular: bool = False,
+    ) -> None:
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim != 2 or f.shape[0] != f.shape[1]:
+            raise ValueError(f"F must be square, got {f.shape}")
+        if r_scalar <= 0:
+            raise ValueError(f"r_scalar must be positive, got {r_scalar}")
+        self.f = f
+        self.q = _validate_square(q, f.shape[0], "Q")
+        self.measure_fn = measure_fn
+        self.jacobian_fn = jacobian_fn
+        self.r = float(r_scalar)
+        self.angular = angular
+        self.state_dim = f.shape[0]
+        self.x: np.ndarray | None = None
+        self.p: np.ndarray | None = None
+
+    def initialize(self, mean: np.ndarray, cov: np.ndarray) -> None:
+        self.x = np.asarray(mean, dtype=np.float64).copy()
+        self.p = _validate_square(cov, self.state_dim, "P0").copy()
+
+    def predict(self) -> None:
+        if self.x is None or self.p is None:
+            raise RuntimeError("filter not initialized")
+        self.x = self.f @ self.x
+        self.p = self.f @ self.p @ self.f.T + self.q
+
+    def update(self, z: float, sensor_position: np.ndarray) -> None:
+        if self.x is None or self.p is None:
+            raise RuntimeError("filter not initialized")
+        h_row = self.jacobian_fn(self.x, sensor_position)
+        predicted = self.measure_fn(self.x, sensor_position)
+        innovation = z - predicted
+        if self.angular:
+            innovation = float(np.mod(innovation + np.pi, 2 * np.pi) - np.pi)
+        s = float((h_row @ self.p @ h_row.T)[0, 0]) + self.r
+        k = (self.p @ h_row.T) / s
+        self.x = self.x + (k * innovation).ravel()
+        ikh = np.eye(self.state_dim) - k @ h_row
+        self.p = ikh @ self.p @ ikh.T + k @ k.T * self.r
+
+    def step(self, observations: list[tuple[float, np.ndarray]]) -> np.ndarray:
+        """One iteration: predict, then fuse each (z, sensor_position) in turn."""
+        self.predict()
+        for z, pos in observations:
+            self.update(z, pos)
+        return self.x.copy()

@@ -1,0 +1,101 @@
+"""KLD-sampling: adapting the particle count (Fox 2003, paper ref. [28]).
+
+Related work the paper cites for reducing PF computation: choose the smallest
+number of particles such that the KL divergence between the sample-based
+maximum-likelihood estimate and the true posterior is below ``epsilon`` with
+probability ``1 - delta``.  With ``k`` occupied histogram bins the bound is
+
+    n = (k - 1) / (2 eps) * [1 - 2/(9(k-1)) + sqrt(2/(9(k-1))) * z_{1-delta}]^3
+
+(Fox 2003, Eq. 12; the Wilson-Hilferty chi-square approximation).
+
+Implemented as a sampler that draws particles one batch at a time from a
+weighted source set, tracking bin occupancy on a fixed grid, until the bound
+is met — usable as an adaptive alternative to fixed-n resampling in the
+centralized filter (exercised by an ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtri  # inverse standard normal CDF
+
+from .particles import ParticleSet
+from .resampling import get_resampler
+
+__all__ = ["kld_bound", "KLDSampler"]
+
+
+def kld_bound(k_bins: int, epsilon: float, delta: float) -> int:
+    """Minimum particle count for ``k_bins`` occupied bins (Fox 2003, Eq. 12)."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if k_bins < 1:
+        raise ValueError(f"k_bins must be >= 1, got {k_bins}")
+    if k_bins == 1:
+        return 1
+    z = float(ndtri(1.0 - delta))
+    a = 2.0 / (9.0 * (k_bins - 1))
+    n = (k_bins - 1) / (2.0 * epsilon) * (1.0 - a + np.sqrt(a) * z) ** 3
+    return max(1, int(np.ceil(n)))
+
+
+@dataclass(frozen=True)
+class KLDSampler:
+    """Adaptive-size resampler over a spatial histogram of particle positions.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        KL error bound and its confidence level.
+    bin_size:
+        Edge length of the (2-D, position-space) histogram bins.
+    n_min, n_max:
+        Hard bounds on the adapted particle count.
+    resampler:
+        Base scheme used to draw ancestors from the weighted source set.
+    """
+
+    epsilon: float = 0.05
+    delta: float = 0.01
+    bin_size: float = 2.0
+    n_min: int = 20
+    n_max: int = 5000
+    resampler: str = "systematic"
+
+    def __post_init__(self) -> None:
+        if self.bin_size <= 0:
+            raise ValueError(f"bin_size must be positive, got {self.bin_size}")
+        if not 0 < self.n_min <= self.n_max:
+            raise ValueError("need 0 < n_min <= n_max")
+
+    def adapt(self, particles: ParticleSet, rng: np.random.Generator) -> ParticleSet:
+        """Resample to an adaptively chosen size.
+
+        Draws ancestors in chunks; after each chunk, recomputes the occupied
+        bin count ``k`` of the *drawn* sample and the corresponding bound.
+        Stops once the drawn count reaches the bound (or ``n_max``).
+        """
+        base = get_resampler(self.resampler)
+        # Draw n_max ancestors up front (cheap: one pass), then consume
+        # them left to right — equivalent to sequential draws but vectorized.
+        ancestors = base(particles.weights, self.n_max, rng=rng)
+        rng.shuffle(ancestors)  # low-variance schemes return sorted ancestors
+        positions = particles.states[ancestors][:, :2]
+        bins = np.floor(positions / self.bin_size).astype(np.int64)
+
+        occupied: set[tuple[int, int]] = set()
+        n_drawn = 0
+        required = self.n_min
+        while n_drawn < self.n_max:
+            occupied.add((int(bins[n_drawn, 0]), int(bins[n_drawn, 1])))
+            n_drawn += 1
+            required = max(self.n_min, kld_bound(len(occupied), self.epsilon, self.delta))
+            if n_drawn >= required:
+                break
+        n_final = min(max(n_drawn, self.n_min), self.n_max)
+        return particles.select(ancestors[:n_final])

@@ -1,0 +1,175 @@
+"""Weighted particle sets in structure-of-arrays form.
+
+Particles are stored as one ``(n, d)`` state array plus one ``(n,)`` weight
+array (SoA, not a list of particle objects) so every filter step is a single
+vectorized numpy expression — the layout the hpc guides prescribe for hot
+loops.  Weights are kept in *linear* space with explicit normalization; the
+likelihood path works in log space and converts with a max-shift to avoid
+underflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ParticleSet", "normalize_log_weights"]
+
+
+def normalize_log_weights(log_w: np.ndarray) -> np.ndarray:
+    """Exponentiate and normalize log-weights stably (max-shift trick).
+
+    Returns linear weights summing to one.  All ``-inf`` inputs (every
+    particle impossible) raise, since silently returning NaNs would poison
+    downstream estimates.
+    """
+    log_w = np.asarray(log_w, dtype=np.float64)
+    if log_w.size == 0:
+        raise ValueError("cannot normalize an empty weight vector")
+    m = np.max(log_w)
+    if not np.isfinite(m):
+        raise FloatingPointError("all particle log-weights are -inf (total degeneracy)")
+    w = np.exp(log_w - m)
+    return w / w.sum()
+
+
+class ParticleSet:
+    """A batch of weighted particles.
+
+    Parameters
+    ----------
+    states:
+        ``(n, d)`` state array (copied defensively unless ``copy=False``).
+    weights:
+        ``(n,)`` non-negative weights; pass ``None`` for uniform.
+
+    Notes
+    -----
+    The class is intentionally small: it owns the invariants (shapes match,
+    weights non-negative and finite) and the handful of operations every
+    filter needs — normalization, moment estimates, and ESS.  Resampling
+    lives in :mod:`repro.filters.resampling` as pure functions on index
+    arrays so schemes are interchangeable and independently testable.
+    """
+
+    __slots__ = ("states", "weights")
+
+    def __init__(
+        self,
+        states: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        copy: bool = True,
+    ) -> None:
+        states = np.array(states, dtype=np.float64, copy=copy)
+        if states.ndim == 1:
+            states = states[None, :]
+        if states.ndim != 2 or states.shape[0] == 0:
+            raise ValueError(f"states must be a non-empty (n, d) array, got {states.shape}")
+        if not np.isfinite(states).all():
+            raise ValueError("particle states must be finite")
+        n = states.shape[0]
+        if weights is None:
+            weights = np.full(n, 1.0 / n)
+        else:
+            weights = np.array(weights, dtype=np.float64, copy=copy)
+            if weights.shape != (n,):
+                raise ValueError(f"weights must have shape ({n},), got {weights.shape}")
+            if not np.isfinite(weights).all():
+                raise ValueError("weights must be finite")
+            if (weights < 0).any():
+                raise ValueError("weights must be non-negative")
+            if weights.sum() == 0.0:
+                raise ValueError("weights must not all be zero")
+        self.states = states
+        self.weights = weights
+
+    # -- basic views ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.states.shape[1]
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.weights.sum())
+
+    @property
+    def is_normalized(self) -> bool:
+        return bool(np.isclose(self.total_weight, 1.0, rtol=0, atol=1e-9))
+
+    # -- operations ------------------------------------------------------
+
+    def normalized(self) -> "ParticleSet":
+        """Return a set with weights scaled to sum to one."""
+        total = self.total_weight
+        if total <= 0.0:
+            raise FloatingPointError("total weight is zero; cannot normalize")
+        return ParticleSet(self.states, self.weights / total, copy=False)
+
+    def scaled(self, factor: float) -> "ParticleSet":
+        """Return a set with every weight multiplied by ``factor`` (> 0)."""
+        if factor <= 0 or not np.isfinite(factor):
+            raise ValueError(f"factor must be positive and finite, got {factor}")
+        return ParticleSet(self.states.copy(), self.weights * factor, copy=False)
+
+    def reweighted(self, new_weights: np.ndarray) -> "ParticleSet":
+        """Return a set with the same states and the given weights."""
+        return ParticleSet(self.states.copy(), np.asarray(new_weights, dtype=np.float64))
+
+    def mean(self) -> np.ndarray:
+        """Weighted mean state (the PF point estimate x_hat)."""
+        w = self.weights / self.total_weight
+        return w @ self.states
+
+    def covariance(self) -> np.ndarray:
+        """Weighted sample covariance of the states."""
+        w = self.weights / self.total_weight
+        mu = w @ self.states
+        centered = self.states - mu
+        return (centered * w[:, None]).T @ centered
+
+    def effective_sample_size(self) -> float:
+        """N_eff = 1 / sum(w_norm^2): the standard degeneracy diagnostic."""
+        w = self.weights / self.total_weight
+        return float(1.0 / np.sum(w * w))
+
+    def select(self, indices: np.ndarray) -> "ParticleSet":
+        """Gather particles by index with uniform weights (post-resampling set)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size == 0:
+            raise ValueError("cannot select an empty particle set")
+        states = self.states[indices]
+        return ParticleSet(states, np.full(indices.size, 1.0 / indices.size), copy=False)
+
+    def subset(self, mask_or_indices: np.ndarray) -> "ParticleSet":
+        """Gather particles keeping their (unrenormalized) weights."""
+        sub_states = self.states[mask_or_indices]
+        sub_weights = self.weights[mask_or_indices]
+        if sub_states.shape[0] == 0:
+            raise ValueError("subset selects no particles")
+        return ParticleSet(sub_states, sub_weights, copy=False)
+
+    def copy(self) -> "ParticleSet":
+        return ParticleSet(self.states, self.weights, copy=True)
+
+    @staticmethod
+    def concatenate(sets: list["ParticleSet"]) -> "ParticleSet":
+        """Stack several particle sets (weights kept as-is, not renormalized)."""
+        if not sets:
+            raise ValueError("need at least one particle set")
+        states = np.concatenate([s.states for s in sets], axis=0)
+        weights = np.concatenate([s.weights for s in sets])
+        return ParticleSet(states, weights, copy=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ParticleSet(n={self.n}, dim={self.dim}, "
+            f"total_weight={self.total_weight:.6g}, ess={self.effective_sample_size():.1f})"
+        )

@@ -1,0 +1,20 @@
+"""Dynamic system and measurement models."""
+
+from .base import MeasurementModel, TransitionModel
+from .constant_velocity import ConstantVelocityModel
+from .measurement import (
+    BearingMeasurement,
+    RangeBearingMeasurement,
+    RangeMeasurement,
+    RSSMeasurement,
+    wrap_angle,
+)
+from .trajectory import Trajectory, random_turn_trajectory, straight_line_trajectory
+
+__all__ = [
+    "MeasurementModel", "TransitionModel",
+    "ConstantVelocityModel",
+    "BearingMeasurement", "RangeBearingMeasurement", "RangeMeasurement",
+    "RSSMeasurement", "wrap_angle",
+    "Trajectory", "random_turn_trajectory", "straight_line_trajectory",
+]

@@ -1,0 +1,56 @@
+"""State-space model interfaces.
+
+The tracking problem (paper Eq. 1) is a dynamic system
+
+    x_k = f_k(x_{k-1}, v_{k-1})        (state transition)
+    z_k = h_k(x_k, n_k)                (measurement)
+
+Implementations expose *vectorized* operations over particle batches — the
+hot path of every filter — plus single-state sampling for trajectory
+generation.  All randomness flows through an explicit
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["TransitionModel", "MeasurementModel"]
+
+
+@runtime_checkable
+class TransitionModel(Protocol):
+    """The ``f_k`` half of the dynamic system."""
+
+    state_dim: int
+
+    def propagate(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw x_k ~ p(x_k | x_{k-1}) for a batch of states.
+
+        ``states`` is ``(n, state_dim)``; returns a new ``(n, state_dim)``
+        array (inputs are never mutated).
+        """
+        ...
+
+    def deterministic_step(self, states: np.ndarray) -> np.ndarray:
+        """The noise-free part of the transition (used for prediction)."""
+        ...
+
+
+@runtime_checkable
+class MeasurementModel(Protocol):
+    """The ``h_k`` half of the dynamic system, with its likelihood."""
+
+    def measure(
+        self, state: np.ndarray, rng: np.random.Generator, sensor_position: np.ndarray | None = None
+    ) -> float:
+        """Draw one noisy scalar measurement of ``state``."""
+        ...
+
+    def log_likelihood(
+        self, states: np.ndarray, z: float, sensor_position: np.ndarray | None = None
+    ) -> np.ndarray:
+        """log p(z | x) for a batch of states, shape ``(n,)``."""
+        ...

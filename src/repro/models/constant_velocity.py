@@ -1,0 +1,113 @@
+"""Constant-velocity (CV) state-space model — the paper's dynamic system.
+
+State x = (x, y, x', y')^T evolves as  x_k = PHI x_{k-1} + GAMMA v_{k-1}
+(paper Eq. 5), with
+
+    PHI = [[1, 0, dt, 0],        GAMMA = [[dt^2/2, 0],
+           [0, 1, 0, dt],                 [0, dt^2/2],
+           [0, 0, 1,  0],                 [1,      0],
+           [0, 0, 0,  1]]                 [0,      1]]
+
+and v ~ N(0, diag(sigma_x^2, sigma_y^2)) white acceleration noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ConstantVelocityModel"]
+
+
+def _phi(dt: float) -> np.ndarray:
+    return np.array(
+        [
+            [1.0, 0.0, dt, 0.0],
+            [0.0, 1.0, 0.0, dt],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+def _gamma(dt: float) -> np.ndarray:
+    h = 0.5 * dt * dt
+    return np.array(
+        [
+            [h, 0.0],
+            [0.0, h],
+            [1.0, 0.0],
+            [0.0, 1.0],
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ConstantVelocityModel:
+    """CV model with the paper's parameters (dt = 5 s, sigma_x = sigma_y = 0.05).
+
+    Attributes
+    ----------
+    dt:
+        Filter period in seconds (the paper's "time step of CDPF is 5 s").
+    sigma_x, sigma_y:
+        Acceleration noise standard deviations.
+    """
+
+    dt: float = 5.0
+    sigma_x: float = 0.05
+    sigma_y: float = 0.05
+    state_dim: int = field(default=4, init=False)
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        if self.sigma_x < 0 or self.sigma_y < 0:
+            raise ValueError("noise standard deviations must be non-negative")
+
+    @property
+    def phi(self) -> np.ndarray:
+        """State transition matrix PHI."""
+        return _phi(self.dt)
+
+    @property
+    def gamma(self) -> np.ndarray:
+        """Noise gain matrix GAMMA."""
+        return _gamma(self.dt)
+
+    @property
+    def process_noise_cov(self) -> np.ndarray:
+        """Q = GAMMA diag(sigma^2) GAMMA^T, the full 4x4 process covariance."""
+        g = self.gamma
+        s = np.diag([self.sigma_x**2, self.sigma_y**2])
+        return g @ s @ g.T
+
+    def deterministic_step(self, states: np.ndarray) -> np.ndarray:
+        """PHI x for a batch: positions advance by velocity * dt."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        if states.shape[1] != 4:
+            raise ValueError(f"states must be (n, 4), got {states.shape}")
+        return states @ self.phi.T
+
+    def propagate(self, states: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw x_k = PHI x_{k-1} + GAMMA v for each particle (vectorized)."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        out = self.deterministic_step(states)
+        v = rng.normal(0.0, [self.sigma_x, self.sigma_y], size=(states.shape[0], 2))
+        out += v @ self.gamma.T
+        return out
+
+    def initial_particles(
+        self,
+        n: int,
+        mean: np.ndarray,
+        cov: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw the t = 0 particle cloud from a Gaussian prior N(mean, cov)."""
+        mean = np.asarray(mean, dtype=np.float64)
+        cov = np.asarray(cov, dtype=np.float64)
+        if mean.shape != (4,) or cov.shape != (4, 4):
+            raise ValueError("prior must be 4-dimensional (mean (4,), cov (4,4))")
+        return rng.multivariate_normal(mean, cov, size=n)

@@ -1,0 +1,164 @@
+"""Slotted-MAC latency: how many transmission slots a communication phase needs.
+
+The paper's second §I motivation: "convergecast communication introduces a
+long delay, as the computational center has to receive messages in a
+sequential order."  The medium's ledger counts messages; this module
+schedules them into *time slots* under the protocol model's spatial-reuse
+constraint, yielding the per-iteration latency each algorithm pays:
+
+* :func:`broadcast_round_slots` — one-hop broadcast phases (CDPF/SDPF
+  propagation, measurement sharing): transmitters whose receiver
+  neighborhoods overlap must serialize; far-apart ones reuse the channel.
+* :func:`convergecast_slots` — multi-hop unicast batches (CPF/DPF): hop j+1
+  of a message waits for hop j (precedence) and for conflicting
+  transmissions (interference); the makespan is computed by list scheduling.
+
+Both model an idealized collision-free TDMA — a *lower bound* on what any
+real MAC achieves, which is the right instrument for comparing algorithms.
+Conflicts use the conservative disk rule: two transmitters conflict when any
+intended receiver of one lies within the interference radius of the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .radio import RadioModel
+
+__all__ = ["Transmission", "broadcast_round_slots", "convergecast_slots", "conflict_matrix"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One radio transmission: a sender and its intended receiver position(s)."""
+
+    sender_position: np.ndarray
+    receiver_positions: np.ndarray  # (r, 2); for broadcasts, all in-range nodes
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sender_position", np.asarray(self.sender_position, dtype=np.float64)
+        )
+        rp = np.atleast_2d(np.asarray(self.receiver_positions, dtype=np.float64))
+        object.__setattr__(self, "receiver_positions", rp)
+
+
+def conflict_matrix(transmissions: list[Transmission], radio: RadioModel) -> np.ndarray:
+    """Symmetric boolean matrix: [i, j] True iff i and j cannot share a slot.
+
+    i conflicts with j when some intended receiver of i is within j's
+    interference radius (or vice versa).  A transmission never conflicts
+    with itself.
+    """
+    n = len(transmissions)
+    conflicts = np.zeros((n, n), dtype=bool)
+    r_int = radio.interference_radius
+    for i in range(n):
+        for j in range(i + 1, n):
+            ti, tj = transmissions[i], transmissions[j]
+            d_i = np.sqrt(
+                np.sum((ti.receiver_positions - tj.sender_position) ** 2, axis=1)
+            )
+            d_j = np.sqrt(
+                np.sum((tj.receiver_positions - ti.sender_position) ** 2, axis=1)
+            )
+            if (d_i <= r_int).any() or (d_j <= r_int).any():
+                conflicts[i, j] = conflicts[j, i] = True
+    return conflicts
+
+
+def _greedy_coloring(conflicts: np.ndarray) -> np.ndarray:
+    """Slot assignment by greedy coloring in descending-degree order."""
+    n = conflicts.shape[0]
+    order = np.argsort(-conflicts.sum(axis=1), kind="stable")
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        used = set(colors[conflicts[v]].tolist()) - {-1}
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
+def broadcast_round_slots(
+    sender_positions: np.ndarray,
+    radio: RadioModel,
+) -> int:
+    """Slots needed for every sender to complete one one-hop broadcast.
+
+    Broadcast receivers are everything within the communication radius, so
+    two broadcasts conflict when the senders are within
+    ``comm_radius + interference_radius`` of each other (their coverage
+    disks can contain a common receiver).
+    """
+    senders = np.atleast_2d(np.asarray(sender_positions, dtype=np.float64))
+    n = senders.shape[0]
+    if n == 0:
+        return 0
+    limit = radio.comm_radius + radio.interference_radius
+    diff = senders[:, None, :] - senders[None, :, :]
+    dist = np.sqrt(np.sum(diff * diff, axis=2))
+    conflicts = dist <= limit
+    np.fill_diagonal(conflicts, False)
+    return int(_greedy_coloring(conflicts).max()) + 1
+
+
+def convergecast_slots(
+    paths: list[list[int]],
+    positions: np.ndarray,
+    radio: RadioModel,
+) -> int:
+    """Makespan (slots) to deliver every multi-hop message to its destination.
+
+    ``paths`` are node-id routes (CPF's measurement routes); each hop is one
+    unicast transmission whose only intended receiver is the next node.
+    List scheduling: each slot greedily packs precedence-ready transmissions
+    that are mutually conflict-free.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    hops: list[Transmission] = []
+    chain_of: list[tuple[int, int]] = []  # (message index, hop index)
+    for mi, path in enumerate(paths):
+        if len(path) < 2:
+            continue
+        for hi, (a, b) in enumerate(zip(path[:-1], path[1:])):
+            hops.append(
+                Transmission(
+                    sender_position=positions[a],
+                    receiver_positions=positions[b][None, :],
+                )
+            )
+            chain_of.append((mi, hi))
+    if not hops:
+        return 0
+
+    conflicts = conflict_matrix(hops, radio)
+    n = len(hops)
+    done = np.zeros(n, dtype=bool)
+    progress = {mi: 0 for mi, _ in chain_of}  # next hop index per message
+    slots = 0
+    remaining = n
+    while remaining:
+        slots += 1
+        scheduled: list[int] = []
+        # ready = next unfinished hop of each message, greedy by index
+        for v in range(n):
+            if done[v]:
+                continue
+            mi, hi = chain_of[v]
+            if progress[mi] != hi:
+                continue
+            if any(conflicts[v, u] for u in scheduled):
+                continue
+            scheduled.append(v)
+        if not scheduled:  # cannot happen with a correct ready set
+            raise RuntimeError("scheduler stalled")
+        for v in scheduled:
+            done[v] = True
+            mi, _ = chain_of[v]
+            progress[mi] += 1
+            remaining -= 1
+    return slots

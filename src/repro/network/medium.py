@@ -1,0 +1,311 @@
+"""The shared wireless medium: delivery, overhearing, and cost accounting.
+
+Semantics follow the paper's round-based simulation:
+
+* ``broadcast`` delivers a message to **every awake node within the
+  communication radius** of the sender — this is the *overhearing effect*
+  (§I, [14]) that CDPF exploits: any node in a predicted area hears all
+  particle broadcasts, so the total weight arrives as a side product.
+* ``unicast`` models one hop of a routed transmission; multi-hop forwarding
+  (CPF's convergecast) charges one message per hop, exactly as in the
+  ``D_m * H_i`` term of Table I.
+* Every transmission is logged into a :class:`CommAccounting` ledger, broken
+  down by iteration and by message category, so each figure's cost series is
+  read straight from the ledger.
+
+The medium never lets a node read another node's state — algorithms see only
+their inbox, which is what "completely distributed" means operationally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .messages import DataSizes, Message
+from .radio import RadioModel
+from .spatial import GridIndex
+
+__all__ = ["CommAccounting", "Medium", "Delivery"]
+
+
+@dataclass
+class CommAccounting:
+    """Ledger of transmissions: bytes and message counts, total and per key.
+
+    Keys are ``(iteration, category)``; convenience views aggregate either
+    axis.  ``record`` is the single entry point so totals can never drift
+    from the breakdowns.
+    """
+
+    sizes: DataSizes = field(default_factory=DataSizes)
+    total_bytes: int = 0
+    total_messages: int = 0
+    by_key: dict[tuple[int, str], list] = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+
+    def record(self, iteration: int, category: str, n_bytes: int, n_messages: int = 1) -> None:
+        if n_bytes < 0 or n_messages < 0:
+            raise ValueError("accounting entries must be non-negative")
+        self.total_bytes += n_bytes
+        self.total_messages += n_messages
+        entry = self.by_key[(iteration, category)]
+        entry[0] += n_bytes
+        entry[1] += n_messages
+
+    # -- aggregated views ------------------------------------------------
+
+    def bytes_by_iteration(self) -> dict[int, int]:
+        out: dict[int, int] = defaultdict(int)
+        for (it, _cat), (b, _m) in self.by_key.items():
+            out[it] += b
+        return dict(out)
+
+    def messages_by_iteration(self) -> dict[int, int]:
+        out: dict[int, int] = defaultdict(int)
+        for (it, _cat), (_b, m) in self.by_key.items():
+            out[it] += m
+        return dict(out)
+
+    def bytes_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, cat), (b, _m) in self.by_key.items():
+            out[cat] += b
+        return dict(out)
+
+    def messages_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, cat), (_b, m) in self.by_key.items():
+            out[cat] += m
+        return dict(out)
+
+    def merge(self, other: "CommAccounting") -> None:
+        self.total_bytes += other.total_bytes
+        self.total_messages += other.total_messages
+        for key, (b, m) in other.by_key.items():
+            entry = self.by_key[key]
+            entry[0] += b
+            entry[1] += m
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Result of one transmission: who heard it, and what it cost."""
+
+    receivers: np.ndarray  # node ids that received the message
+    n_bytes: int
+    n_messages: int
+
+
+class Medium:
+    """Round-based wireless medium over a static deployment.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node positions (the deployment).
+    radio:
+        :class:`RadioModel` with the communication radius.
+    sizes:
+        Byte model used to charge every message.
+    accounting:
+        Optional shared ledger; a fresh one is created if omitted.
+
+    Notes
+    -----
+    A separate :class:`GridIndex` with ``cell_size = comm_radius`` is built
+    here because broadcast queries use the communication radius while sensing
+    queries use the (smaller) sensing radius; each index is sized for its
+    query.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radio: RadioModel,
+        sizes: DataSizes | None = None,
+        accounting: CommAccounting | None = None,
+    ) -> None:
+        self.positions = np.asarray(positions, dtype=np.float64)
+        self.radio = radio
+        self.sizes = sizes if sizes is not None else DataSizes()
+        self.accounting = accounting if accounting is not None else CommAccounting(self.sizes)
+        self._index = GridIndex(self.positions, radio.comm_radius)
+        self._inboxes: dict[int, list[Message]] = defaultdict(list)
+        self._asleep: set[int] = set()
+        self._failed: set[int] = set()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.positions.shape[0]
+
+    def update_positions(self, positions: np.ndarray) -> None:
+        """Replace the physical node positions (mobile-WSN support).
+
+        Rebuilds the delivery index; node count must not change.  Believed
+        positions held by node programs are *not* touched — the gap between
+        the two is exactly the §V-D mobility uncertainty.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.shape != self.positions.shape:
+            raise ValueError(
+                f"position shape {positions.shape} != {self.positions.shape}"
+            )
+        self.positions = positions
+        self._index = GridIndex(positions, self.radio.comm_radius)
+
+    # -- node availability -------------------------------------------------
+
+    def set_asleep(self, node_ids) -> None:
+        """Replace the sleeping set: sleeping nodes neither hear nor transmit."""
+        self._asleep = set(int(i) for i in node_ids)
+
+    def wake(self, node_ids) -> None:
+        self._asleep -= set(int(i) for i in node_ids)
+
+    def fail_nodes(self, node_ids) -> None:
+        """Permanently remove nodes (crash faults for the robustness ablation)."""
+        self._failed |= set(int(i) for i in node_ids)
+
+    def is_available(self, node_id: int) -> bool:
+        return node_id not in self._asleep and node_id not in self._failed
+
+    # -- transmission primitives --------------------------------------------
+
+    def _check_sender(self, sender: int) -> None:
+        if not 0 <= sender < self.n_nodes:
+            raise ValueError(f"sender id {sender} out of range [0, {self.n_nodes})")
+        if sender in self._failed:
+            raise RuntimeError(f"node {sender} has failed and cannot transmit")
+        if sender in self._asleep:
+            raise RuntimeError(f"node {sender} is asleep and cannot transmit")
+
+    def broadcast(
+        self,
+        sender: int,
+        message: Message,
+        iteration: int,
+        *,
+        count_cost: bool = True,
+    ) -> Delivery:
+        """One-hop broadcast with overhearing.
+
+        Every *available* node within the communication radius of the sender
+        (excluding the sender itself) gets the message appended to its inbox.
+        The cost is one message of ``message.size_bytes`` regardless of the
+        number of receivers — broadcast is charged once, which is exactly why
+        overhearing-based aggregation is free.
+        """
+        self._check_sender(sender)
+        in_range = self._index.query_disk(self.positions[sender], self.radio.comm_radius)
+        receivers = np.array(
+            [i for i in in_range if i != sender and self.is_available(int(i))],
+            dtype=np.intp,
+        )
+        for r in receivers:
+            self._inboxes[int(r)].append(message)
+        n_bytes = message.size_bytes(self.sizes)
+        if count_cost:
+            self.accounting.record(iteration, message.category, n_bytes, 1)
+        return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
+
+    def unicast(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        iteration: int,
+        *,
+        count_cost: bool = True,
+    ) -> Delivery:
+        """Single-hop unicast.  The receiver must be in radio range and awake."""
+        self._check_sender(sender)
+        if not 0 <= receiver < self.n_nodes:
+            raise ValueError(f"receiver id {receiver} out of range")
+        if not self.radio.in_range(self.positions[sender], self.positions[receiver]):
+            raise RuntimeError(
+                f"unicast {sender}->{receiver} exceeds comm radius "
+                f"{self.radio.comm_radius}"
+            )
+        n_bytes = message.size_bytes(self.sizes)
+        if count_cost:
+            self.accounting.record(iteration, message.category, n_bytes, 1)
+        delivered = self.is_available(receiver)
+        if delivered:
+            self._inboxes[receiver].append(message)
+        recv = np.array([receiver] if delivered else [], dtype=np.intp)
+        return Delivery(receivers=recv, n_bytes=n_bytes, n_messages=1)
+
+    def unicast_path(
+        self,
+        path: list[int],
+        message: Message,
+        iteration: int,
+        *,
+        count_cost: bool = True,
+    ) -> Delivery:
+        """Multi-hop forwarding along ``path`` (a list of node ids).
+
+        Charges one transmission per hop (``len(path) - 1`` messages), the
+        convergecast cost model of CPF.  Only the final node receives the
+        message in its inbox; intermediate nodes are pure relays.
+        """
+        if len(path) < 2:
+            raise ValueError("a path needs at least a sender and a receiver")
+        n_bytes_each = message.size_bytes(self.sizes)
+        hops = len(path) - 1
+        for a, b in zip(path[:-1], path[1:]):
+            self._check_sender(a)
+            if not self.radio.in_range(self.positions[a], self.positions[b]):
+                raise RuntimeError(
+                    f"path hop {a}->{b} exceeds comm radius {self.radio.comm_radius}"
+                )
+        if count_cost:
+            self.accounting.record(iteration, message.category, n_bytes_each * hops, hops)
+        dest = int(path[-1])
+        delivered = self.is_available(dest)
+        if delivered:
+            self._inboxes[dest].append(message)
+        recv = np.array([dest] if delivered else [], dtype=np.intp)
+        return Delivery(receivers=recv, n_bytes=n_bytes_each * hops, n_messages=hops)
+
+    def global_broadcast(self, message: Message, iteration: int, sender: int = -1) -> Delivery:
+        """SDPF's global transceiver: reaches every available node in ONE message.
+
+        The paper assumes the transceiver "is one hop away from every node in
+        the network"; its broadcast therefore costs a single message.
+        ``sender = -1`` denotes the transceiver, which is not a field node.
+        """
+        receivers = np.array(
+            [i for i in range(self.n_nodes) if self.is_available(i)], dtype=np.intp
+        )
+        for r in receivers:
+            self._inboxes[int(r)].append(message)
+        n_bytes = message.size_bytes(self.sizes)
+        self.accounting.record(iteration, message.category, n_bytes, 1)
+        return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
+
+    def charge_out_of_band(self, iteration: int, category: str, n_bytes: int, n_messages: int) -> None:
+        """Charge traffic that does not need inbox delivery (e.g. node->transceiver
+        reports, where the transceiver is simulated by the harness)."""
+        self.accounting.record(iteration, category, n_bytes, n_messages)
+
+    # -- inboxes ------------------------------------------------------------
+
+    def collect(self, node_id: int) -> list[Message]:
+        """Drain and return the node's inbox (messages in arrival order)."""
+        msgs = self._inboxes.get(node_id, [])
+        if msgs:
+            self._inboxes[node_id] = []
+        return msgs
+
+    def peek(self, node_id: int) -> list[Message]:
+        return list(self._inboxes.get(node_id, ()))
+
+    def pending_nodes(self) -> list[int]:
+        """Ids of nodes with a non-empty inbox."""
+        return [i for i, msgs in self._inboxes.items() if msgs]
+
+    def clear_inboxes(self) -> None:
+        self._inboxes.clear()

@@ -1,0 +1,301 @@
+"""Message types and the paper's byte-cost model.
+
+The evaluation (§VI-B) assumes a 32-bit platform where a particle state is
+four integers and a measurement or a weight is one integer each:
+
+    Dp = 16 bytes   (particle: x, y, x', y')
+    Dm = 4 bytes    (one measurement)
+    Dw = 4 bytes    (one weight)
+
+Every message class computes its own wire size from a :class:`DataSizes`
+instance, so Table I's analytic formulas and the simulator's measured
+accounting share a single source of truth.  ``header`` defaults to 0 to match
+the paper's accounting (which ignores MAC/PHY framing); the energy ablation
+sets it non-zero to show why *message count* dominates *byte count* in
+duty-cycled networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+import numpy as np
+
+__all__ = [
+    "DataSizes",
+    "Message",
+    "ParticleMessage",
+    "MeasurementMessage",
+    "WeightReportMessage",
+    "TotalWeightMessage",
+    "QueryMessage",
+    "AckMessage",
+    "QuantizedMeasurementMessage",
+    "FilterStateMessage",
+    "WakeupMessage",
+    "EstimateReportMessage",
+]
+
+
+@dataclass(frozen=True)
+class DataSizes:
+    """Per-field wire sizes in bytes (paper defaults for a 32-bit platform)."""
+
+    particle: int = 16  # Dp
+    measurement: int = 4  # Dm
+    weight: int = 4  # Dw
+    header: int = 0  # per-message framing overhead (0 = paper's accounting)
+
+    def __post_init__(self) -> None:
+        for name in ("particle", "measurement", "weight", "header"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} size must be non-negative")
+
+
+PAPER_SIZES = DataSizes()
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for everything that travels over the radio.
+
+    Subclasses override :meth:`payload_bytes`; the total wire size adds the
+    (configurable) header.  Messages are immutable so a broadcast can hand
+    the *same* object to every receiver without aliasing hazards.
+    """
+
+    category: ClassVar[str] = "generic"
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        raise NotImplementedError
+
+    def size_bytes(self, sizes: DataSizes) -> int:
+        return sizes.header + self.payload_bytes(sizes)
+
+
+def _as_readonly(a: np.ndarray, dtype=np.float64) -> np.ndarray:
+    out = np.array(a, dtype=dtype, copy=True)
+    out.setflags(write=False)
+    return out
+
+
+@dataclass(frozen=True)
+class ParticleMessage(Message):
+    """A batch of particles plus their weights, broadcast one hop.
+
+    This is the *propagation* message of SDPF/CDPF/CDPF-NE.  Its payload is
+    ``n * (Dp + Dw)``: the paper's propagation cost term.
+
+    Attributes
+    ----------
+    states:
+        ``(n, d)`` particle states (d = 4 for the CV model).
+    weights:
+        ``(n,)`` unnormalized weights.
+    predicted_position:
+        The sender's predicted target position (carried so recorders can
+        evaluate the linear probability model consistently); charged at one
+        particle's state cost only when ``carry_prediction`` is True.
+    """
+
+    category: ClassVar[str] = "propagation"
+
+    sender: int
+    iteration: int
+    states: np.ndarray
+    weights: np.ndarray
+    predicted_position: np.ndarray | None = None
+    carry_prediction: bool = False
+
+    def __post_init__(self) -> None:
+        states = np.atleast_2d(np.asarray(self.states, dtype=np.float64))
+        weights = np.atleast_1d(np.asarray(self.weights, dtype=np.float64))
+        if states.shape[0] != weights.shape[0]:
+            raise ValueError(
+                f"states/weights length mismatch: {states.shape[0]} vs {weights.shape[0]}"
+            )
+        if (weights < 0).any():
+            raise ValueError("particle weights must be non-negative")
+        object.__setattr__(self, "states", _as_readonly(states))
+        object.__setattr__(self, "weights", _as_readonly(weights))
+        if self.predicted_position is not None:
+            object.__setattr__(
+                self, "predicted_position", _as_readonly(self.predicted_position)
+            )
+
+    @property
+    def n_particles(self) -> int:
+        return self.states.shape[0]
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        extra = sizes.particle if (self.carry_prediction and self.predicted_position is not None) else 0
+        return self.n_particles * (sizes.particle + sizes.weight) + extra
+
+
+@dataclass(frozen=True)
+class MeasurementMessage(Message):
+    """A single scalar measurement shared locally (or convergecast to a sink)."""
+
+    category: ClassVar[str] = "measurement"
+
+    sender: int
+    iteration: int
+    value: float
+    sensor_position: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.value):
+            raise ValueError(f"measurement must be finite, got {self.value}")
+        if self.sensor_position is not None:
+            object.__setattr__(self, "sensor_position", _as_readonly(self.sensor_position))
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.measurement
+
+
+@dataclass(frozen=True)
+class WeightReportMessage(Message):
+    """SDPF: a node reports its particle weights to the global transceiver."""
+
+    category: ClassVar[str] = "weight_aggregation"
+
+    sender: int
+    iteration: int
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        weights = np.atleast_1d(np.asarray(self.weights, dtype=np.float64))
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        object.__setattr__(self, "weights", _as_readonly(weights))
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return self.weights.shape[0] * sizes.weight
+
+
+@dataclass(frozen=True)
+class TotalWeightMessage(Message):
+    """SDPF: the global transceiver broadcasts the aggregated total weight."""
+
+    category: ClassVar[str] = "weight_aggregation"
+
+    sender: int
+    iteration: int
+    total_weight: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.total_weight) and self.total_weight >= 0):
+            raise ValueError(f"total weight must be finite and >= 0, got {self.total_weight}")
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.weight
+
+
+@dataclass(frozen=True)
+class QueryMessage(Message):
+    """SDPF: transceiver's query in the three-way handshake (weight-sized)."""
+
+    category: ClassVar[str] = "weight_aggregation"
+
+    sender: int
+    iteration: int
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.weight
+
+
+@dataclass(frozen=True)
+class AckMessage(Message):
+    """Generic acknowledgement (weight-sized, header-dominated)."""
+
+    category: ClassVar[str] = "control"
+
+    sender: int
+    iteration: int
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.weight
+
+
+@dataclass(frozen=True)
+class QuantizedMeasurementMessage(Message):
+    """Compression-based DPF (Coates 2004): a measurement quantized to b bits."""
+
+    category: ClassVar[str] = "measurement"
+
+    sender: int
+    iteration: int
+    code: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"bits must be positive, got {self.bits}")
+        if not (0 <= self.code < 2**self.bits):
+            raise ValueError(f"code {self.code} out of range for {self.bits} bits")
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return max(1, (self.bits + 7) // 8)
+
+
+@dataclass(frozen=True)
+class FilterStateMessage(Message):
+    """Compression-based DPF: a parametric posterior summary forwarded between leaders.
+
+    ``n_params`` scalar parameters (e.g. GMM means/covs/weights), each charged
+    one weight-sized integer, matching Coates' "P bytes per message" model.
+    """
+
+    category: ClassVar[str] = "state_forward"
+
+    sender: int
+    iteration: int
+    params: np.ndarray
+
+    def __post_init__(self) -> None:
+        params = np.atleast_1d(np.asarray(self.params, dtype=np.float64))
+        if not np.isfinite(params).all():
+            raise ValueError("filter-state params must be finite")
+        object.__setattr__(self, "params", _as_readonly(params))
+
+    @property
+    def n_params(self) -> int:
+        return self.params.shape[0]
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return self.n_params * sizes.weight
+
+
+@dataclass(frozen=True)
+class WakeupMessage(Message):
+    """TDSS-style proactive wake-up beacon toward the predicted area."""
+
+    category: ClassVar[str] = "control"
+
+    sender: int
+    iteration: int
+    predicted_position: np.ndarray = field(default_factory=lambda: np.zeros(2))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicted_position", _as_readonly(self.predicted_position))
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.measurement * 2  # an (x, y) coordinate pair
+
+
+@dataclass(frozen=True)
+class EstimateReportMessage(Message):
+    """Optional per-iteration estimate report toward the sink (not counted by default)."""
+
+    category: ClassVar[str] = "report"
+
+    sender: int
+    iteration: int
+    estimate: np.ndarray = field(default_factory=lambda: np.zeros(2))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "estimate", _as_readonly(self.estimate))
+
+    def payload_bytes(self, sizes: DataSizes) -> int:
+        return sizes.measurement * 2

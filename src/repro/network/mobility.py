@@ -1,0 +1,63 @@
+"""Node mobility models (§V-D's "mobile sensor nodes" uncertain factor).
+
+The paper assumes static nodes and notes that CDPF-NE "needs to be applied
+carefully" when nodes move.  These models drift the *physical* positions
+while node programs keep computing with their stale *believed* positions —
+exactly the gap mobility opens up in a deployment whose localization is
+refreshed only occasionally.
+
+All models are pure: ``advance(positions, dt, rng) -> new positions``, so the
+harness decides when to re-localize (copy physical back into believed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RandomDriftMobility", "GroupDriftMobility"]
+
+
+@dataclass(frozen=True)
+class RandomDriftMobility:
+    """Independent Brownian drift: each node moves N(0, (speed_std * dt)^2) per step.
+
+    ``speed_std`` is in m/s; the paper's "rarely move fast" regime is
+    ~0.01-0.1 m/s (vegetation sway, buoy drift), the stress regime >= 0.5.
+    """
+
+    speed_std: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.speed_std < 0:
+            raise ValueError(f"speed_std must be non-negative, got {self.speed_std}")
+
+    def advance(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        positions = np.asarray(positions, dtype=np.float64)
+        return positions + rng.normal(0.0, self.speed_std * dt, size=positions.shape)
+
+
+@dataclass(frozen=True)
+class GroupDriftMobility:
+    """Coherent drift: the whole field translates with a common velocity.
+
+    Models platform motion (a drifting sensor raft).  The *relative*
+    geometry stays intact, so distance-based mechanisms (contributions,
+    division) survive while absolute estimates shear — a diagnostic
+    contrast to :class:`RandomDriftMobility`.
+    """
+
+    velocity: tuple[float, float] = (0.1, 0.0)
+
+    def advance(
+        self, positions: np.ndarray, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        positions = np.asarray(positions, dtype=np.float64)
+        return positions + np.asarray(self.velocity, dtype=np.float64) * dt

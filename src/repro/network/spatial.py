@@ -1,0 +1,164 @@
+"""Uniform-grid spatial index for fast range queries over static node positions.
+
+The WSN simulator needs two query primitives, both in tight loops:
+
+* ``query_disk(center, radius)`` — all nodes within ``radius`` of a point
+  (used for sensing, one-hop broadcast delivery, and neighborhood discovery).
+* ``query_segment(p0, p1, radius)`` — all nodes within ``radius`` of a line
+  segment (used by the *instant detection* model, where a node detects the
+  target whenever the trajectory intersects its sensing disk).
+
+Deployments are static (paper §II-C1: node positions are known a priori), so
+the index is built once per deployment and queried many times.  A uniform
+grid with cell size equal to the query radius gives O(k) queries where k is
+the number of candidates in the 3x3 cell neighborhood; at the paper's maximum
+density (40 nodes / 100 m^2, 16 000 nodes on a 200 m field) a 10 m query
+touches ~360 candidates, all filtered with one vectorized distance check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Immutable uniform-grid index over a set of 2-D points.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` float array of point coordinates.  The array is *not*
+        copied; callers must not mutate it after index construction.
+    cell_size:
+        Grid cell edge length.  Choose close to the dominant query radius:
+        cells much smaller than the radius inflate the number of cells
+        scanned, cells much larger inflate the candidate set.
+
+    Notes
+    -----
+    The index stores points in CSR-like form (``_order`` holds point indices
+    grouped by cell, ``_start`` holds per-cell offsets), so a query gathers
+    candidates with pure slicing — no per-point Python work.
+    """
+
+    def __init__(self, positions: np.ndarray, cell_size: float) -> None:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
+        if not np.isfinite(positions).all():
+            raise ValueError("positions must be finite")
+        if cell_size <= 0.0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+
+        self.positions = positions
+        self.cell_size = float(cell_size)
+        n = positions.shape[0]
+
+        if n == 0:
+            self._origin = np.zeros(2)
+            self._shape = (1, 1)
+            self._start = np.zeros(2, dtype=np.intp)
+            self._order = np.zeros(0, dtype=np.intp)
+            return
+
+        self._origin = positions.min(axis=0)
+        extent = positions.max(axis=0) - self._origin
+        nx = int(extent[0] // cell_size) + 1
+        ny = int(extent[1] // cell_size) + 1
+        self._shape = (nx, ny)
+
+        cx = ((positions[:, 0] - self._origin[0]) // cell_size).astype(np.intp)
+        cy = ((positions[:, 1] - self._origin[1]) // cell_size).astype(np.intp)
+        flat = cx * ny + cy
+
+        order = np.argsort(flat, kind="stable")
+        counts = np.bincount(flat, minlength=nx * ny)
+        start = np.zeros(nx * ny + 1, dtype=np.intp)
+        np.cumsum(counts, out=start[1:])
+        self._start = start
+        self._order = order
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    # ------------------------------------------------------------------
+    # candidate gathering
+    # ------------------------------------------------------------------
+
+    def _cells_in_box(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Flat indices of grid cells overlapping the axis-aligned box [lo, hi]."""
+        nx, ny = self._shape
+        cx0 = max(int((lo[0] - self._origin[0]) // self.cell_size), 0)
+        cy0 = max(int((lo[1] - self._origin[1]) // self.cell_size), 0)
+        cx1 = min(int((hi[0] - self._origin[0]) // self.cell_size), nx - 1)
+        cy1 = min(int((hi[1] - self._origin[1]) // self.cell_size), ny - 1)
+        if cx1 < cx0 or cy1 < cy0:
+            return np.zeros(0, dtype=np.intp)
+        xs = np.arange(cx0, cx1 + 1, dtype=np.intp)
+        ys = np.arange(cy0, cy1 + 1, dtype=np.intp)
+        return (xs[:, None] * ny + ys[None, :]).ravel()
+
+    def _candidates(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        cells = self._cells_in_box(lo, hi)
+        if cells.size == 0:
+            return np.zeros(0, dtype=np.intp)
+        chunks = [self._order[self._start[c] : self._start[c + 1]] for c in cells]
+        return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query_disk(self, center, radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of ``center`` (inclusive)."""
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        center = np.asarray(center, dtype=np.float64)
+        r = np.array([radius, radius])
+        cand = self._candidates(center - r, center + r)
+        if cand.size == 0:
+            return cand
+        d2 = np.sum((self.positions[cand] - center) ** 2, axis=1)
+        return cand[d2 <= radius * radius]
+
+    def query_disk_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
+        """Union of ``query_disk`` over several centers, deduplicated and sorted."""
+        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        hits = [self.query_disk(c, radius) for c in centers]
+        if not hits:
+            return np.zeros(0, dtype=np.intp)
+        return np.unique(np.concatenate(hits))
+
+    def query_segment(self, p0, p1, radius: float) -> np.ndarray:
+        """Indices of points within ``radius`` of the segment ``p0 -> p1``.
+
+        This is the geometric core of the instant detection model: a sensing
+        disk of radius ``r`` around a node intersects the trajectory segment
+        iff the node lies within ``r`` of the segment.
+        """
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        p0 = np.asarray(p0, dtype=np.float64)
+        p1 = np.asarray(p1, dtype=np.float64)
+        lo = np.minimum(p0, p1) - radius
+        hi = np.maximum(p0, p1) + radius
+        cand = self._candidates(lo, hi)
+        if cand.size == 0:
+            return cand
+        d = segment_distances(self.positions[cand], p0, p1)
+        return cand[d <= radius]
+
+
+def segment_distances(points: np.ndarray, p0: np.ndarray, p1: np.ndarray) -> np.ndarray:
+    """Vectorized Euclidean distance from each point to the segment p0->p1."""
+    seg = p1 - p0
+    seg_len2 = float(seg @ seg)
+    rel = points - p0
+    if seg_len2 == 0.0:
+        return np.sqrt(np.sum(rel * rel, axis=1))
+    t = np.clip((rel @ seg) / seg_len2, 0.0, 1.0)
+    closest = p0 + t[:, None] * seg
+    diff = points - closest
+    return np.sqrt(np.sum(diff * diff, axis=1))

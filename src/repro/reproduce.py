@@ -1,0 +1,104 @@
+"""One-shot reproduction driver: ``python -m repro.reproduce``.
+
+Regenerates Table I, Figure 4, Figures 5/6 and the headline-claim comparison
+in one run and prints everything as plain-text tables (the same renderers the
+benchmarks use).  Options:
+
+    python -m repro.reproduce --seeds 10 --densities 5,10,15,20,25,30,35,40
+    python -m repro.reproduce --quick          # 3 seeds, 3 densities
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10, help="runs per (density, algorithm)")
+    parser.add_argument(
+        "--densities",
+        type=str,
+        default="5,10,15,20,25,30,35,40",
+        help="comma-separated node densities (nodes / 100 m^2)",
+    )
+    parser.add_argument("--iterations", type=int, default=10, help="filter iterations per run")
+    parser.add_argument("--quick", action="store_true", help="3 seeds x 3 densities")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.seeds, args.densities = 3, "5,20,40"
+    densities = tuple(float(x) for x in args.densities.split(","))
+
+    from .experiments.costmodel import CostModel, table1_rows
+    from .experiments.figures import figure4_estimation_example
+    from .experiments.report import render_series, render_table
+    from .experiments.summary import extract_headline_claims
+    from .experiments.sweep import density_sweep
+    from .network.messages import DataSizes
+
+    t0 = time.time()
+
+    # ---- Table I -----------------------------------------------------------
+    print(render_table(["Method", "Per-iteration cost"], list(table1_rows()), title="Table I (symbolic)"))
+    cm = CostModel(DataSizes(), n_detectors=55, n_particles=16, hops=2.5)
+    print()
+    print(
+        render_table(
+            ["Method", "bytes/iteration"],
+            list(cm.as_dict().items()),
+            title="Table I evaluated (N=55, Ns=16, H=2.5)",
+        )
+    )
+
+    # ---- Figure 4 -----------------------------------------------------------
+    fig4 = figure4_estimation_example(density=20.0, n_iterations=args.iterations)
+    print(
+        f"\nFigure 4: CDPF RMSE {fig4.cdpf_rmse:.2f} m, CDPF-NE RMSE "
+        f"{fig4.cdpf_ne_rmse:.2f} m (density 20; see benchmarks for the full tracks)"
+    )
+
+    # ---- Figures 5 + 6 ------------------------------------------------------
+    print(f"\nRunning the density sweep: {len(densities)} densities x 4 algorithms x "
+          f"{args.seeds} seeds ...", flush=True)
+    sweep = density_sweep(densities, n_seeds=args.seeds, n_iterations=args.iterations)
+    print()
+    print(
+        render_series(
+            "density",
+            sweep.densities,
+            {n: sweep.series(n, "total_bytes") for n in sweep.algorithms},
+            title="Figure 5: communication cost (bytes)",
+            precision=0,
+        )
+    )
+    print()
+    print(
+        render_series(
+            "density",
+            sweep.densities,
+            {n: sweep.series(n, "rmse") for n in sweep.algorithms},
+            title="Figure 6: estimation error (RMSE, m)",
+        )
+    )
+
+    # ---- headline claims -----------------------------------------------------
+    claims = extract_headline_claims(sweep)
+    print()
+    print(
+        render_table(
+            ["Claim", "Paper", "Measured"],
+            [list(r) for r in claims.as_rows()],
+            title="Headline claims",
+        )
+    )
+    print(f"\nDone in {time.time() - t0:.0f} s.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

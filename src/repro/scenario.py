@@ -1,0 +1,242 @@
+"""Shared scenario definition: everything a tracker run needs, in one place.
+
+A :class:`Scenario` bundles the deployment, radio, sensing, measurement and
+dynamic-system configuration of one tracking run.  Trackers receive a
+scenario plus a trajectory and drive their own communication through a
+:class:`~repro.network.medium.Medium`; the harness owns ground truth and the
+trackers never touch it (the "completely distributed" discipline).
+
+The default values reproduce §VI-A of the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .models.constant_velocity import ConstantVelocityModel
+from .models.measurement import BearingMeasurement
+from .models.trajectory import Trajectory
+from .network.deployment import Deployment
+from .network.medium import CommAccounting, Medium
+from .network.messages import DataSizes
+from .network.radio import RadioModel
+from .network.sensing import DetectionModel, InstantDetection
+from .network.topology import NeighborTables
+
+__all__ = ["Scenario", "Tracker", "StepContext", "make_paper_scenario"]
+
+
+@dataclass
+class Scenario:
+    """One tracking run's static configuration.
+
+    Attributes
+    ----------
+    deployment:
+        Static node positions (+ spatial index).
+    radio:
+        Communication radius / interference model.
+    detection:
+        Which nodes detect the target each interval.
+    measurement:
+        The per-sensor measurement model (bearing by default).
+    dynamics:
+        The CV transition model at the filter period.
+    sizes:
+        Byte-cost model for all messages.
+    sink_position:
+        Where CPF's sink sits (paper: the field center).
+    prior_velocity / prior_velocity_std:
+        Velocity prior for newly created particles (the target's nominal
+        entry velocity in the paper's scenario).
+    prior_position_std:
+        Position prior spread used by the centralized filter at track birth.
+    """
+
+    deployment: Deployment
+    radio: RadioModel = field(default_factory=RadioModel)
+    detection: DetectionModel = field(default_factory=InstantDetection)
+    measurement: BearingMeasurement = field(default_factory=BearingMeasurement)
+    dynamics: ConstantVelocityModel = field(default_factory=ConstantVelocityModel)
+    sizes: DataSizes = field(default_factory=DataSizes)
+    sink_position: tuple[float, float] = (100.0, 100.0)
+    prior_velocity: tuple[float, float] = (3.0, 0.0)
+    prior_velocity_std: float = 0.5
+    prior_position_std: float = 5.0
+    #: When True, detection is evaluated against the whole inter-iteration
+    #: sub-step path (a node detects if the trajectory crossed its disk at any
+    #: point).  When False (default), detection is evaluated at the filter
+    #: instant only, which keeps the detector set consistent with the
+    #: measurements (all bearings refer to the instant-k target position).
+    detect_on_path: bool = False
+    #: Standard deviation of a *common-mode* bearing error shared by every
+    #: sensor within one iteration (calibration / propagation effects).  It
+    #: caps the information gain of fusing many bearings of the same target:
+    #: sigma_eff^2 = sigma_n^2 / M + bias^2.  Without it, the fused bearing
+    #: sharpens as 1/sqrt(M) and estimation error would keep falling with
+    #: density instead of flattening as in the paper's Fig. 6.
+    measurement_bias_std: float = 0.025
+    #: Physical node positions when they differ from the *believed* positions
+    #: in ``deployment`` (localization error: the paper assumes positions
+    #: "known a priori via GPS", §II-C1).  When set, radio delivery and
+    #: sensing use the physical geometry while every node-side computation
+    #: (neighbor tables, contributions, likelihoods) keeps using the believed
+    #: one.  ``None`` means believed == physical (the paper's assumption).
+    physical: Deployment | None = None
+
+    def __post_init__(self) -> None:
+        self.radio.validate_against_sensing(self.detection.sensing_radius)
+        if self.prior_velocity_std < 0 or self.prior_position_std < 0:
+            raise ValueError("prior standard deviations must be non-negative")
+
+    @property
+    def sensing_radius(self) -> float:
+        return self.detection.sensing_radius
+
+    @property
+    def physical_deployment(self) -> Deployment:
+        """Where the nodes actually are (== ``deployment`` with perfect localization)."""
+        return self.physical if self.physical is not None else self.deployment
+
+    def make_medium(self, accounting: CommAccounting | None = None) -> Medium:
+        # radio delivery follows PHYSICAL geometry
+        return Medium(
+            self.physical_deployment.positions, self.radio, self.sizes, accounting
+        )
+
+    def with_localization_error(
+        self, std: float, rng: np.random.Generator
+    ) -> "Scenario":
+        """A variant whose *believed* positions carry i.i.d. Gaussian error.
+
+        The returned scenario's ``deployment`` holds the noisy positions the
+        nodes (and every tracker computation) believe, while ``physical``
+        keeps the true geometry used by the radio and the sensing layer —
+        the standard localization-error stress for the §II-C1 assumption.
+        """
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        from .network.deployment import Deployment as _Deployment
+        from .network.spatial import GridIndex as _GridIndex
+
+        true = self.physical_deployment
+        believed = true.positions + rng.normal(0.0, std, size=true.positions.shape)
+        believed_dep = _Deployment(
+            positions=believed,
+            width=true.width,
+            height=true.height,
+            index=_GridIndex(believed, true.index.cell_size),
+        )
+        return replace(self, deployment=believed_dep, physical=true)
+
+    def make_neighbor_tables(self) -> NeighborTables:
+        return NeighborTables(self.deployment.positions, self.radio)
+
+    def sink_node(self) -> int:
+        """Id of the deployed node closest to the nominal sink position."""
+        pos = self.deployment.positions
+        d2 = np.sum((pos - np.asarray(self.sink_position)) ** 2, axis=1)
+        return int(np.argmin(d2))
+
+    def with_(self, **changes) -> "Scenario":
+        """Functional update (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Per-iteration inputs handed to a tracker by the runner.
+
+    ``detectors`` and ``measurements`` are what the *sensing layer* produced;
+    handing them to the tracker models each node learning its own detection
+    locally.  Trackers must not receive ground truth.
+    """
+
+    iteration: int
+    detectors: np.ndarray  # node ids that detected the target this interval
+    measurements: dict[int, float]  # node id -> measured value
+
+
+@runtime_checkable
+class Tracker(Protocol):
+    """The interface every tracking algorithm implements."""
+
+    name: str
+
+    def step(self, ctx: StepContext) -> np.ndarray | None:
+        """Advance one filter iteration.
+
+        Returns the position estimate this iteration made available, or
+        ``None`` if the algorithm has no estimate yet (track not initialized,
+        or — for CDPF — the one-iteration correction latency).
+        """
+        ...
+
+    def estimate_iteration(self) -> int | None:
+        """Which iteration the last returned estimate refers to."""
+        ...
+
+
+def make_paper_scenario(
+    density_per_100m2: float = 20.0,
+    *,
+    rng: np.random.Generator,
+    width: float = 200.0,
+    height: float = 200.0,
+    sensing_radius: float = 10.0,
+    comm_radius: float = 30.0,
+    sigma_n: float = 0.05,
+    sigma_process: float = 0.05,
+    dt: float = 5.0,
+) -> Scenario:
+    """The §VI-A scenario at a given node density."""
+    from .network.deployment import density_to_count, uniform_deployment
+
+    n = density_to_count(density_per_100m2, width, height)
+    deployment = uniform_deployment(n, width, height, rng=rng, index_cell=sensing_radius)
+    return Scenario(
+        deployment=deployment,
+        radio=RadioModel(comm_radius=comm_radius),
+        detection=InstantDetection(sensing_radius=sensing_radius),
+        # Eq. 5's bearing measurement, referenced to each sensor's own
+        # position (see DESIGN.md: origin-referenced bearings from co-located
+        # sensors carry no range information and no tracker could reach the
+        # paper's meter-level errors with them).
+        measurement=BearingMeasurement(noise_std=sigma_n, reference="node"),
+        dynamics=ConstantVelocityModel(dt=dt, sigma_x=sigma_process, sigma_y=sigma_process),
+        sink_position=(width / 2.0, height / 2.0),
+    )
+
+
+def make_trajectory(
+    n_iterations: int = 10,
+    *,
+    rng: np.random.Generator,
+    start: tuple[float, float] = (0.0, 100.0),
+    speed: float = 3.0,
+    dt: float = 5.0,
+    substep_dt: float = 1.0,
+) -> Trajectory:
+    """The §VI-A target at the matching filter period.
+
+    The paper's "50 steps" are the 1 s target sub-steps (the 150 m path of
+    Fig. 4); with the 5 s filter period that is 10 filter iterations, which is
+    what ``n_iterations`` counts here.
+    """
+    from .models.trajectory import random_turn_trajectory
+
+    steps = int(round(dt / substep_dt))
+    return random_turn_trajectory(
+        n_iterations,
+        start=start,
+        speed=speed,
+        substep_dt=substep_dt,
+        steps_per_iteration=steps,
+        rng=rng,
+    )
+
+
+__all__.append("make_trajectory")

@@ -1,0 +1,91 @@
+"""CPF baseline: convergecast accounting, fusion, tracking."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpf import CPFTracker, fuse_origin_bearings
+from repro.experiments.runner import generate_step_context, run_tracking
+from repro.scenario import StepContext
+
+
+def drive(scenario, trajectory, **kwargs):
+    tr = CPFTracker(scenario, rng=np.random.default_rng(1), **kwargs)
+    res = run_tracking(tr, scenario, trajectory, rng=np.random.default_rng(7))
+    return tr, res
+
+
+class TestFusion:
+    def test_mean_of_identical_bearings(self):
+        z, sig = fuse_origin_bearings(np.array([0.5, 0.5, 0.5]), 0.06, 0.0)
+        assert z == pytest.approx(0.5)
+        assert sig == pytest.approx(0.06 / np.sqrt(3))
+
+    def test_circular_mean_handles_wraparound(self):
+        z, _ = fuse_origin_bearings(np.array([np.pi - 0.01, -np.pi + 0.01]), 0.05, 0.0)
+        assert abs(abs(z) - np.pi) < 0.02  # near +-pi, NOT near 0
+
+    def test_bias_floor(self):
+        _, sig = fuse_origin_bearings(np.full(10_000, 0.1), 0.05, 0.025)
+        assert sig == pytest.approx(0.025, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fuse_origin_bearings(np.array([]), 0.05, 0.0)
+
+
+class TestTracking:
+    def test_tracks_straight_crossing(self, small_scenario, small_trajectory):
+        _, res = drive(small_scenario, small_trajectory)
+        assert res.error.coverage == 1.0
+        assert res.rmse < 2.0
+
+    def test_estimate_refers_to_current_iteration(self, small_scenario, small_trajectory):
+        tr = CPFTracker(small_scenario, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(3)
+        tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
+        assert tr.estimate_iteration() == 0
+
+    def test_no_detection_before_birth_returns_none(self, small_scenario):
+        tr = CPFTracker(small_scenario, rng=np.random.default_rng(1))
+        ctx = StepContext(iteration=0, detectors=np.array([], dtype=int), measurements={})
+        assert tr.step(ctx) is None
+
+    def test_predict_only_through_detection_gap(self, small_scenario, small_trajectory):
+        tr = CPFTracker(small_scenario, rng=np.random.default_rng(1))
+        rng = np.random.default_rng(5)
+        tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
+        empty = StepContext(iteration=1, detectors=np.array([], dtype=int), measurements={})
+        est = tr.step(empty)
+        assert est is not None  # coasting on the motion model
+
+    def test_invalid_inflation(self, small_scenario):
+        with pytest.raises(ValueError):
+            CPFTracker(small_scenario, rng=np.random.default_rng(1), process_noise_inflation=0)
+
+
+class TestAccounting:
+    def test_bytes_equal_dm_times_hops(self, small_scenario, small_trajectory):
+        """Table I's CPF row: total bytes == sum over messages of Dm * H_i."""
+        tr, res = drive(small_scenario, small_trajectory)
+        dm = small_scenario.sizes.measurement
+        assert res.total_bytes == dm * sum(tr.hop_counts)
+        assert res.total_messages == sum(tr.hop_counts)
+
+    def test_only_measurement_category(self, small_scenario, small_trajectory):
+        _, res = drive(small_scenario, small_trajectory)
+        assert set(res.bytes_by_category) == {"measurement"}
+
+    def test_sink_own_measurement_free(self, small_scenario, small_trajectory):
+        """The sink's own detection costs no radio message."""
+        tr = CPFTracker(small_scenario, rng=np.random.default_rng(1))
+        sink = tr.sink
+        z = 0.3
+        ctx = StepContext(iteration=0, detectors=np.array([sink]), measurements={sink: z})
+        tr.step(ctx)
+        assert tr.accounting.total_messages == 0
+
+    def test_cost_scales_with_detector_count(self, small_scenario, small_trajectory):
+        tr, res = drive(small_scenario, small_trajectory)
+        # every non-sink detector contributes at least one hop
+        n_routed = len(tr.hop_counts)
+        assert res.total_messages >= n_routed

@@ -1,0 +1,88 @@
+"""Cross-tracker contract tests: every tracker honors the same behavioral rules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpf import CPFTracker
+from repro.baselines.dpf_compression import DPFTracker
+from repro.baselines.sdpf import SDPFTracker
+from repro.core.cdpf import CDPFTracker
+from repro.experiments.runner import generate_step_context, run_tracking
+from repro.scenario import StepContext
+
+FACTORIES = {
+    "CPF": lambda s, seed: CPFTracker(s, rng=np.random.default_rng(seed)),
+    "SDPF": lambda s, seed: SDPFTracker(s, rng=np.random.default_rng(seed)),
+    "CDPF": lambda s, seed: CDPFTracker(s, rng=np.random.default_rng(seed)),
+    "CDPF-NE": lambda s, seed: CDPFTracker(
+        s, rng=np.random.default_rng(seed), neighborhood_estimation=True
+    ),
+    "DPF-gmm": lambda s, seed: DPFTracker(s, rng=np.random.default_rng(seed)),
+}
+
+
+@pytest.mark.parametrize("name", list(FACTORIES))
+class TestTrackerContracts:
+    def test_no_detections_ever_is_harmless(self, name, small_scenario):
+        """A tracker fed only empty iterations never crashes or spends bytes."""
+        tracker = FACTORIES[name](small_scenario, 1)
+        for k in range(4):
+            ctx = StepContext(iteration=k, detectors=np.array([], dtype=int), measurements={})
+            assert tracker.step(ctx) is None
+        assert tracker.accounting.total_bytes == 0
+
+    def test_estimates_reference_valid_iterations(self, name, small_scenario, small_trajectory):
+        tracker = FACTORIES[name](small_scenario, 1)
+        rng = np.random.default_rng(7)
+        for k in range(small_trajectory.n_iterations + 1):
+            est = tracker.step(
+                generate_step_context(small_scenario, small_trajectory, k, rng)
+            )
+            if est is not None:
+                ref = tracker.estimate_iteration()
+                assert ref is not None
+                assert 0 <= ref <= k
+
+    def test_estimates_inside_field_neighborhood(self, name, small_scenario, small_trajectory):
+        """Estimates stay within (a margin of) the deployment field."""
+        tracker = FACTORIES[name](small_scenario, 1)
+        res = run_tracking(
+            tracker, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+        )
+        for est in res.estimates.values():
+            assert -20 <= est[0] <= small_scenario.deployment.width + 20
+            assert -20 <= est[1] <= small_scenario.deployment.height + 20
+
+    def test_deterministic_given_seeds(self, name, small_scenario, small_trajectory):
+        """Same seeds, same world => identical estimates and identical ledger."""
+        def run():
+            tracker = FACTORIES[name](small_scenario, 1)
+            return run_tracking(
+                tracker, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+            )
+
+        a, b = run(), run()
+        assert a.total_bytes == b.total_bytes
+        assert a.total_messages == b.total_messages
+        assert a.estimates.keys() == b.estimates.keys()
+        for k in a.estimates:
+            np.testing.assert_allclose(a.estimates[k], b.estimates[k])
+
+    def test_ledger_charges_are_positive_when_tracking(
+        self, name, small_scenario, small_trajectory
+    ):
+        tracker = FACTORIES[name](small_scenario, 1)
+        res = run_tracking(
+            tracker, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+        )
+        assert res.total_bytes > 0
+        assert res.total_messages > 0
+        assert all(b >= 0 for b in res.bytes_by_category.values())
+
+    def test_tracks_the_crossing(self, name, small_scenario, small_trajectory):
+        tracker = FACTORIES[name](small_scenario, 1)
+        res = run_tracking(
+            tracker, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+        )
+        assert np.isfinite(res.rmse)
+        assert res.rmse < 10.0

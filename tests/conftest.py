@@ -1,0 +1,52 @@
+"""Shared fixtures: small-scale worlds that exercise the full stack quickly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.constant_velocity import ConstantVelocityModel
+from repro.models.measurement import BearingMeasurement
+from repro.models.trajectory import straight_line_trajectory
+from repro.network.deployment import uniform_deployment
+from repro.network.radio import RadioModel
+from repro.network.sensing import InstantDetection
+from repro.scenario import Scenario
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_small_scenario(
+    rng: np.random.Generator,
+    *,
+    n_nodes: int = 700,
+    width: float = 80.0,
+    height: float = 60.0,
+    sensing_radius: float = 10.0,
+    comm_radius: float = 30.0,
+) -> Scenario:
+    """A compact world (~15 nodes / 100 m^2) that runs every tracker fast."""
+    deployment = uniform_deployment(n_nodes, width, height, rng=rng, index_cell=sensing_radius)
+    return Scenario(
+        deployment=deployment,
+        radio=RadioModel(comm_radius=comm_radius),
+        detection=InstantDetection(sensing_radius=sensing_radius),
+        measurement=BearingMeasurement(noise_std=0.05, reference="node"),
+        dynamics=ConstantVelocityModel(dt=5.0, sigma_x=0.05, sigma_y=0.05),
+        sink_position=(width / 2.0, height / 2.0),
+        prior_velocity=(3.0, 0.0),
+    )
+
+
+@pytest.fixture
+def small_scenario(rng):
+    return make_small_scenario(rng)
+
+
+@pytest.fixture
+def small_trajectory():
+    """A straight eastward crossing that stays inside the small field."""
+    return straight_line_trajectory(4, start=(5.0, 30.0), velocity=(3.0, 0.0))

@@ -1,0 +1,36 @@
+"""Optional sink reporting (§IV-A's 'possibly report it to sink nodes')."""
+
+import numpy as np
+
+from repro.core.cdpf import CDPFTracker
+from repro.experiments.runner import run_tracking
+
+
+class TestSinkReporting:
+    def test_off_by_default(self, small_scenario, small_trajectory):
+        tr = CDPFTracker(small_scenario, rng=np.random.default_rng(1))
+        res = run_tracking(tr, small_scenario, small_trajectory, rng=np.random.default_rng(7))
+        assert "report" not in res.bytes_by_category
+
+    def test_reporting_charged_separately(self, small_scenario, small_trajectory):
+        tr = CDPFTracker(
+            small_scenario, rng=np.random.default_rng(1), report_to_sink=True
+        )
+        res = run_tracking(tr, small_scenario, small_trajectory, rng=np.random.default_rng(7))
+        assert res.bytes_by_category.get("report", 0) > 0
+
+    def test_reporting_does_not_change_estimates(self, small_scenario, small_trajectory):
+        def run(report):
+            tr = CDPFTracker(
+                small_scenario, rng=np.random.default_rng(1), report_to_sink=report
+            )
+            return run_tracking(
+                tr, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+            )
+
+        a, b = run(False), run(True)
+        assert a.estimates.keys() == b.estimates.keys()
+        for k in a.estimates:
+            np.testing.assert_allclose(a.estimates[k], b.estimates[k])
+        # and the delta in bytes is exactly the report traffic
+        assert b.total_bytes - a.total_bytes == b.bytes_by_category["report"]

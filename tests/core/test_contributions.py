@@ -1,0 +1,127 @@
+"""Neighborhood estimation: Definitions 1-2 and Theorems 1-2 as properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contributions import (
+    contribution_of,
+    estimated_contributions,
+    is_normalized,
+    linear_probability,
+    pairwise_ratio_consistent,
+)
+
+distance_lists = st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30)
+
+
+class TestEstimatedContributions:
+    def test_two_node_example(self):
+        """Definition 2 with d = (1, 3): c = (3/4, 1/4)."""
+        c = estimated_contributions(np.array([1.0, 3.0]))
+        np.testing.assert_allclose(c, [0.75, 0.25])
+
+    def test_single_node_gets_everything(self):
+        np.testing.assert_allclose(estimated_contributions(np.array([5.0])), [1.0])
+
+    def test_closer_node_contributes_more(self):
+        c = estimated_contributions(np.array([2.0, 8.0, 4.0]))
+        assert c[0] > c[2] > c[1]
+
+    def test_equidistant_nodes_equal(self):
+        c = estimated_contributions(np.full(7, 3.0))
+        np.testing.assert_allclose(c, 1.0 / 7)
+
+    def test_zero_distance_clamped_not_infinite(self):
+        c = estimated_contributions(np.array([0.0, 1.0]))
+        assert np.isfinite(c).all()
+        assert c[0] > c[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimated_contributions(np.array([]))
+        with pytest.raises(ValueError):
+            estimated_contributions(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            estimated_contributions(np.array([np.inf]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(distance_lists)
+    def test_theorem1_normalized(self, ds):
+        """Theorem 1: the estimated neighbor contributions are normalized."""
+        c = estimated_contributions(np.array(ds))
+        assert is_normalized(c)
+
+    @settings(max_examples=100, deadline=None)
+    @given(distance_lists)
+    def test_eq4_ratio_rule(self, ds):
+        """Eq. 4: c_i * d_i is constant across the estimation area."""
+        d = np.array(ds)
+        c = estimated_contributions(d)
+        assert pairwise_ratio_consistent(c, d)
+
+    @settings(max_examples=60, deadline=None)
+    @given(distance_lists, st.integers(0, 10_000))
+    def test_theorem2_consistency(self, ds, seed):
+        """Theorem 2: any node evaluating Definition 2 on the same shared
+        data gets identical results — here modeled by permuting the
+        evaluation order."""
+        d = np.array(ds)
+        c = estimated_contributions(d)
+        perm = np.random.default_rng(seed).permutation(len(ds))
+        c_perm = estimated_contributions(d[perm])
+        np.testing.assert_allclose(c_perm, c[perm], rtol=1e-12)
+
+
+class TestContributionOf:
+    def test_matches_vector_form(self):
+        d = np.array([2.0, 5.0, 7.0])
+        c = estimated_contributions(d)
+        for i in range(3):
+            assert contribution_of(float(d[i]), d) == pytest.approx(c[i])
+
+    def test_own_distance_must_be_included(self):
+        with pytest.raises(ValueError, match="include"):
+            contribution_of(1.0, np.array([2.0, 3.0]))
+
+    def test_cross_node_agreement(self):
+        """Node 0 computing node 0's contribution equals node 1 computing
+        node 0's contribution — the operational content of Theorem 2."""
+        d = np.array([2.0, 5.0])
+        by_node0 = estimated_contributions(d)[0]
+        by_node1 = estimated_contributions(d[::-1])[1]
+        assert by_node0 == pytest.approx(by_node1)
+
+
+class TestLinearProbability:
+    def test_at_center_is_one(self):
+        assert linear_probability(np.array([0.0]), 10.0)[0] == pytest.approx(1.0)
+
+    def test_at_radius_is_zero(self):
+        assert linear_probability(np.array([10.0]), 10.0)[0] == pytest.approx(0.0)
+
+    def test_beyond_radius_clamped(self):
+        assert linear_probability(np.array([15.0]), 10.0)[0] == 0.0
+
+    def test_linear_in_between(self):
+        p = linear_probability(np.array([2.5, 5.0, 7.5]), 10.0)
+        np.testing.assert_allclose(p, [0.75, 0.5, 0.25])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_probability(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            linear_probability(np.array([-1.0]), 10.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(0, 50), min_size=1, max_size=20),
+        st.floats(0.1, 30.0),
+    )
+    def test_property_in_unit_interval_and_monotone(self, ds, radius):
+        d = np.array(ds)
+        p = linear_probability(d, radius)
+        assert ((p >= 0) & (p <= 1)).all()
+        order = np.argsort(d)
+        assert (np.diff(p[order]) <= 1e-12).all()

@@ -1,0 +1,137 @@
+"""Multi-target CDPF extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.multitarget import MultiTargetCDPF
+from repro.experiments.runner import generate_multi_step_context
+from repro.models.trajectory import straight_line_trajectory
+from repro.scenario import StepContext
+
+from ..conftest import make_small_scenario
+
+
+@pytest.fixture
+def mt_world(rng):
+    scenario = make_small_scenario(rng, n_nodes=900, width=100.0, height=60.0)
+    trajectories = [
+        straight_line_trajectory(4, start=(5.0, 15.0), velocity=(3.0, 0.0)),
+        straight_line_trajectory(4, start=(5.0, 45.0), velocity=(3.0, 0.0)),
+    ]
+    return scenario, trajectories
+
+
+def drive(scenario, trajectories, seed=7, **kwargs):
+    mt = MultiTargetCDPF(scenario, rng=np.random.default_rng(1), **kwargs)
+    rng = np.random.default_rng(seed)
+    per_iter = []
+    for k in range(trajectories[0].n_iterations + 1):
+        ctx = generate_multi_step_context(scenario, trajectories, k, rng)
+        per_iter.append(mt.step(ctx))
+    return mt, per_iter
+
+
+class TestMultiStepContext:
+    def test_one_measurement_per_node(self, mt_world, rng):
+        scenario, trajectories = mt_world
+        ctx = generate_multi_step_context(scenario, trajectories, 1, rng)
+        assert len(ctx.measurements) == len(ctx.detectors)
+
+    def test_detectors_near_some_target(self, mt_world, rng):
+        scenario, trajectories = mt_world
+        ctx = generate_multi_step_context(scenario, trajectories, 1, rng)
+        pos = scenario.deployment.positions
+        for nid in ctx.detectors:
+            d = min(
+                np.linalg.norm(pos[int(nid)] - t.position_at_iteration(1))
+                for t in trajectories
+            )
+            assert d <= scenario.sensing_radius + 1e-9
+
+    def test_contested_node_measures_nearest(self, rng):
+        scenario = make_small_scenario(rng, n_nodes=400, width=60.0, height=40.0)
+        # two targets close enough that sensing disks overlap
+        trajectories = [
+            straight_line_trajectory(2, start=(20.0, 17.0), velocity=(1.0, 0.0)),
+            straight_line_trajectory(2, start=(20.0, 29.0), velocity=(1.0, 0.0)),
+        ]
+        ctx = generate_multi_step_context(scenario, trajectories, 1, rng)
+        pos = scenario.deployment.positions
+        for nid, z in ctx.measurements.items():
+            d0 = np.linalg.norm(pos[nid] - trajectories[0].position_at_iteration(1))
+            d1 = np.linalg.norm(pos[nid] - trajectories[1].position_at_iteration(1))
+            nearest = trajectories[int(d1 < d0)].position_at_iteration(1)
+            expected = np.arctan2(nearest[1] - pos[nid][1], nearest[0] - pos[nid][0])
+            err = abs(np.mod(z - expected + np.pi, 2 * np.pi) - np.pi)
+            assert err < 1.0  # bearing points at the nearer target
+
+
+class TestMultiTargetCDPF:
+    def test_spawns_one_track_per_target(self, mt_world):
+        scenario, trajectories = mt_world
+        mt, _ = drive(scenario, trajectories)
+        assert len(mt.live_tracks) == 2
+
+    def test_tracks_both_targets(self, mt_world):
+        scenario, trajectories = mt_world
+        mt, per_iter = drive(scenario, trajectories)
+        final = per_iter[-1]  # estimates for iteration K-1
+        assert len(final) == 2
+        k_ref = trajectories[0].n_iterations - 1
+        truths = [t.position_at_iteration(k_ref) for t in trajectories]
+        for est in final.values():
+            best = min(float(np.linalg.norm(est - t)) for t in truths)
+            assert best < 8.0
+        # the two estimates are near DIFFERENT targets
+        ests = list(final.values())
+        assert np.linalg.norm(ests[0] - ests[1]) > 15.0
+
+    def test_shared_ledger_accumulates_both(self, mt_world):
+        scenario, trajectories = mt_world
+        mt, _ = drive(scenario, trajectories)
+        assert mt.accounting.total_bytes > 0
+        assert mt.accounting.bytes_by_category()["propagation"] > 0
+
+    def test_track_pruned_when_target_leaves(self, rng):
+        scenario = make_small_scenario(rng, n_nodes=700, width=80.0, height=60.0)
+        # a short trajectory that ends mid-run: later iterations have no detections
+        traj = straight_line_trajectory(2, start=(5.0, 30.0), velocity=(3.0, 0.0))
+        mt = MultiTargetCDPF(scenario, rng=np.random.default_rng(1), prune_after=2)
+        srng = np.random.default_rng(5)
+        for k in range(3):
+            mt.step(generate_multi_step_context(scenario, [traj], k, srng))
+        assert len(mt.live_tracks) == 1
+        empty = StepContext(iteration=3, detectors=np.array([], dtype=int), measurements={})
+        for k in range(3, 7):
+            mt.step(StepContext(iteration=k, detectors=empty.detectors, measurements={}))
+        assert len(mt.live_tracks) == 0
+
+    def test_spawn_threshold_respected(self, mt_world):
+        scenario, trajectories = mt_world
+        mt = MultiTargetCDPF(
+            scenario, rng=np.random.default_rng(1), spawn_threshold=10_000
+        )
+        srng = np.random.default_rng(5)
+        for k in range(3):
+            mt.step(generate_multi_step_context(scenario, trajectories, k, srng))
+        assert len(mt.live_tracks) == 0  # never enough clustered detectors
+
+    def test_max_tracks_cap(self, mt_world):
+        scenario, trajectories = mt_world
+        mt, _ = drive(scenario, trajectories, max_tracks=1)
+        assert len(mt.live_tracks) == 1
+
+    def test_validation(self, mt_world):
+        scenario, _ = mt_world
+        with pytest.raises(ValueError):
+            MultiTargetCDPF(scenario, rng=np.random.default_rng(1), spawn_threshold=0)
+        with pytest.raises(ValueError):
+            MultiTargetCDPF(scenario, rng=np.random.default_rng(1), prune_after=0)
+        with pytest.raises(ValueError):
+            MultiTargetCDPF(scenario, rng=np.random.default_rng(1), max_tracks=0)
+
+    def test_ne_variant(self, mt_world):
+        scenario, trajectories = mt_world
+        mt, per_iter = drive(scenario, trajectories, neighborhood_estimation=True)
+        assert mt.name == "MT-CDPF-NE"
+        assert len(mt.live_tracks) == 2

@@ -1,0 +1,98 @@
+"""Table I formulas and their agreement with the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.costmodel import (
+    CostModel,
+    cdpf_cost,
+    cdpf_ne_cost,
+    cpf_cost,
+    dpf_cost,
+    sdpf_cost,
+    table1_rows,
+)
+from repro.network.messages import DataSizes
+
+SIZES = DataSizes()
+
+
+class TestFormulas:
+    def test_cpf(self):
+        # N * Dm * H
+        assert cpf_cost(10, 3.0, SIZES) == 120
+
+    def test_dpf_scales_with_compression(self):
+        assert dpf_cost(10, 3.0, 1.0, SIZES) == 30
+        assert dpf_cost(10, 3.0, 4.0, SIZES) == cpf_cost(10, 3.0, SIZES)
+
+    def test_sdpf(self):
+        # Ns (Dp + Dm + 2 Dw) + handshake
+        assert sdpf_cost(100, SIZES, include_handshake=False) == 100 * 28
+        assert sdpf_cost(100, SIZES) == 100 * 28 + 8
+
+    def test_cdpf(self):
+        assert cdpf_cost(100, SIZES) == 100 * 24
+
+    def test_cdpf_ne(self):
+        assert cdpf_ne_cost(100, SIZES) == 100 * 20
+
+    def test_table_ordering_at_paper_scale(self):
+        """With the paper's sizes and comparable N/Ns, the analytic ordering
+        SDPF > CDPF > CDPF-NE holds for every positive particle count."""
+        for ns in (1, 8, 100, 1000):
+            assert sdpf_cost(ns, SIZES) > cdpf_cost(ns, SIZES) > cdpf_ne_cost(ns, SIZES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpf_cost(-1, 2.0, SIZES)
+        with pytest.raises(ValueError):
+            cpf_cost(1, -2.0, SIZES)
+        with pytest.raises(ValueError):
+            dpf_cost(1, 1.0, -1.0, SIZES)
+
+
+class TestCostModel:
+    def test_as_dict_complete(self):
+        cm = CostModel(SIZES, n_detectors=50, n_particles=120, hops=2.5)
+        d = cm.as_dict()
+        assert set(d) == {"CPF", "DPF", "SDPF", "CDPF", "CDPF-NE"}
+        assert d["CPF"] == cpf_cost(50, 2.5, SIZES)
+
+    def test_table1_rows_symbolic(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert rows[0] == ("CPF", "N * Dm * Hmax")
+
+
+class TestAgreementWithSimulator:
+    def test_cpf_measured_equals_formula_with_measured_hops(
+        self, small_scenario, small_trajectory
+    ):
+        """The simulator's CPF ledger equals N * Dm * H with the *measured*
+        hop counts — the formula is exact, not approximate."""
+        from repro.baselines.cpf import CPFTracker
+        from repro.experiments.runner import run_tracking
+
+        tr = CPFTracker(small_scenario, rng=np.random.default_rng(1))
+        res = run_tracking(
+            tr, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+        )
+        total_formula = sum(
+            cpf_cost(1, h, small_scenario.sizes) for h in tr.hop_counts
+        )
+        assert res.total_bytes == total_formula
+
+    def test_cdpf_ne_measured_equals_formula(self, small_scenario, small_trajectory):
+        """CDPF-NE's ledger == Ns (Dp + Dw) summed over iterations."""
+        from repro.core.cdpf import CDPFTracker
+        from repro.experiments.runner import run_tracking
+
+        tr = CDPFTracker(
+            small_scenario, rng=np.random.default_rng(1), neighborhood_estimation=True
+        )
+        res = run_tracking(
+            tr, small_scenario, small_trajectory, rng=np.random.default_rng(7)
+        )
+        ns_broadcast = sum(tr.stats.holders_per_iteration[:-1])
+        assert res.total_bytes == cdpf_ne_cost(ns_broadcast, small_scenario.sizes)

@@ -1,0 +1,79 @@
+"""Property tests over the Table I cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.costmodel import (
+    CostModel,
+    cdpf_cost,
+    cdpf_ne_cost,
+    cpf_cost,
+    dpf_cost,
+    sdpf_cost,
+)
+from repro.network.messages import DataSizes
+
+sizes_strategy = st.builds(
+    DataSizes,
+    particle=st.integers(1, 64),
+    measurement=st.integers(1, 16),
+    weight=st.integers(1, 16),
+    header=st.integers(0, 16),
+)
+
+
+class TestCostOrderingProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(1, 5000), sizes_strategy)
+    def test_sdpf_always_exceeds_cdpf_exceeds_ne(self, ns, sizes):
+        """For any positive byte model, the analytic ordering of the three
+        particles-on-nodes methods is fixed: the extra Dw (aggregation) and
+        the extra Dm (measurement sharing) are strictly positive."""
+        assert sdpf_cost(ns, sizes) > cdpf_cost(ns, sizes) > cdpf_ne_cost(ns, sizes)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(0, 1000),
+        st.floats(0.0, 10.0),
+        st.floats(0.0, 64.0),
+        sizes_strategy,
+    )
+    def test_dpf_at_most_cpf_when_compressed(self, n, hops, p, sizes):
+        """DPF undercuts CPF exactly when P <= Dm."""
+        if p <= sizes.measurement:
+            assert dpf_cost(n, hops, p, sizes) <= cpf_cost(n, hops, sizes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 1000), st.floats(0.0, 10.0), sizes_strategy)
+    def test_cpf_linear_in_detectors(self, n, hops, sizes):
+        assert cpf_cost(2 * n, hops, sizes) == pytest.approx(2 * cpf_cost(n, hops, sizes))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 1000), sizes_strategy)
+    def test_cdpf_ne_saves_exactly_dm_per_particle(self, ns, sizes):
+        """§V-C: neighborhood estimation removes the Dm term and nothing else."""
+        assert cdpf_cost(ns, sizes) - cdpf_ne_cost(ns, sizes) == ns * sizes.measurement
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 1000), sizes_strategy)
+    def test_sdpf_pays_exactly_dw_more_than_cdpf(self, ns, sizes):
+        """Table I: SDPF's aggregation adds one Dw per particle (+ handshake)."""
+        delta = sdpf_cost(ns, sizes, include_handshake=False) - cdpf_cost(ns, sizes)
+        assert delta == ns * sizes.weight
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 500),
+        st.floats(0.5, 6.0),
+        sizes_strategy,
+    )
+    def test_cost_model_dict_consistent(self, n, ns, hops, sizes):
+        cm = CostModel(sizes, n_detectors=n, n_particles=ns, hops=hops)
+        d = cm.as_dict()
+        assert d["CPF"] == cpf_cost(n, hops, sizes)
+        assert d["SDPF"] == sdpf_cost(ns, sizes)
+        assert d["CDPF"] == cdpf_cost(ns, sizes)
+        assert d["CDPF-NE"] == cdpf_ne_cost(ns, sizes)

@@ -1,0 +1,61 @@
+"""Figure generators and the reproduce CLI at unit-test scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import Figure4Data, figure4_estimation_example
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return figure4_estimation_example(density=10.0, n_iterations=6, seed=99)
+
+    def test_truth_shape(self, fig4):
+        assert fig4.truth.shape == (7, 2)
+
+    def test_both_tracks_present(self, fig4):
+        assert fig4.cdpf and fig4.cdpf_ne
+
+    def test_rmse_consistent_with_tracks(self, fig4):
+        errs = [
+            np.linalg.norm(est - fig4.truth[k]) for k, est in fig4.cdpf.items()
+        ]
+        assert fig4.cdpf_rmse == pytest.approx(float(np.sqrt(np.mean(np.square(errs)))))
+
+    def test_max_error(self, fig4):
+        assert fig4.max_error("cdpf") >= 0
+        assert np.isnan(Figure4Data(fig4.truth, {}, {}, 0.0, 0.0).max_error("cdpf"))
+
+    def test_deterministic_given_seed(self):
+        a = figure4_estimation_example(density=5.0, n_iterations=4, seed=3)
+        b = figure4_estimation_example(density=5.0, n_iterations=4, seed=3)
+        assert a.cdpf.keys() == b.cdpf.keys()
+        for k in a.cdpf:
+            np.testing.assert_allclose(a.cdpf[k], b.cdpf[k])
+
+
+class TestReproduceCLI:
+    def test_argument_parsing_smoke(self, capsys):
+        """The CLI parses and produces the Table I header without running
+        the expensive sweep (we intercept --help)."""
+        from repro.reproduce import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "--seeds" in out and "--densities" in out
+
+
+class TestReproduceEndToEnd:
+    def test_tiny_full_run(self, capsys):
+        """The CLI end to end at the smallest meaningful scale."""
+        from repro.reproduce import main
+
+        rc = main(["--seeds", "1", "--densities", "5", "--iterations", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I (symbolic)" in out
+        assert "Figure 5" in out
+        assert "Figure 6" in out
+        assert "Headline claims" in out

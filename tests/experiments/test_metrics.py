@@ -1,0 +1,75 @@
+"""Metrics: RMSE, error summaries, cost series."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import (
+    cost_series,
+    per_iteration_errors,
+    rmse,
+    summarize_errors,
+)
+from repro.network.medium import CommAccounting
+
+
+TRUTH = np.array([[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]])
+
+
+class TestPerIterationErrors:
+    def test_euclidean(self):
+        est = {0: np.array([3.0, 4.0]), 2: np.array([20.0, 0.0])}
+        errs = per_iteration_errors(est, TRUTH)
+        assert errs[0] == pytest.approx(5.0)
+        assert errs[2] == pytest.approx(0.0)
+
+    def test_out_of_range_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            per_iteration_errors({5: np.zeros(2)}, TRUTH)
+
+
+class TestRMSE:
+    def test_known_value(self):
+        est = {0: np.array([3.0, 4.0]), 1: np.array([10.0, 0.0])}
+        assert rmse(est, TRUTH) == pytest.approx(np.sqrt(25.0 / 2))
+
+    def test_empty_is_nan(self):
+        assert np.isnan(rmse({}, TRUTH))
+
+    def test_perfect_estimates(self):
+        est = {k: TRUTH[k].copy() for k in range(3)}
+        assert rmse(est, TRUTH) == 0.0
+
+
+class TestSummary:
+    def test_fields(self):
+        est = {0: np.array([1.0, 0.0]), 1: np.array([10.0, 2.0])}
+        s = summarize_errors(est, TRUTH, n_iterations=3)
+        assert s.n_estimates == 2
+        assert s.coverage == pytest.approx(2 / 3)
+        assert s.max_error == pytest.approx(2.0)
+        assert s.mean_error == pytest.approx(1.5)
+
+    def test_empty_summary(self):
+        s = summarize_errors({}, TRUTH, n_iterations=3)
+        assert np.isnan(s.rmse)
+        assert s.coverage == 0.0
+
+    def test_zero_iterations(self):
+        s = summarize_errors({}, TRUTH, n_iterations=0)
+        assert s.coverage == 0.0
+
+
+class TestCostSeries:
+    def test_dense_arrays(self):
+        acc = CommAccounting()
+        acc.record(0, "a", 10, 1)
+        acc.record(2, "b", 30, 3)
+        s = cost_series(acc, n_iterations=3)
+        np.testing.assert_array_equal(s["bytes"], [10, 0, 30, 0])
+        np.testing.assert_array_equal(s["messages"], [1, 0, 3, 0])
+
+    def test_out_of_window_entries_ignored(self):
+        acc = CommAccounting()
+        acc.record(99, "a", 10, 1)
+        s = cost_series(acc, n_iterations=2)
+        assert s["bytes"].sum() == 0

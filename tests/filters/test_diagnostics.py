@@ -1,0 +1,96 @@
+"""Degeneracy diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.diagnostics import (
+    effective_sample_size,
+    health_of,
+    max_weight_ratio,
+    unique_ancestors,
+    weight_entropy,
+)
+from repro.filters.particles import ParticleSet
+
+positive_weights = st.lists(
+    st.floats(1e-6, 1e3), min_size=2, max_size=50
+)
+
+
+class TestESS:
+    def test_uniform_equals_n(self):
+        assert effective_sample_size(np.ones(10)) == pytest.approx(10.0)
+
+    def test_point_mass_equals_one(self):
+        w = np.zeros(10)
+        w[3] = 1.0
+        assert effective_sample_size(w) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_weights)
+    def test_property_bounds(self, ws):
+        ess = effective_sample_size(np.array(ws))
+        assert 1.0 - 1e-9 <= ess <= len(ws) + 1e-9
+
+    def test_scale_invariant(self):
+        w = np.array([1.0, 2.0, 3.0])
+        assert effective_sample_size(w) == pytest.approx(effective_sample_size(10 * w))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_sample_size(np.array([]))
+        with pytest.raises(ValueError):
+            effective_sample_size(np.zeros(3))
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert weight_entropy(np.ones(8)) == pytest.approx(np.log(8))
+
+    def test_point_mass_is_zero(self):
+        w = np.zeros(5)
+        w[0] = 1.0
+        assert weight_entropy(w) == pytest.approx(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(positive_weights)
+    def test_property_bounds(self, ws):
+        h = weight_entropy(np.array(ws))
+        assert -1e-9 <= h <= np.log(len(ws)) + 1e-9
+
+
+class TestMaxWeightRatio:
+    def test_uniform_is_one(self):
+        assert max_weight_ratio(np.ones(7)) == pytest.approx(1.0)
+
+    def test_collapse_is_n(self):
+        w = np.zeros(7)
+        w[0] = 1.0
+        assert max_weight_ratio(w) == pytest.approx(7.0)
+
+
+class TestUniqueAncestors:
+    def test_counts_distinct(self):
+        assert unique_ancestors(np.array([0, 0, 1, 3])) == 3
+
+
+class TestHealth:
+    def test_healthy_snapshot(self):
+        p = ParticleSet(np.zeros((100, 2)))
+        h = health_of(p)
+        assert h.ess_ratio == pytest.approx(1.0)
+        assert h.entropy_ratio == pytest.approx(1.0)
+        assert not h.degenerate
+
+    def test_degenerate_flagged(self):
+        w = np.full(100, 1e-9)
+        w[0] = 1.0
+        p = ParticleSet(np.zeros((100, 2)), w)
+        assert health_of(p).degenerate
+
+    def test_single_particle_does_not_divide_by_zero(self):
+        p = ParticleSet(np.zeros((1, 2)))
+        h = health_of(p)
+        assert np.isfinite(h.entropy_ratio)

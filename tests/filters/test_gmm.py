@@ -1,0 +1,124 @@
+"""Gaussian mixtures: EM recovery, wire round-trip, sampling statistics."""
+
+import numpy as np
+import pytest
+
+from repro.filters.gmm import GaussianMixture, fit_gmm
+
+
+def two_blob_data(rng, n=2000):
+    a = rng.normal([-5.0, 0.0], 0.5, size=(n // 2, 2))
+    b = rng.normal([5.0, 2.0], 0.5, size=(n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestGaussianMixture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.array([0.5, 0.6]), np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            GaussianMixture(np.array([1.0]), np.zeros((1, 2)), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            GaussianMixture(np.array([1.0]), np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_mean(self):
+        g = GaussianMixture(
+            np.array([0.25, 0.75]),
+            np.array([[0.0, 0.0], [4.0, 0.0]]),
+            np.ones((2, 2)),
+        )
+        np.testing.assert_allclose(g.mean(), [3.0, 0.0])
+
+    def test_n_params(self):
+        g = GaussianMixture(np.array([1.0]), np.zeros((1, 4)), np.ones((1, 4)))
+        assert g.n_params == 9  # K(2d + 1) = 1 * 9
+
+    def test_sample_statistics(self, rng):
+        g = GaussianMixture(
+            np.array([0.5, 0.5]),
+            np.array([[-3.0, 0.0], [3.0, 0.0]]),
+            np.full((2, 2), 0.25),
+        )
+        s = g.sample(40000, rng)
+        np.testing.assert_allclose(s.mean(axis=0), [0.0, 0.0], atol=0.1)
+        # bimodal: variance along x = within (0.25) + between (9)
+        assert s[:, 0].var() == pytest.approx(9.25, rel=0.05)
+
+    def test_sample_validation(self, rng):
+        g = GaussianMixture(np.array([1.0]), np.zeros((1, 2)), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            g.sample(0, rng)
+
+    def test_log_pdf_integrates_to_one_1d_grid(self):
+        g = GaussianMixture(
+            np.array([0.3, 0.7]),
+            np.array([[-1.0], [2.0]]),
+            np.array([[0.5], [1.5]]),
+        )
+        xs = np.linspace(-15, 15, 4001)[:, None]
+        pdf = np.exp(g.log_pdf(xs))
+        assert np.trapezoid(pdf, xs.ravel()) == pytest.approx(1.0, abs=1e-3)
+
+    def test_params_round_trip(self):
+        g = GaussianMixture(
+            np.array([0.4, 0.6]),
+            np.array([[1.0, 2.0], [3.0, 4.0]]),
+            np.array([[0.1, 0.2], [0.3, 0.4]]),
+        )
+        back = GaussianMixture.from_params(g.to_params(), 2, 2)
+        np.testing.assert_allclose(back.weights, g.weights)
+        np.testing.assert_allclose(back.means, g.means)
+        np.testing.assert_allclose(back.variances, g.variances)
+
+    def test_from_params_length_checked(self):
+        with pytest.raises(ValueError):
+            GaussianMixture.from_params(np.zeros(7), 2, 2)
+
+
+class TestFitGMM:
+    def test_recovers_two_blobs(self, rng):
+        data = two_blob_data(rng)
+        g = fit_gmm(data, 2, rng=rng)
+        means = g.means[np.argsort(g.means[:, 0])]
+        np.testing.assert_allclose(means[0], [-5.0, 0.0], atol=0.3)
+        np.testing.assert_allclose(means[1], [5.0, 2.0], atol=0.3)
+        np.testing.assert_allclose(g.weights, [0.5, 0.5], atol=0.05)
+
+    def test_single_component_matches_moments(self, rng):
+        data = rng.normal([3.0, -1.0], [2.0, 0.5], size=(5000, 2))
+        g = fit_gmm(data, 1, rng=rng)
+        np.testing.assert_allclose(g.means[0], [3.0, -1.0], atol=0.1)
+        np.testing.assert_allclose(g.variances[0], [4.0, 0.25], rtol=0.15)
+
+    def test_sample_weights_shift_fit(self, rng):
+        data = np.array([[0.0, 0.0], [10.0, 0.0]])
+        w = np.array([0.9, 0.1])
+        g = fit_gmm(data, 1, rng=rng, sample_weights=w)
+        assert g.means[0, 0] == pytest.approx(1.0, abs=0.01)
+
+    def test_more_components_than_points_still_valid(self, rng):
+        data = np.array([[1.0, 1.0], [2.0, 2.0]])
+        g = fit_gmm(data, 5, rng=rng)
+        assert g.n_components <= 2
+        assert (g.variances > 0).all()
+
+    def test_degenerate_single_point(self, rng):
+        data = np.tile([3.0, 3.0], (10, 1))
+        g = fit_gmm(data, 2, rng=rng)
+        np.testing.assert_allclose(g.mean(), [3.0, 3.0], atol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_gmm(np.zeros((0, 2)), 1, rng=rng)
+        with pytest.raises(ValueError):
+            fit_gmm(np.zeros((5, 2)), 0, rng=rng)
+        with pytest.raises(ValueError):
+            fit_gmm(np.zeros((5, 2)), 1, rng=rng, sample_weights=np.ones(3))
+
+    def test_round_trip_through_wire_preserves_distribution(self, rng):
+        """Compress -> params -> reconstruct -> sample: the DPF hand-off."""
+        data = two_blob_data(rng)
+        g = fit_gmm(data, 2, rng=rng)
+        back = GaussianMixture.from_params(g.to_params(), 2, 2)
+        s = back.sample(5000, rng)
+        assert abs(s.mean(axis=0)[0] - data.mean(axis=0)[0]) < 0.5

@@ -1,0 +1,150 @@
+"""Kalman and extended Kalman filters."""
+
+import numpy as np
+import pytest
+
+from repro.filters.kalman import (
+    ExtendedKalmanFilter,
+    KalmanFilter,
+    bearing_jacobian,
+    range_jacobian,
+)
+from repro.models.constant_velocity import ConstantVelocityModel
+from repro.models.measurement import BearingMeasurement
+
+
+def make_kf(dt=1.0, sigma=0.3, sigma_z=1.0):
+    dyn = ConstantVelocityModel(dt=dt, sigma_x=sigma, sigma_y=sigma)
+    h = np.array([[1.0, 0, 0, 0], [0, 1.0, 0, 0]])
+    return dyn, KalmanFilter(dyn.phi, dyn.process_noise_cov, h, np.eye(2) * sigma_z**2)
+
+
+class TestKalmanFilter:
+    def test_requires_initialization(self):
+        _, kf = make_kf()
+        with pytest.raises(RuntimeError):
+            kf.predict()
+
+    def test_shape_validation(self):
+        dyn = ConstantVelocityModel()
+        with pytest.raises(ValueError):
+            KalmanFilter(np.zeros((4, 3)), np.eye(4), np.eye(4)[:2], np.eye(2))
+        with pytest.raises(ValueError):
+            KalmanFilter(dyn.phi, np.eye(3), np.eye(4)[:2], np.eye(2))
+        with pytest.raises(ValueError):
+            KalmanFilter(dyn.phi, np.eye(4), np.eye(3)[:2], np.eye(2))
+
+    def test_predict_propagates_mean_and_grows_cov(self):
+        _, kf = make_kf()
+        kf.initialize(np.array([0.0, 0.0, 1.0, 0.0]), np.eye(4))
+        tr0 = np.trace(kf.p)
+        kf.predict()
+        np.testing.assert_allclose(kf.x, [1, 0, 1, 0])
+        assert np.trace(kf.p) > tr0
+
+    def test_update_moves_toward_measurement_and_shrinks_cov(self):
+        _, kf = make_kf(sigma_z=0.5)
+        kf.initialize(np.zeros(4), np.eye(4) * 4)
+        kf.update(np.array([2.0, 0.0]))
+        assert 0 < kf.x[0] < 2.0
+        assert kf.p[0, 0] < 4.0
+
+    def test_covariance_stays_symmetric_psd(self, rng):
+        dyn, kf = make_kf()
+        kf.initialize(np.zeros(4), np.eye(4))
+        for _ in range(30):
+            kf.predict()
+            kf.update(rng.normal(0, 1, 2))
+            np.testing.assert_allclose(kf.p, kf.p.T, atol=1e-10)
+            assert (np.linalg.eigvalsh(kf.p) >= -1e-10).all()
+
+    def test_tracks_linear_gaussian_truth(self, rng):
+        dyn, kf = make_kf(sigma=0.2, sigma_z=0.8)
+        truth = np.array([0.0, 0.0, 1.0, 0.5])
+        kf.initialize(truth.copy(), np.eye(4))
+        errs = []
+        for _ in range(40):
+            truth = dyn.propagate(truth[None, :], rng)[0]
+            z = truth[:2] + rng.normal(0, 0.8, 2)
+            kf.step(z)
+            errs.append(np.linalg.norm(kf.x[:2] - truth[:2]))
+        assert np.mean(errs[5:]) < 1.0
+
+    def test_innovation_gain_sanity(self):
+        """With huge prior uncertainty the update lands on the measurement."""
+        _, kf = make_kf(sigma_z=0.1)
+        kf.initialize(np.zeros(4), np.eye(4) * 1e6)
+        kf.update(np.array([7.0, -3.0]))
+        np.testing.assert_allclose(kf.x[:2], [7.0, -3.0], atol=0.01)
+
+
+class TestJacobians:
+    def test_bearing_jacobian_numerical(self):
+        state = np.array([3.0, 4.0, 0.0, 0.0])
+        sensor = np.array([1.0, 1.0])
+        jac = bearing_jacobian(state, sensor)
+        eps = 1e-6
+        for i in range(2):
+            dp = state.copy()
+            dp[i] += eps
+            f1 = np.arctan2(dp[1] - sensor[1], dp[0] - sensor[0])
+            f0 = np.arctan2(state[1] - sensor[1], state[0] - sensor[0])
+            assert jac[0, i] == pytest.approx((f1 - f0) / eps, rel=1e-3)
+        assert jac[0, 2] == jac[0, 3] == 0.0
+
+    def test_range_jacobian_numerical(self):
+        state = np.array([3.0, 4.0, 0.0, 0.0])
+        sensor = np.zeros(2)
+        jac = range_jacobian(state, sensor)
+        np.testing.assert_allclose(jac[0, :2], [0.6, 0.8])
+
+    def test_singular_at_sensor(self):
+        with pytest.raises(FloatingPointError):
+            bearing_jacobian(np.array([1.0, 1.0, 0, 0]), np.array([1.0, 1.0]))
+        with pytest.raises(FloatingPointError):
+            range_jacobian(np.array([0.0, 0.0, 0, 0]), np.zeros(2))
+
+
+class TestEKF:
+    def make_ekf(self, sigma_z=0.02):
+        dyn = ConstantVelocityModel(dt=1.0, sigma_x=0.2, sigma_y=0.2)
+        meas = BearingMeasurement(noise_std=sigma_z, reference="node")
+
+        def h(state, sensor):
+            return meas.true_value(state, sensor)
+
+        return dyn, meas, ExtendedKalmanFilter(
+            dyn.phi, dyn.process_noise_cov, h, bearing_jacobian, sigma_z**2, angular=True
+        )
+
+    def test_tracks_with_two_bearing_sensors(self, rng):
+        dyn, meas, ekf = self.make_ekf()
+        sensors = [np.array([0.0, 0.0]), np.array([50.0, 0.0])]
+        truth = np.array([20.0, 30.0, 1.0, 0.5])
+        ekf.initialize(truth + rng.normal(0, 0.5, 4), np.diag([4, 4, 0.5, 0.5]))
+        errs = []
+        for _ in range(15):
+            truth = dyn.propagate(truth[None, :], rng)[0]
+            obs = [(meas.measure(truth, rng, s), s) for s in sensors]
+            est = ekf.step(obs)
+            errs.append(np.linalg.norm(est[:2] - truth[:2]))
+        assert np.mean(errs[3:]) < 1.0
+
+    def test_angular_wraparound_handled(self):
+        _, _, ekf = self.make_ekf(sigma_z=0.1)
+        # state west of the sensor: bearing ~ pi; measurement just below -pi
+        ekf.initialize(np.array([-10.0, 0.1, 0.0, 0.0]), np.eye(4) * 0.1)
+        x_before = ekf.x.copy()
+        ekf.update(-np.pi + 0.01, np.zeros(2))
+        # a naive (unwrapped) innovation of ~ -2pi would fling the state away
+        assert np.linalg.norm(ekf.x - x_before) < 1.0
+
+    def test_validation(self):
+        dyn = ConstantVelocityModel()
+        with pytest.raises(ValueError):
+            ExtendedKalmanFilter(dyn.phi, dyn.process_noise_cov, None, None, 0.0)
+
+    def test_requires_initialization(self):
+        _, _, ekf = self.make_ekf()
+        with pytest.raises(RuntimeError):
+            ekf.predict()

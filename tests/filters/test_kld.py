@@ -1,0 +1,80 @@
+"""KLD-sampling: the Fox 2003 bound and the adaptive resampler."""
+
+import numpy as np
+import pytest
+
+from repro.filters.kld import KLDSampler, kld_bound
+from repro.filters.particles import ParticleSet
+
+
+class TestKLDBound:
+    def test_single_bin_needs_one_particle(self):
+        assert kld_bound(1, 0.05, 0.01) == 1
+
+    def test_monotone_in_bins(self):
+        ns = [kld_bound(k, 0.05, 0.01) for k in range(2, 60)]
+        assert all(b >= a for a, b in zip(ns, ns[1:]))
+
+    def test_monotone_in_epsilon(self):
+        assert kld_bound(20, 0.01, 0.01) > kld_bound(20, 0.1, 0.01)
+
+    def test_monotone_in_delta(self):
+        assert kld_bound(20, 0.05, 0.001) > kld_bound(20, 0.05, 0.1)
+
+    def test_known_magnitude(self):
+        """Fox reports ~ (k-1)/(2 eps) scaling; for k=101, eps=0.05 the bound
+        is about 1200 (sanity-check the Wilson-Hilferty term)."""
+        n = kld_bound(101, 0.05, 0.01)
+        assert 1000 < n < 1400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kld_bound(0, 0.05, 0.01)
+        with pytest.raises(ValueError):
+            kld_bound(10, 0.0, 0.01)
+        with pytest.raises(ValueError):
+            kld_bound(10, 0.05, 1.5)
+
+
+class TestKLDSampler:
+    def test_concentrated_cloud_needs_few_particles(self, rng):
+        # centered mid-bin so the cloud occupies a single histogram cell
+        states = 1.0 + rng.normal(0, 0.1, size=(2000, 4))
+        p = ParticleSet(states)
+        sampler = KLDSampler(bin_size=2.0, n_min=20, n_max=1000)
+        out = sampler.adapt(p, rng)
+        assert out.n == 20  # n_min binds
+
+    def test_spread_cloud_needs_more(self, rng):
+        states = rng.uniform(-50, 50, size=(2000, 4))
+        p = ParticleSet(states)
+        sampler = KLDSampler(bin_size=2.0, n_min=20, n_max=1000)
+        out = sampler.adapt(p, rng)
+        assert out.n > 100
+
+    def test_respects_n_max(self, rng):
+        states = rng.uniform(-500, 500, size=(3000, 4))
+        sampler = KLDSampler(bin_size=1.0, n_min=10, n_max=150)
+        out = sampler.adapt(ParticleSet(states), rng)
+        assert out.n <= 150
+
+    def test_output_uniform_weights(self, rng):
+        states = rng.normal(size=(500, 4))
+        out = KLDSampler().adapt(ParticleSet(states), rng)
+        np.testing.assert_allclose(out.weights, 1.0 / out.n)
+
+    def test_ancestors_come_from_source(self, rng):
+        states = rng.normal(size=(100, 4))
+        p = ParticleSet(states)
+        out = KLDSampler(n_min=10, n_max=50).adapt(p, rng)
+        # every output row must be one of the input rows
+        for row in out.states[:10]:
+            assert (np.abs(states - row).sum(axis=1) < 1e-12).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KLDSampler(bin_size=0.0)
+        with pytest.raises(ValueError):
+            KLDSampler(n_min=0)
+        with pytest.raises(ValueError):
+            KLDSampler(n_min=100, n_max=50)

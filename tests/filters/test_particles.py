@@ -1,0 +1,148 @@
+"""ParticleSet invariants and operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.particles import ParticleSet, normalize_log_weights
+
+
+class TestConstruction:
+    def test_uniform_weights_by_default(self):
+        p = ParticleSet(np.zeros((4, 2)))
+        np.testing.assert_allclose(p.weights, 0.25)
+
+    def test_1d_state_promoted(self):
+        p = ParticleSet(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert p.n == 1 and p.dim == 4
+
+    def test_defensive_copy(self):
+        states = np.zeros((2, 2))
+        p = ParticleSet(states)
+        states[0, 0] = 99.0
+        assert p.states[0, 0] == 0.0
+
+    def test_no_copy_mode_aliases(self):
+        states = np.zeros((2, 2))
+        p = ParticleSet(states, copy=False)
+        states[0, 0] = 99.0
+        assert p.states[0, 0] == 99.0
+
+    @pytest.mark.parametrize(
+        "states, weights, match",
+        [
+            (np.zeros((0, 2)), None, "non-empty"),
+            (np.full((2, 2), np.nan), None, "finite"),
+            (np.zeros((2, 2)), np.array([1.0]), "shape"),
+            (np.zeros((2, 2)), np.array([1.0, -1.0]), "non-negative"),
+            (np.zeros((2, 2)), np.array([0.0, 0.0]), "zero"),
+            (np.zeros((2, 2)), np.array([np.inf, 1.0]), "finite"),
+        ],
+    )
+    def test_validation(self, states, weights, match):
+        with pytest.raises(ValueError, match=match):
+            ParticleSet(states, weights)
+
+
+class TestOperations:
+    def test_normalized(self):
+        p = ParticleSet(np.zeros((3, 2)), np.array([2.0, 4.0, 2.0]))
+        q = p.normalized()
+        assert q.is_normalized
+        np.testing.assert_allclose(q.weights, [0.25, 0.5, 0.25])
+
+    def test_scaled(self):
+        p = ParticleSet(np.zeros((2, 2)), np.array([1.0, 3.0]))
+        q = p.scaled(2.0)
+        np.testing.assert_allclose(q.weights, [2.0, 6.0])
+        with pytest.raises(ValueError):
+            p.scaled(0.0)
+
+    def test_mean_is_weighted(self):
+        p = ParticleSet(np.array([[0.0, 0.0], [10.0, 0.0]]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(p.mean(), [7.5, 0.0])
+
+    def test_mean_invariant_to_weight_scale(self):
+        states = np.random.default_rng(0).normal(size=(50, 3))
+        w = np.random.default_rng(1).uniform(0.1, 1, 50)
+        a = ParticleSet(states, w).mean()
+        b = ParticleSet(states, 10 * w).mean()
+        np.testing.assert_allclose(a, b)
+
+    def test_covariance_of_known_cloud(self):
+        rng = np.random.default_rng(3)
+        states = rng.normal(0, 2.0, size=(50000, 2))
+        p = ParticleSet(states)
+        np.testing.assert_allclose(p.covariance(), 4 * np.eye(2), atol=0.15)
+
+    def test_ess_bounds(self):
+        uniform = ParticleSet(np.zeros((10, 1)))
+        assert uniform.effective_sample_size() == pytest.approx(10.0)
+        point = ParticleSet(np.zeros((10, 1)), np.array([1.0] + [1e-12] * 9))
+        assert point.effective_sample_size() == pytest.approx(1.0, abs=1e-6)
+
+    def test_select_uniform_weights(self):
+        p = ParticleSet(np.arange(8.0).reshape(4, 2), np.array([0.1, 0.2, 0.3, 0.4]))
+        q = p.select(np.array([3, 3, 0]))
+        assert q.n == 3
+        np.testing.assert_allclose(q.weights, 1 / 3)
+        np.testing.assert_allclose(q.states[0], p.states[3])
+
+    def test_select_empty_rejected(self):
+        p = ParticleSet(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            p.select(np.array([], dtype=int))
+
+    def test_subset_keeps_weights(self):
+        p = ParticleSet(np.zeros((4, 2)), np.array([0.1, 0.2, 0.3, 0.4]))
+        q = p.subset(np.array([1, 3]))
+        np.testing.assert_allclose(q.weights, [0.2, 0.4])
+
+    def test_concatenate(self):
+        a = ParticleSet(np.zeros((2, 2)), np.array([1.0, 1.0]))
+        b = ParticleSet(np.ones((3, 2)), np.array([2.0, 2.0, 2.0]))
+        c = ParticleSet.concatenate([a, b])
+        assert c.n == 5
+        assert c.total_weight == pytest.approx(8.0)
+
+    def test_reweighted(self):
+        p = ParticleSet(np.zeros((2, 2)))
+        q = p.reweighted(np.array([3.0, 1.0]))
+        np.testing.assert_allclose(q.weights, [3.0, 1.0])
+
+    def test_copy_independent(self):
+        p = ParticleSet(np.zeros((2, 2)))
+        q = p.copy()
+        q.states[0, 0] = 5.0
+        assert p.states[0, 0] == 0.0
+
+
+class TestNormalizeLogWeights:
+    def test_matches_direct_computation(self):
+        lw = np.array([-1.0, -2.0, -3.0])
+        w = normalize_log_weights(lw)
+        direct = np.exp(lw) / np.exp(lw).sum()
+        np.testing.assert_allclose(w, direct)
+
+    def test_extreme_magnitudes_stable(self):
+        w = normalize_log_weights(np.array([-1e6, -1e6 + 1.0]))
+        assert w.sum() == pytest.approx(1.0)
+        assert w[1] > w[0]
+
+    def test_all_minus_inf_raises(self):
+        with pytest.raises(FloatingPointError, match="degeneracy"):
+            normalize_log_weights(np.array([-np.inf, -np.inf]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_log_weights(np.array([]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.floats(-500, 100), min_size=1, max_size=40),
+    )
+    def test_property_sums_to_one(self, logs):
+        w = normalize_log_weights(np.array(logs))
+        assert w.sum() == pytest.approx(1.0)
+        assert (w >= 0).all()

@@ -1,0 +1,129 @@
+"""Resampling schemes: unbiasedness, determinism, variance ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.resampling import (
+    RESAMPLERS,
+    get_resampler,
+    multinomial_resample,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+
+ALL = list(RESAMPLERS.items())
+
+
+@pytest.mark.parametrize("name,fn", ALL)
+class TestCommonProperties:
+    def test_output_length_defaults_to_input(self, name, fn, rng):
+        idx = fn(np.array([0.1, 0.4, 0.5]), rng=rng)
+        assert idx.shape == (3,)
+
+    def test_custom_n_out(self, name, fn, rng):
+        idx = fn(np.array([0.5, 0.5]), 10, rng=rng)
+        assert idx.shape == (10,)
+
+    def test_indices_in_range(self, name, fn, rng):
+        idx = fn(np.random.default_rng(0).uniform(0, 1, 20), 50, rng=rng)
+        assert ((idx >= 0) & (idx < 20)).all()
+
+    def test_unnormalized_weights_accepted(self, name, fn):
+        a = fn(np.array([1.0, 3.0]), 1000, rng=np.random.default_rng(4))
+        b = fn(np.array([0.25, 0.75]), 1000, rng=np.random.default_rng(4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_given_rng(self, name, fn):
+        w = np.random.default_rng(1).uniform(0, 1, 10)
+        a = fn(w, rng=np.random.default_rng(7))
+        b = fn(w, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_point_mass_always_selected(self, name, fn, rng):
+        idx = fn(np.array([0.0, 1.0, 0.0]), 20, rng=rng)
+        assert (idx == 1).all()
+
+    def test_zero_weight_never_selected(self, name, fn, rng):
+        w = np.array([0.5, 0.0, 0.5])
+        for seed in range(20):
+            idx = fn(w, 30, rng=np.random.default_rng(seed))
+            assert (idx != 1).all()
+
+    def test_invalid_weights(self, name, fn, rng):
+        with pytest.raises(ValueError):
+            fn(np.array([-0.1, 1.1]), rng=rng)
+        with pytest.raises(ValueError):
+            fn(np.array([0.0, 0.0]), rng=rng)
+        with pytest.raises(ValueError):
+            fn(np.array([]), rng=rng)
+        with pytest.raises(ValueError):
+            fn(np.array([1.0]), 0, rng=rng)
+
+    def test_unbiased_offspring_counts(self, name, fn):
+        """E[# offspring of i] == n * w_i for every scheme."""
+        w = np.array([0.1, 0.2, 0.3, 0.4])
+        n, reps = 100, 400
+        counts = np.zeros(4)
+        for seed in range(reps):
+            idx = fn(w, n, rng=np.random.default_rng(seed))
+            counts += np.bincount(idx, minlength=4)
+        np.testing.assert_allclose(counts / reps, n * w, rtol=0.06)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 10**6))
+    def test_property_unbiased_support(self, name, fn, data, seed):
+        """Every positive-weight ancestor remains *possible*, zero-weight
+        ancestors are impossible, and output size is exact."""
+        weights = data.draw(
+            st.lists(st.floats(0.0, 10.0), min_size=2, max_size=15).filter(
+                lambda ws: sum(ws) > 0
+            )
+        )
+        w = np.array(weights)
+        idx = fn(w, 30, rng=np.random.default_rng(seed))
+        assert idx.shape == (30,)
+        assert (w[idx] > 0).all()
+
+
+class TestSchemeSpecific:
+    def test_residual_deterministic_part(self):
+        """With integer n*w, residual resampling is fully deterministic."""
+        w = np.array([0.25, 0.75])
+        idx = residual_resample(w, 4, rng=np.random.default_rng(0))
+        assert sorted(idx.tolist()) == [0, 1, 1, 1]
+
+    def test_systematic_lower_variance_than_multinomial(self):
+        w = np.random.default_rng(5).uniform(0, 1, 50)
+        w /= w.sum()
+
+        def offspring_var(fn):
+            samples = []
+            for seed in range(300):
+                idx = fn(w, 50, rng=np.random.default_rng(seed))
+                samples.append(np.bincount(idx, minlength=50))
+            return np.array(samples).var(axis=0).sum()
+
+        assert offspring_var(systematic_resample) < offspring_var(multinomial_resample)
+
+    def test_stratified_offspring_counts_tight(self):
+        """Stratified: each ancestor's offspring count deviates from n*w by
+        at most ~1 (within-stratum placement)."""
+        w = np.array([0.3, 0.3, 0.4])
+        idx = stratified_resample(w, 100, rng=np.random.default_rng(2))
+        counts = np.bincount(idx, minlength=3)
+        np.testing.assert_allclose(counts, 100 * w, atol=2)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_resampler("systematic") is systematic_resample
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ValueError, match="multinomial"):
+            get_resampler("bogus")
+
+    def test_all_registered(self):
+        assert set(RESAMPLERS) == {"multinomial", "stratified", "systematic", "residual"}

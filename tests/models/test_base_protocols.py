@@ -1,0 +1,68 @@
+"""Protocol conformance: the model interfaces and their implementations."""
+
+import numpy as np
+import pytest
+
+from repro.models.base import MeasurementModel, TransitionModel
+from repro.models.constant_velocity import ConstantVelocityModel
+from repro.models.measurement import (
+    BearingMeasurement,
+    RangeMeasurement,
+    RSSMeasurement,
+)
+
+
+class TestTransitionProtocol:
+    def test_cv_model_conforms(self):
+        assert isinstance(ConstantVelocityModel(), TransitionModel)
+
+    def test_protocol_rejects_non_models(self):
+        assert not isinstance(object(), TransitionModel)
+
+
+class TestMeasurementProtocol:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BearingMeasurement(reference="node"),
+            RangeMeasurement(),
+            RSSMeasurement(),
+        ],
+    )
+    def test_models_conform(self, model):
+        assert isinstance(model, MeasurementModel)
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BearingMeasurement(reference="node"),
+            RangeMeasurement(),
+            RSSMeasurement(),
+        ],
+    )
+    def test_measure_likelihood_consistency(self, model, rng):
+        """Likelihood of a measurement is (statistically) highest at the state
+        that generated it."""
+        truth = np.array([30.0, 40.0, 1.0, 0.0])
+        sensor = np.array([10.0, 10.0])
+        zs = [model.measure(truth, rng, sensor) for _ in range(100)]
+        candidates = np.array(
+            [
+                [30.0, 40.0, 1.0, 0.0],  # truth
+                [50.0, 10.0, 1.0, 0.0],
+                [5.0, 70.0, 1.0, 0.0],
+            ]
+        )
+        total_ll = np.zeros(3)
+        for z in zs:
+            total_ll += model.log_likelihood(candidates, z, sensor)
+        assert np.argmax(total_ll) == 0
+
+    def test_likelihood_normalization_1d_slice(self):
+        """The bearing density integrates to ~1 over one period."""
+        m = BearingMeasurement(noise_std=0.2, reference="node")
+        thetas = np.linspace(-np.pi, np.pi, 2001)
+        states = 10.0 * np.column_stack([np.cos(thetas), np.sin(thetas)])
+        pdf = m.likelihood(states, 0.7, np.zeros(2))
+        integral = np.trapezoid(pdf, thetas)
+        assert integral == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,92 @@
+"""Constant-velocity model: Eq. 5's PHI/GAMMA and the noise statistics."""
+
+import numpy as np
+import pytest
+
+from repro.models.constant_velocity import ConstantVelocityModel
+
+
+class TestMatrices:
+    def test_phi_structure(self):
+        m = ConstantVelocityModel(dt=5.0)
+        expected = np.array(
+            [
+                [1, 0, 5, 0],
+                [0, 1, 0, 5],
+                [0, 0, 1, 0],
+                [0, 0, 0, 1],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_allclose(m.phi, expected)
+
+    def test_gamma_structure(self):
+        m = ConstantVelocityModel(dt=2.0)
+        expected = np.array([[2, 0], [0, 2], [1, 0], [0, 1]], dtype=float)
+        np.testing.assert_allclose(m.gamma, expected)
+
+    def test_process_noise_cov_psd_and_symmetric(self):
+        m = ConstantVelocityModel(dt=5.0, sigma_x=0.05, sigma_y=0.1)
+        q = m.process_noise_cov
+        np.testing.assert_allclose(q, q.T)
+        assert (np.linalg.eigvalsh(q) >= -1e-12).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityModel(dt=0.0)
+        with pytest.raises(ValueError):
+            ConstantVelocityModel(sigma_x=-0.1)
+
+
+class TestDeterministicStep:
+    def test_position_advances_by_velocity(self):
+        m = ConstantVelocityModel(dt=5.0)
+        x = np.array([[0.0, 100.0, 3.0, -1.0]])
+        out = m.deterministic_step(x)
+        np.testing.assert_allclose(out, [[15.0, 95.0, 3.0, -1.0]])
+
+    def test_input_not_mutated(self):
+        m = ConstantVelocityModel()
+        x = np.ones((3, 4))
+        m.deterministic_step(x)
+        np.testing.assert_allclose(x, 1.0)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityModel().deterministic_step(np.zeros((2, 3)))
+
+
+class TestPropagate:
+    def test_mean_matches_deterministic(self, rng):
+        m = ConstantVelocityModel(dt=5.0, sigma_x=0.05, sigma_y=0.05)
+        x = np.tile([0.0, 0.0, 3.0, 0.0], (20000, 1))
+        out = m.propagate(x, rng)
+        np.testing.assert_allclose(out.mean(axis=0), [15, 0, 3, 0], atol=0.05)
+
+    def test_covariance_matches_q(self, rng):
+        m = ConstantVelocityModel(dt=5.0, sigma_x=0.05, sigma_y=0.08)
+        x = np.zeros((60000, 4))
+        out = m.propagate(x, rng)
+        np.testing.assert_allclose(np.cov(out.T), m.process_noise_cov, atol=0.03)
+
+    def test_zero_noise_is_deterministic(self, rng):
+        m = ConstantVelocityModel(dt=1.0, sigma_x=0.0, sigma_y=0.0)
+        x = np.array([[1.0, 2.0, 0.5, -0.5]])
+        np.testing.assert_allclose(m.propagate(x, rng), m.deterministic_step(x))
+
+
+class TestInitialParticles:
+    def test_moments(self, rng):
+        m = ConstantVelocityModel()
+        mean = np.array([1.0, 2.0, 3.0, 4.0])
+        cov = np.diag([1.0, 2.0, 0.5, 0.25])
+        pts = m.initial_particles(50000, mean, cov, rng)
+        np.testing.assert_allclose(pts.mean(axis=0), mean, atol=0.05)
+        np.testing.assert_allclose(np.cov(pts.T), cov, atol=0.05)
+
+    def test_shape_validation(self, rng):
+        m = ConstantVelocityModel()
+        with pytest.raises(ValueError):
+            m.initial_particles(10, np.zeros(3), np.eye(4), rng)
+        with pytest.raises(ValueError):
+            m.initial_particles(10, np.zeros(4), np.eye(3), rng)

@@ -1,0 +1,174 @@
+"""Measurement models: wrap-around, likelihood geometry, both references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.measurement import (
+    BearingMeasurement,
+    RangeBearingMeasurement,
+    RangeMeasurement,
+    RSSMeasurement,
+    wrap_angle,
+)
+
+
+class TestWrapAngle:
+    def test_identity_inside_interval(self):
+        np.testing.assert_allclose(wrap_angle(np.array([0.0, 1.0, -1.0])), [0.0, 1.0, -1.0])
+
+    def test_wraps_large_angles(self):
+        assert wrap_angle(np.array([3 * np.pi]))[0] == pytest.approx(np.pi)
+        assert wrap_angle(np.array([-3 * np.pi]))[0] == pytest.approx(np.pi)
+
+    def test_half_open_convention(self):
+        # -pi maps to +pi: the interval is (-pi, pi]
+        assert wrap_angle(np.array([-np.pi]))[0] == pytest.approx(np.pi)
+        assert wrap_angle(np.array([np.pi]))[0] == pytest.approx(np.pi)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(-100.0, 100.0))
+    def test_property_in_interval_and_congruent(self, theta):
+        w = float(wrap_angle(np.array([theta]))[0])
+        assert -np.pi < w <= np.pi + 1e-12
+        r = (w - theta) % (2 * np.pi)
+        assert min(r, 2 * np.pi - r) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBearingMeasurement:
+    def test_node_reference_true_value(self):
+        m = BearingMeasurement(reference="node")
+        z = m.true_value(np.array([10.0, 10.0, 0, 0]), np.array([10.0, 0.0]))
+        assert z == pytest.approx(np.pi / 2)
+
+    def test_origin_reference_matches_eq5(self):
+        m = BearingMeasurement(reference="origin")
+        z = m.true_value(np.array([1.0, 1.0, 0, 0]))
+        assert z == pytest.approx(np.arctan(1.0))
+
+    def test_node_reference_requires_position(self):
+        m = BearingMeasurement(reference="node")
+        with pytest.raises(ValueError, match="sensor_position"):
+            m.true_value(np.array([1.0, 1.0, 0, 0]))
+
+    def test_measure_noise_statistics(self, rng):
+        m = BearingMeasurement(noise_std=0.05, reference="origin")
+        state = np.array([10.0, 0.0, 0, 0])
+        zs = np.array([m.measure(state, rng) for _ in range(4000)])
+        assert zs.mean() == pytest.approx(0.0, abs=0.005)
+        assert zs.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_likelihood_peaks_at_truth(self):
+        m = BearingMeasurement(noise_std=0.05, reference="node")
+        sensor = np.array([0.0, 0.0])
+        z = np.pi / 4
+        angles = np.linspace(-np.pi, np.pi, 181)
+        states = 10.0 * np.column_stack([np.cos(angles), np.sin(angles)])
+        lik = m.likelihood(states, z, sensor)
+        best = angles[np.argmax(lik)]
+        assert best == pytest.approx(np.pi / 4, abs=0.05)
+
+    def test_likelihood_handles_wraparound(self):
+        """Particles at bearing +pi and measurement near -pi must score high."""
+        m = BearingMeasurement(noise_std=0.1, reference="node")
+        state = np.array([[-10.0, 0.001, 0, 0]])  # bearing ~ +pi
+        z = -np.pi + 0.001  # equivalent direction, other sign
+        ll = m.log_likelihood(state, z, np.zeros(2))
+        assert ll[0] > m.log_likelihood(state, z + 0.5, np.zeros(2))[0]
+        assert ll[0] == pytest.approx(m.log_likelihood(state, z + 2 * np.pi, np.zeros(2))[0])
+
+    def test_log_kernel_nonpositive_and_zero_at_truth(self):
+        m = BearingMeasurement(noise_std=0.05, reference="node")
+        sensor = np.zeros(2)
+        state = np.array([[10.0, 0.0, 0, 0]])
+        assert m.log_kernel(state, 0.0, sensor)[0] == pytest.approx(0.0)
+        assert (m.log_kernel(state, 0.3, sensor) < 0).all()
+
+    def test_log_kernel_flat_at_sensor_position(self):
+        m = BearingMeasurement(noise_std=0.05, reference="node")
+        sensor = np.array([5.0, 5.0])
+        state = np.array([[5.0, 5.0, 1, 1]])
+        assert m.log_kernel(state, 2.0, sensor)[0] == 0.0
+
+    def test_accepts_2d_and_4d_states(self):
+        m = BearingMeasurement(reference="origin")
+        a = m.log_likelihood(np.array([[3.0, 4.0]]), 0.5)
+        b = m.log_likelihood(np.array([[3.0, 4.0, 9.0, 9.0]]), 0.5)
+        np.testing.assert_allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BearingMeasurement(noise_std=0.0)
+        with pytest.raises(ValueError):
+            BearingMeasurement(reference="satellite")
+
+
+class TestRangeMeasurement:
+    def test_true_value(self):
+        m = RangeMeasurement()
+        assert m.true_value(np.array([3.0, 4.0, 0, 0]), np.zeros(2)) == pytest.approx(5.0)
+
+    def test_measure_nonnegative(self, rng):
+        m = RangeMeasurement(noise_std=5.0)
+        state = np.array([0.1, 0.0, 0, 0])
+        for _ in range(50):
+            assert m.measure(state, rng, np.zeros(2)) >= 0.0
+
+    def test_likelihood_peaks_at_true_range(self):
+        m = RangeMeasurement(noise_std=0.5)
+        xs = np.linspace(1, 20, 100)
+        states = np.column_stack([xs, np.zeros(100)])
+        lik = m.likelihood(states, 10.0, np.zeros(2))
+        assert xs[np.argmax(lik)] == pytest.approx(10.0, abs=0.3)
+
+    def test_requires_sensor_position(self, rng):
+        m = RangeMeasurement()
+        with pytest.raises(ValueError):
+            m.measure(np.zeros(4), rng)
+        with pytest.raises(ValueError):
+            m.log_likelihood(np.zeros((1, 4)), 1.0)
+
+
+class TestRangeBearing:
+    def test_measure_shape(self, rng):
+        m = RangeBearingMeasurement()
+        z = m.measure(np.array([10.0, 0.0, 0, 0]), rng, np.zeros(2))
+        assert z.shape == (2,)
+
+    def test_joint_loglik_is_sum(self):
+        m = RangeBearingMeasurement(range_std=0.5, bearing_std=0.05)
+        states = np.array([[10.0, 0.0, 0, 0], [0.0, 10.0, 0, 0]])
+        z = np.array([10.0, 0.0])
+        joint = m.log_likelihood(states, z, np.zeros(2))
+        r = RangeMeasurement(0.5).log_likelihood(states, 10.0, np.zeros(2))
+        b = BearingMeasurement(0.05, reference="node").log_likelihood(states, 0.0, np.zeros(2))
+        np.testing.assert_allclose(joint, r + b)
+
+    def test_z_shape_checked(self):
+        m = RangeBearingMeasurement()
+        with pytest.raises(ValueError):
+            m.log_likelihood(np.zeros((1, 4)), np.array([1.0]), np.zeros(2))
+
+
+class TestRSS:
+    def test_path_loss_slope(self):
+        m = RSSMeasurement(p0_dbm=-40, path_loss_exponent=2.0, noise_std=1.0)
+        near = m.true_value(np.array([10.0, 0.0, 0, 0]), np.zeros(2))
+        far = m.true_value(np.array([100.0, 0.0, 0, 0]), np.zeros(2))
+        assert near - far == pytest.approx(20.0)  # 10x distance at eta=2 -> 20 dB
+
+    def test_distance_floor(self):
+        m = RSSMeasurement(d_min=0.5)
+        at_sensor = m.true_value(np.array([0.0, 0.0, 0, 0]), np.zeros(2))
+        assert np.isfinite(at_sensor)
+
+    def test_likelihood_finite(self):
+        m = RSSMeasurement()
+        states = np.array([[0.0, 0.0, 0, 0], [50.0, 50.0, 0, 0]])
+        ll = m.log_likelihood(states, -60.0, np.zeros(2))
+        assert np.isfinite(ll).all()
+
+    def test_requires_sensor_position(self, rng):
+        with pytest.raises(ValueError):
+            RSSMeasurement().measure(np.zeros(4), rng)

@@ -1,0 +1,135 @@
+"""Trajectory generation: speed, turn modes, iteration views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.trajectory import (
+    Trajectory,
+    random_turn_trajectory,
+    straight_line_trajectory,
+)
+
+
+class TestStraightLine:
+    def test_path_shape_and_values(self):
+        t = straight_line_trajectory(2, start=(0, 100), velocity=(3, 0), steps_per_iteration=5)
+        assert t.path.shape == (11, 2)
+        np.testing.assert_allclose(t.position_at_iteration(1), [15.0, 100.0])
+        np.testing.assert_allclose(t.position_at_iteration(2), [30.0, 100.0])
+
+    def test_velocity_constant(self):
+        t = straight_line_trajectory(3, velocity=(2, -1))
+        for k in range(4):
+            np.testing.assert_allclose(t.velocity_at_iteration(k), [2, -1])
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            straight_line_trajectory(0)
+
+
+class TestRandomTurn:
+    def test_constant_speed(self, rng):
+        t = random_turn_trajectory(10, rng=rng)
+        steps = np.diff(t.path, axis=0)
+        np.testing.assert_allclose(np.linalg.norm(steps, axis=1), 3.0, rtol=1e-9)
+
+    def test_paper_path_length(self, rng):
+        """50 sub-steps at 3 m/s: the Fig. 4 crossing covers ~150 m of path."""
+        t = random_turn_trajectory(10, rng=rng)
+        arc = np.sum(np.linalg.norm(np.diff(t.path, axis=0), axis=1))
+        assert arc == pytest.approx(150.0)
+
+    def test_jitter_mode_stays_near_base_heading(self, rng):
+        """Fig. 4's signature: the jittered target stays within a few meters
+        of y = 100 while crossing ~150 m in x."""
+        t = random_turn_trajectory(10, rng=rng, turn_mode="jitter")
+        assert np.abs(t.path[:, 1] - 100.0).max() < 12.0
+        assert t.path[-1, 0] > 120.0
+
+    def test_random_walk_wanders_more_than_jitter(self):
+        """The accumulated-turn mode has a strictly larger cross-track spread
+        (averaged over seeds)."""
+        def spread(mode):
+            vals = []
+            for s in range(20):
+                t = random_turn_trajectory(
+                    10, rng=np.random.default_rng(s), turn_mode=mode
+                )
+                vals.append(np.abs(t.path[:, 1] - 100.0).max())
+            return np.mean(vals)
+
+        assert spread("random_walk") > 2.0 * spread("jitter")
+
+    def test_turns_bounded(self, rng):
+        t = random_turn_trajectory(10, rng=rng, turn_mode="jitter", max_turn_deg=15)
+        steps = np.diff(t.path, axis=0)
+        headings = np.arctan2(steps[:, 1], steps[:, 0])
+        assert np.abs(np.rad2deg(headings)).max() <= 15.0 + 1e-9
+
+    def test_zero_turn_is_straight(self, rng):
+        t = random_turn_trajectory(4, rng=rng, max_turn_deg=0.0)
+        np.testing.assert_allclose(t.path[:, 1], 100.0, atol=1e-9)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_turn_trajectory(0, rng=rng)
+        with pytest.raises(ValueError):
+            random_turn_trajectory(5, rng=rng, speed=-1)
+        with pytest.raises(ValueError):
+            random_turn_trajectory(5, rng=rng, turn_mode="zigzag")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 9999), st.sampled_from(["jitter", "random_walk"]))
+    def test_property_speed_exact(self, seed, mode):
+        t = random_turn_trajectory(
+            6, rng=np.random.default_rng(seed), speed=2.5, turn_mode=mode
+        )
+        steps = np.linalg.norm(np.diff(t.path, axis=0), axis=1)
+        np.testing.assert_allclose(steps, 2.5, rtol=1e-9)
+
+
+class TestTrajectoryViews:
+    @pytest.fixture
+    def traj(self, rng):
+        return random_turn_trajectory(5, rng=rng)
+
+    def test_n_iterations(self, traj):
+        assert traj.n_iterations == 5
+
+    def test_iteration_dt(self, traj):
+        assert traj.iteration_dt == 5.0
+
+    def test_interval_path_covers_substeps(self, traj):
+        p = traj.interval_path(2)
+        assert p.shape == (6, 2)
+        np.testing.assert_allclose(p[0], traj.position_at_iteration(1))
+        np.testing.assert_allclose(p[-1], traj.position_at_iteration(2))
+
+    def test_interval_path_k0_rejected(self, traj):
+        with pytest.raises(ValueError):
+            traj.interval_path(0)
+
+    def test_iteration_positions(self, traj):
+        pts = traj.iteration_positions()
+        assert pts.shape == (6, 2)
+        for k in range(6):
+            np.testing.assert_allclose(pts[k], traj.position_at_iteration(k))
+
+    def test_velocity_is_last_substep_rate(self, traj):
+        v = traj.velocity_at_iteration(3)
+        idx = 3 * traj.steps_per_iteration
+        np.testing.assert_allclose(v, traj.path[idx] - traj.path[idx - 1])
+
+    def test_out_of_range_iteration(self, traj):
+        with pytest.raises(ValueError):
+            traj.position_at_iteration(6)
+        with pytest.raises(ValueError):
+            traj.position_at_iteration(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Trajectory(path=np.zeros((0, 2)), substep_dt=1.0, steps_per_iteration=5)
+        with pytest.raises(ValueError):
+            Trajectory(path=np.zeros((5, 2)), substep_dt=0.0, steps_per_iteration=5)

@@ -1,0 +1,138 @@
+"""Deployments: counts, bounds, density arithmetic, all generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.deployment import (
+    clustered_deployment,
+    density_to_count,
+    grid_deployment,
+    poisson_deployment,
+    uniform_deployment,
+)
+
+
+class TestDensityToCount:
+    def test_paper_extremes(self):
+        # the paper: 5-40 nodes/100 m^2 on 200x200 -> 2000-16000 nodes
+        assert density_to_count(5, 200, 200) == 2000
+        assert density_to_count(40, 200, 200) == 16000
+
+    def test_zero_density(self):
+        assert density_to_count(0, 200, 200) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            density_to_count(-1, 100, 100)
+
+
+class TestUniform:
+    def test_count_and_bounds(self, rng):
+        d = uniform_deployment(500, 80, 60, rng=rng)
+        assert d.n_nodes == 500
+        assert (d.positions[:, 0] >= 0).all() and (d.positions[:, 0] <= 80).all()
+        assert (d.positions[:, 1] >= 0).all() and (d.positions[:, 1] <= 60).all()
+
+    def test_density_property(self, rng):
+        d = uniform_deployment(1200, 200, 200, rng=rng)
+        assert d.density_per_100m2 == pytest.approx(3.0)
+
+    def test_zero_nodes(self, rng):
+        d = uniform_deployment(0, 10, 10, rng=rng)
+        assert d.n_nodes == 0
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_deployment(-1, 10, 10, rng=rng)
+
+    def test_contains(self, rng):
+        d = uniform_deployment(10, 80, 60, rng=rng)
+        assert d.contains((40, 30))
+        assert not d.contains((81, 30))
+        assert not d.contains((40, -1))
+
+    def test_index_queries_work(self, rng):
+        d = uniform_deployment(300, 50, 50, rng=rng)
+        hits = d.index.query_disk([25, 25], 10)
+        dist = np.linalg.norm(d.positions[hits] - [25, 25], axis=1)
+        assert (dist <= 10).all()
+
+    def test_reproducible_with_same_seed(self):
+        a = uniform_deployment(50, 10, 10, rng=np.random.default_rng(5))
+        b = uniform_deployment(50, 10, 10, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+
+class TestGrid:
+    def test_count(self):
+        d = grid_deployment(7, 70, 70)
+        assert d.n_nodes == 49
+
+    def test_cell_centered(self):
+        d = grid_deployment(2, 10, 10)
+        expected = {(2.5, 2.5), (2.5, 7.5), (7.5, 2.5), (7.5, 7.5)}
+        got = {tuple(p) for p in d.positions}
+        assert got == expected
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            grid_deployment(3, 10, 10, jitter=1.0)
+
+    def test_jitter_stays_in_field(self, rng):
+        d = grid_deployment(5, 10, 10, jitter=5.0, rng=rng)
+        assert (d.positions >= 0).all()
+        assert (d.positions[:, 0] <= 10).all()
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            grid_deployment(0, 10, 10)
+        with pytest.raises(ValueError):
+            grid_deployment(3, 10, 10, jitter=-1.0, rng=rng)
+
+
+class TestPoisson:
+    def test_mean_count(self):
+        counts = [
+            poisson_deployment(10, 100, 100, rng=np.random.default_rng(s)).n_nodes
+            for s in range(30)
+        ]
+        # intensity 10/100m^2 on 100x100 -> mean 1000, std ~32
+        assert abs(np.mean(counts) - 1000) < 40
+
+    def test_bounds(self, rng):
+        d = poisson_deployment(5, 30, 40, rng=rng)
+        assert (d.positions[:, 0] <= 30).all()
+        assert (d.positions[:, 1] <= 40).all()
+
+
+class TestClustered:
+    def test_count(self, rng):
+        d = clustered_deployment(4, 25, rng=rng)
+        assert d.n_nodes == 100
+
+    def test_clipped_to_field(self, rng):
+        d = clustered_deployment(3, 50, 20, 20, cluster_std=30, rng=rng)
+        assert (d.positions >= 0).all()
+        assert (d.positions[:, 0] <= 20).all()
+        assert (d.positions[:, 1] <= 20).all()
+
+    def test_invalid(self, rng):
+        with pytest.raises(ValueError):
+            clustered_deployment(0, 5, rng=rng)
+        with pytest.raises(ValueError):
+            clustered_deployment(5, 0, rng=rng)
+
+    def test_is_actually_clustered(self, rng):
+        """Mean nearest-neighbor distance far below a uniform deployment's."""
+        c = clustered_deployment(5, 40, 200, 200, cluster_std=5, rng=rng)
+        u = uniform_deployment(200, 200, 200, rng=rng)
+
+        def mean_nn(dep):
+            out = []
+            for i in range(0, dep.n_nodes, 10):
+                d = np.linalg.norm(dep.positions - dep.positions[i], axis=1)
+                d[i] = np.inf
+                out.append(d.min())
+            return np.mean(out)
+
+        assert mean_nn(c) < mean_nn(u)

@@ -1,0 +1,75 @@
+"""Energy model: breakdown arithmetic and the messages-vs-bytes claim."""
+
+import pytest
+
+from repro.network.energy import EnergyModel
+from repro.network.medium import CommAccounting
+
+
+class TestEnergyModel:
+    def test_breakdown_sums(self):
+        m = EnergyModel()
+        e = m.transmission_energy(10, 100, 50, idle_s=1.0, sleep_s=2.0)
+        assert e.total_mj == pytest.approx(
+            e.wakeup_mj + e.tx_mj + e.rx_mj + e.idle_mj + e.sleep_mj
+        )
+
+    def test_wakeup_scales_with_messages(self):
+        m = EnergyModel(wakeup_mj_per_message=0.5)
+        assert m.transmission_energy(4, 0).wakeup_mj == pytest.approx(2.0)
+
+    def test_tx_scales_with_bytes(self):
+        m = EnergyModel(tx_mj_per_byte=0.01)
+        assert m.transmission_energy(0, 200).tx_mj == pytest.approx(2.0)
+
+    def test_sleep_cheaper_than_idle(self):
+        m = EnergyModel()
+        idle = m.transmission_energy(0, 0, idle_s=10.0)
+        sleep = m.transmission_energy(0, 0, sleep_s=10.0)
+        assert sleep.total_mj < idle.total_mj / 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(tx_mj_per_byte=-1)
+        m = EnergyModel()
+        with pytest.raises(ValueError):
+            m.transmission_energy(-1, 0)
+        with pytest.raises(ValueError):
+            m.transmission_energy(0, 0, idle_s=-1)
+
+    def test_messages_dominate_for_small_payloads(self):
+        """The §I claim: for duty-cycled radios and small messages, waking
+        the radio costs more than the payload itself."""
+        m = EnergyModel()
+        one_small = m.transmission_energy(1, 4)  # one Dm-sized message
+        assert one_small.wakeup_mj > one_small.tx_mj
+
+    def test_fewer_messages_beats_fewer_bytes(self):
+        """Sending the same data in one message is cheaper than in ten —
+        even if splitting saved 50% of the bytes."""
+        m = EnergyModel()
+        one_big = m.transmission_energy(1, 200)
+        many_small = m.transmission_energy(10, 100)
+        assert one_big.total_mj < many_small.total_mj
+
+
+class TestEnergyOfAccounting:
+    def test_ledger_conversion(self):
+        acc = CommAccounting()
+        acc.record(0, "x", 100, 5)
+        m = EnergyModel()
+        e = m.energy_of_accounting(acc)
+        assert e.wakeup_mj == pytest.approx(5 * m.wakeup_mj_per_message)
+        assert e.tx_mj == pytest.approx(100 * m.tx_mj_per_byte)
+        assert e.rx_mj == 0.0
+
+    def test_rx_fanout(self):
+        acc = CommAccounting()
+        acc.record(0, "x", 100, 1)
+        m = EnergyModel()
+        e = m.energy_of_accounting(acc, rx_fanout=3.0)
+        assert e.rx_mj == pytest.approx(300 * m.rx_mj_per_byte)
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().energy_of_accounting(CommAccounting(), rx_fanout=-1)

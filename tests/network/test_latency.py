@@ -1,0 +1,105 @@
+"""Slotted-MAC latency model."""
+
+import numpy as np
+import pytest
+
+from repro.network.latency import (
+    Transmission,
+    broadcast_round_slots,
+    conflict_matrix,
+    convergecast_slots,
+)
+from repro.network.radio import RadioModel
+
+RADIO = RadioModel(comm_radius=30.0)
+
+
+class TestConflictMatrix:
+    def test_overlapping_receivers_conflict(self):
+        t1 = Transmission(np.array([0.0, 0.0]), np.array([[10.0, 0.0]]))
+        t2 = Transmission(np.array([20.0, 0.0]), np.array([[12.0, 0.0]]))
+        c = conflict_matrix([t1, t2], RADIO)
+        assert c[0, 1] and c[1, 0]
+
+    def test_far_apart_no_conflict(self):
+        t1 = Transmission(np.array([0.0, 0.0]), np.array([[10.0, 0.0]]))
+        t2 = Transmission(np.array([200.0, 0.0]), np.array([[210.0, 0.0]]))
+        c = conflict_matrix([t1, t2], RADIO)
+        assert not c.any()
+
+    def test_no_self_conflict(self):
+        t = Transmission(np.zeros(2), np.array([[10.0, 0.0]]))
+        assert not conflict_matrix([t], RADIO).any()
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        ts = [
+            Transmission(rng.uniform(0, 100, 2), rng.uniform(0, 100, (2, 2)))
+            for _ in range(8)
+        ]
+        c = conflict_matrix(ts, RADIO)
+        np.testing.assert_array_equal(c, c.T)
+
+
+class TestBroadcastRound:
+    def test_empty(self):
+        assert broadcast_round_slots(np.zeros((0, 2)), RADIO) == 0
+
+    def test_single_sender_one_slot(self):
+        assert broadcast_round_slots(np.array([[0.0, 0.0]]), RADIO) == 1
+
+    def test_colocated_senders_fully_serialize(self):
+        """CDPF's holders sit in one estimation area: every broadcast
+        conflicts, so the round needs exactly N_s slots."""
+        senders = np.random.default_rng(1).uniform(0, 10, (12, 2))
+        assert broadcast_round_slots(senders, RADIO) == 12
+
+    def test_spatial_reuse(self):
+        """Two far-apart clusters share slots."""
+        a = np.random.default_rng(2).uniform(0, 5, (6, 2))
+        b = a + 500.0
+        slots = broadcast_round_slots(np.vstack([a, b]), RADIO)
+        assert slots == 6
+
+    def test_slots_at_most_n(self):
+        senders = np.random.default_rng(3).uniform(0, 200, (30, 2))
+        assert 1 <= broadcast_round_slots(senders, RADIO) <= 30
+
+
+class TestConvergecast:
+    def line(self, n, spacing=25.0):
+        return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+    def test_empty(self):
+        assert convergecast_slots([], self.line(3), RADIO) == 0
+
+    def test_single_message_takes_hop_count_slots(self):
+        pos = self.line(5)
+        assert convergecast_slots([[0, 1, 2, 3, 4]], pos, RADIO) == 4
+
+    def test_two_messages_into_one_sink_serialize(self):
+        """The funnel effect: last hops into the same sink cannot share a
+        slot, so total slots exceed the longest path."""
+        pos = np.array([[0.0, 0.0], [25.0, 0.0], [50.0, 0.0], [25.0, 20.0]])
+        paths = [[0, 1, 2], [3, 1, 2]]
+        slots = convergecast_slots(paths, pos, RADIO)
+        assert slots >= 3  # 2 hops each, fully conflicting -> 4ish
+
+    def test_precedence_respected_lower_bound(self):
+        """The makespan is at least the longest path's hop count."""
+        pos = self.line(6)
+        paths = [[0, 1, 2, 3, 4, 5], [4, 5]]
+        assert convergecast_slots(paths, pos, RADIO) >= 5
+
+    def test_trivial_paths_skipped(self):
+        pos = self.line(3)
+        assert convergecast_slots([[1]], pos, RADIO) == 0
+
+    def test_cpf_funnel_grows_with_message_count(self):
+        """More detectors -> more sequential slots at the sink (the paper's
+        delay argument)."""
+        rng = np.random.default_rng(4)
+        pos = np.vstack([[100.0, 100.0], rng.uniform(80, 120, (30, 2))])
+        few = [[i, 0] for i in range(1, 6)]
+        many = [[i, 0] for i in range(1, 31)]
+        assert convergecast_slots(many, pos, RADIO) > convergecast_slots(few, pos, RADIO)

@@ -1,0 +1,206 @@
+"""Medium: delivery geometry, overhearing, accounting, sleep/failure."""
+
+import numpy as np
+import pytest
+
+from repro.network.medium import CommAccounting, Medium
+from repro.network.messages import DataSizes, MeasurementMessage, ParticleMessage
+from repro.network.radio import RadioModel
+
+
+def line_medium(spacing=10.0, n=6, comm=30.0):
+    """Nodes on a line at the given spacing."""
+    pos = np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+    return Medium(pos, RadioModel(comm_radius=comm))
+
+
+def msg(sender=0, value=1.0, k=0):
+    return MeasurementMessage(sender=sender, iteration=k, value=value)
+
+
+class TestBroadcast:
+    def test_delivers_within_comm_radius_only(self):
+        m = line_medium()  # nodes at x = 0,10,...,50; comm 30
+        d = m.broadcast(0, msg(), 0)
+        assert sorted(d.receivers.tolist()) == [1, 2, 3]
+
+    def test_sender_not_in_receivers(self):
+        m = line_medium()
+        d = m.broadcast(2, msg(2), 0)
+        assert 2 not in d.receivers
+
+    def test_overhearing_all_in_range_receive(self):
+        """The overhearing effect: every in-range node gets the message,
+        not just an addressed destination."""
+        m = line_medium(spacing=5.0, n=5)
+        m.broadcast(0, msg(), 0)
+        for nid in (1, 2, 3, 4):
+            assert len(m.peek(nid)) == 1
+
+    def test_cost_is_one_message_regardless_of_receivers(self):
+        m = line_medium(spacing=1.0, n=20)
+        d = m.broadcast(0, msg(), 0)
+        assert d.n_messages == 1
+        assert m.accounting.total_messages == 1
+        assert m.accounting.total_bytes == 4
+
+    def test_count_cost_false_skips_ledger(self):
+        m = line_medium()
+        m.broadcast(0, msg(), 0, count_cost=False)
+        assert m.accounting.total_messages == 0
+
+    def test_invalid_sender(self):
+        m = line_medium()
+        with pytest.raises(ValueError):
+            m.broadcast(99, msg(), 0)
+
+
+class TestUnicast:
+    def test_in_range_delivery(self):
+        m = line_medium()
+        d = m.unicast(0, 2, msg(), 0)
+        assert d.receivers.tolist() == [2]
+        assert len(m.peek(2)) == 1
+
+    def test_out_of_range_raises(self):
+        m = line_medium()
+        with pytest.raises(RuntimeError, match="comm radius"):
+            m.unicast(0, 5, msg(), 0)  # 50 m apart, radius 30
+
+    def test_path_charges_per_hop(self):
+        m = line_medium()
+        d = m.unicast_path([0, 2, 4], msg(), 0)
+        assert d.n_messages == 2
+        assert m.accounting.total_bytes == 2 * 4
+        assert len(m.peek(4)) == 1
+        assert len(m.peek(2)) == 0  # relays do not keep the message
+
+    def test_path_with_invalid_hop_raises(self):
+        m = line_medium()
+        with pytest.raises(RuntimeError):
+            m.unicast_path([0, 5], msg(), 0)
+
+    def test_path_too_short_raises(self):
+        m = line_medium()
+        with pytest.raises(ValueError):
+            m.unicast_path([0], msg(), 0)
+
+
+class TestGlobalBroadcast:
+    def test_reaches_everyone_for_one_message(self):
+        m = line_medium(n=6)
+        d = m.global_broadcast(msg(-1), 0)
+        assert sorted(d.receivers.tolist()) == list(range(6))
+        assert m.accounting.total_messages == 1
+
+    def test_skips_unavailable(self):
+        m = line_medium(n=4)
+        m.set_asleep([2])
+        d = m.global_broadcast(msg(-1), 0)
+        assert 2 not in d.receivers
+
+
+class TestSleepAndFailure:
+    def test_asleep_nodes_do_not_receive(self):
+        m = line_medium()
+        m.set_asleep([1])
+        d = m.broadcast(0, msg(), 0)
+        assert 1 not in d.receivers
+        assert len(m.peek(1)) == 0
+
+    def test_asleep_sender_cannot_transmit(self):
+        m = line_medium()
+        m.set_asleep([0])
+        with pytest.raises(RuntimeError, match="asleep"):
+            m.broadcast(0, msg(), 0)
+
+    def test_wake_restores_reception(self):
+        m = line_medium()
+        m.set_asleep([1])
+        m.wake([1])
+        d = m.broadcast(0, msg(), 0)
+        assert 1 in d.receivers
+
+    def test_failed_nodes_cannot_transmit_or_receive(self):
+        m = line_medium()
+        m.fail_nodes([1])
+        d = m.broadcast(0, msg(), 0)
+        assert 1 not in d.receivers
+        with pytest.raises(RuntimeError, match="failed"):
+            m.broadcast(1, msg(1), 0)
+
+    def test_waking_does_not_heal_failed_node(self):
+        m = line_medium()
+        m.fail_nodes([1])
+        m.wake([1])
+        assert not m.is_available(1)
+
+
+class TestInboxes:
+    def test_collect_drains(self):
+        m = line_medium()
+        m.broadcast(0, msg(), 0)
+        assert len(m.collect(1)) == 1
+        assert len(m.collect(1)) == 0
+
+    def test_arrival_order_preserved(self):
+        m = line_medium()
+        m.broadcast(0, msg(0, 1.0), 0)
+        m.broadcast(2, msg(2, 2.0), 0)
+        inbox = m.collect(1)
+        assert [x.sender for x in inbox] == [0, 2]
+
+    def test_pending_nodes(self):
+        m = line_medium()
+        m.broadcast(0, msg(), 0)
+        assert set(m.pending_nodes()) == {1, 2, 3}
+
+    def test_clear_inboxes(self):
+        m = line_medium()
+        m.broadcast(0, msg(), 0)
+        m.clear_inboxes()
+        assert m.pending_nodes() == []
+
+
+class TestAccounting:
+    def test_breakdowns_sum_to_totals(self):
+        m = line_medium()
+        m.broadcast(0, msg(k=0), 0)
+        m.broadcast(
+            0,
+            ParticleMessage(sender=0, iteration=1, states=np.zeros((2, 4)), weights=[1, 1]),
+            1,
+        )
+        acc = m.accounting
+        assert sum(acc.bytes_by_iteration().values()) == acc.total_bytes
+        assert sum(acc.messages_by_iteration().values()) == acc.total_messages
+        assert sum(acc.bytes_by_category().values()) == acc.total_bytes
+        assert acc.bytes_by_category()["propagation"] == 40
+        assert acc.bytes_by_category()["measurement"] == 4
+
+    def test_merge(self):
+        a, b = CommAccounting(), CommAccounting()
+        a.record(0, "x", 10, 1)
+        b.record(0, "x", 5, 2)
+        b.record(1, "y", 7, 1)
+        a.merge(b)
+        assert a.total_bytes == 22
+        assert a.total_messages == 4
+        assert a.by_key[(0, "x")] == [15, 3]
+
+    def test_negative_rejected(self):
+        acc = CommAccounting()
+        with pytest.raises(ValueError):
+            acc.record(0, "x", -1)
+
+    def test_out_of_band_charge(self):
+        m = line_medium()
+        m.charge_out_of_band(3, "weight_aggregation", 32, 1)
+        assert m.accounting.bytes_by_iteration()[3] == 32
+
+    def test_custom_sizes_respected(self):
+        pos = np.zeros((2, 2))
+        pos[1, 0] = 5.0
+        m = Medium(pos, RadioModel(comm_radius=30), DataSizes(measurement=10, header=2))
+        m.broadcast(0, msg(), 0)
+        assert m.accounting.total_bytes == 12

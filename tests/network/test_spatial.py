@@ -1,0 +1,159 @@
+"""GridIndex: correctness against brute force, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.spatial import GridIndex, segment_distances
+
+
+def brute_disk(positions, center, radius):
+    d2 = np.sum((positions - np.asarray(center)) ** 2, axis=1)
+    return np.sort(np.nonzero(d2 <= radius * radius)[0])
+
+
+class TestConstruction:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            GridIndex(np.zeros((3, 3)), 1.0)
+
+    def test_rejects_nonfinite(self):
+        pts = np.array([[0.0, 0.0], [np.nan, 1.0]])
+        with pytest.raises(ValueError, match="finite"):
+            GridIndex(pts, 1.0)
+
+    def test_rejects_nonpositive_cell(self):
+        with pytest.raises(ValueError, match="cell_size"):
+            GridIndex(np.zeros((1, 2)), 0.0)
+
+    def test_empty_index_queries_cleanly(self):
+        idx = GridIndex(np.zeros((0, 2)), 1.0)
+        assert len(idx) == 0
+        assert idx.query_disk([0, 0], 5.0).size == 0
+        assert idx.query_segment([0, 0], [1, 1], 5.0).size == 0
+
+    def test_len(self):
+        idx = GridIndex(np.random.default_rng(0).uniform(0, 10, (17, 2)), 2.0)
+        assert len(idx) == 17
+
+
+class TestQueryDisk:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 100, (500, 2))
+        idx = GridIndex(pts, 7.0)
+        for _ in range(20):
+            c = rng.uniform(-10, 110, 2)
+            r = rng.uniform(0, 25)
+            np.testing.assert_array_equal(
+                np.sort(idx.query_disk(c, r)), brute_disk(pts, c, r)
+            )
+
+    def test_zero_radius_hits_exact_point(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        idx = GridIndex(pts, 1.0)
+        assert list(idx.query_disk([1.0, 1.0], 0.0)) == [0]
+
+    def test_boundary_inclusive(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0]])
+        idx = GridIndex(pts, 1.0)
+        assert 1 in idx.query_disk([0.0, 0.0], 3.0)
+
+    def test_negative_radius_rejected(self):
+        idx = GridIndex(np.zeros((1, 2)), 1.0)
+        with pytest.raises(ValueError, match="radius"):
+            idx.query_disk([0, 0], -1.0)
+
+    def test_query_far_outside_field(self):
+        pts = np.random.default_rng(2).uniform(0, 10, (50, 2))
+        idx = GridIndex(pts, 3.0)
+        assert idx.query_disk([1000.0, 1000.0], 5.0).size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        radius=st.floats(0.0, 30.0),
+        cell=st.floats(0.5, 20.0),
+    )
+    def test_property_matches_brute_force(self, seed, radius, cell):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 50, (rng.integers(1, 120), 2))
+        idx = GridIndex(pts, cell)
+        c = rng.uniform(-5, 55, 2)
+        np.testing.assert_array_equal(
+            np.sort(idx.query_disk(c, radius)), brute_disk(pts, c, radius)
+        )
+
+
+class TestQueryDiskMany:
+    def test_union_deduplicated_sorted(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 10.0]])
+        idx = GridIndex(pts, 2.0)
+        got = idx.query_disk_many(np.array([[0.0, 0.0], [1.0, 0.0]]), 1.5)
+        np.testing.assert_array_equal(got, [0, 1])
+
+    def test_empty_centers(self):
+        idx = GridIndex(np.zeros((3, 2)), 1.0)
+        assert idx.query_disk_many(np.zeros((0, 2)), 1.0).size == 0
+
+
+class TestQuerySegment:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 60, (400, 2))
+        idx = GridIndex(pts, 5.0)
+        for _ in range(20):
+            p0 = rng.uniform(0, 60, 2)
+            p1 = rng.uniform(0, 60, 2)
+            r = rng.uniform(0, 12)
+            expected = np.sort(
+                np.nonzero(segment_distances(pts, p0, p1) <= r)[0]
+            )
+            np.testing.assert_array_equal(np.sort(idx.query_segment(p0, p1, r)), expected)
+
+    def test_degenerate_segment_equals_disk(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 20, (100, 2))
+        idx = GridIndex(pts, 4.0)
+        p = np.array([10.0, 10.0])
+        np.testing.assert_array_equal(
+            np.sort(idx.query_segment(p, p, 6.0)), np.sort(idx.query_disk(p, 6.0))
+        )
+
+    def test_negative_radius_rejected(self):
+        idx = GridIndex(np.zeros((1, 2)), 1.0)
+        with pytest.raises(ValueError, match="radius"):
+            idx.query_segment([0, 0], [1, 1], -0.1)
+
+
+class TestSegmentDistances:
+    def test_point_on_segment_is_zero(self):
+        d = segment_distances(np.array([[0.5, 0.0]]), np.zeros(2), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(0.0)
+
+    def test_perpendicular_distance(self):
+        d = segment_distances(np.array([[0.5, 2.0]]), np.zeros(2), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(2.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        d = segment_distances(np.array([[4.0, 3.0]]), np.zeros(2), np.array([1.0, 0.0]))
+        assert d[0] == pytest.approx(np.hypot(3.0, 3.0))
+
+    def test_zero_length_segment(self):
+        d = segment_distances(np.array([[3.0, 4.0]]), np.zeros(2), np.zeros(2))
+        assert d[0] == pytest.approx(5.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_distance_bounds(self, seed):
+        """Segment distance is between the perpendicular-line distance and
+        the smaller endpoint distance."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-10, 10, (20, 2))
+        p0, p1 = rng.uniform(-10, 10, 2), rng.uniform(-10, 10, 2)
+        d = segment_distances(pts, p0, p1)
+        d0 = np.sqrt(np.sum((pts - p0) ** 2, axis=1))
+        d1 = np.sqrt(np.sum((pts - p1) ** 2, axis=1))
+        assert (d <= np.minimum(d0, d1) + 1e-9).all()
+        assert (d >= 0).all()

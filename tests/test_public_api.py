@@ -1,0 +1,73 @@
+"""Public API surface: imports, re-exports, and the README quickstart."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestImports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.filters",
+            "repro.models",
+            "repro.network",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.scenario",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.core", "repro.filters", "repro.models", "repro.network", "repro.experiments"],
+    )
+    def test_subpackage_all_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_flow(self):
+        """The README's quickstart snippet, executed at reduced scale."""
+        from repro import CDPFTracker, make_paper_scenario, make_trajectory, run_tracking
+
+        rng = np.random.default_rng(7)
+        scenario = make_paper_scenario(density_per_100m2=10.0, rng=rng)
+        trajectory = make_trajectory(n_iterations=5, rng=rng)
+        tracker = CDPFTracker(scenario, rng=rng)
+        result = run_tracking(tracker, scenario, trajectory, rng=rng)
+        assert np.isfinite(result.rmse)
+        assert result.total_bytes > 0
+        assert "propagation" in result.bytes_by_category
+        assert "weight_aggregation" not in result.bytes_by_category
+
+
+class TestTrackerProtocol:
+    def test_all_trackers_satisfy_protocol(self, small_scenario):
+        from repro import CDPFTracker, CPFTracker, DPFTracker, SDPFTracker
+        from repro.scenario import Tracker
+
+        for make in (
+            lambda: CPFTracker(small_scenario, rng=np.random.default_rng(0)),
+            lambda: SDPFTracker(small_scenario, rng=np.random.default_rng(0)),
+            lambda: CDPFTracker(small_scenario, rng=np.random.default_rng(0)),
+            lambda: DPFTracker(small_scenario, rng=np.random.default_rng(0)),
+        ):
+            tracker = make()
+            assert isinstance(tracker, Tracker)
+            assert isinstance(tracker.name, str)

@@ -1,0 +1,110 @@
+"""Scenario construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.models.measurement import BearingMeasurement
+from repro.network.sensing import InstantDetection
+from repro.scenario import Scenario, make_paper_scenario, make_trajectory
+
+from .conftest import make_small_scenario
+
+
+class TestScenario:
+    def test_paper_defaults(self, rng):
+        s = make_paper_scenario(density_per_100m2=5.0, rng=rng)
+        assert s.deployment.n_nodes == 2000
+        assert s.sensing_radius == 10.0
+        assert s.radio.comm_radius == 30.0
+        assert s.dynamics.dt == 5.0
+        assert s.measurement.noise_std == 0.05
+        assert s.sink_position == (100.0, 100.0)
+
+    def test_sensing_assumption_enforced_at_construction(self, rng):
+        s = make_small_scenario(rng)
+        with pytest.raises(ValueError, match="overhearing"):
+            Scenario(
+                deployment=s.deployment,
+                detection=InstantDetection(sensing_radius=20.0),  # > comm/2
+            )
+
+    def test_sink_node_is_nearest_deployed_node(self, rng):
+        s = make_small_scenario(rng)
+        sink = s.sink_node()
+        pos = s.deployment.positions
+        d = np.linalg.norm(pos - np.asarray(s.sink_position), axis=1)
+        assert d[sink] == d.min()
+
+    def test_make_medium_uses_scenario_sizes(self, rng):
+        s = make_small_scenario(rng)
+        m = s.make_medium()
+        assert m.sizes is s.sizes
+        assert m.n_nodes == s.deployment.n_nodes
+
+    def test_with_functional_update(self, rng):
+        s = make_small_scenario(rng)
+        s2 = s.with_(measurement=BearingMeasurement(noise_std=0.1, reference="origin"))
+        assert s2.measurement.noise_std == 0.1
+        assert s.measurement.noise_std == 0.05  # original untouched
+
+    def test_negative_priors_rejected(self, rng):
+        s = make_small_scenario(rng)
+        with pytest.raises(ValueError):
+            s.with_(prior_velocity_std=-1.0)
+
+
+class TestMakeTrajectory:
+    def test_matches_paper_geometry(self, rng):
+        t = make_trajectory(n_iterations=10, rng=rng)
+        assert t.n_iterations == 10
+        assert t.steps_per_iteration == 5
+        assert t.iteration_dt == 5.0
+        np.testing.assert_allclose(t.path[0], [0.0, 100.0])
+
+    def test_custom_period(self, rng):
+        t = make_trajectory(n_iterations=4, rng=rng, dt=2.0)
+        assert t.steps_per_iteration == 2
+
+
+class TestLocalizationError:
+    def test_zero_error_preserves_positions(self, rng):
+        s = make_small_scenario(rng)
+        noisy = s.with_localization_error(0.0, rng)
+        np.testing.assert_allclose(noisy.deployment.positions, s.deployment.positions)
+        assert noisy.physical is not None
+
+    def test_believed_differs_from_physical(self, rng):
+        s = make_small_scenario(rng)
+        noisy = s.with_localization_error(2.0, rng)
+        delta = noisy.deployment.positions - noisy.physical.positions
+        assert delta.std() == pytest.approx(2.0, rel=0.1)
+        # the original scenario's physical geometry is preserved
+        np.testing.assert_allclose(noisy.physical.positions, s.deployment.positions)
+
+    def test_medium_uses_physical_geometry(self, rng):
+        s = make_small_scenario(rng)
+        noisy = s.with_localization_error(5.0, rng)
+        m = noisy.make_medium()
+        np.testing.assert_allclose(m.positions, noisy.physical.positions)
+
+    def test_negative_std_rejected(self, rng):
+        s = make_small_scenario(rng)
+        with pytest.raises(ValueError):
+            s.with_localization_error(-1.0, rng)
+
+    def test_cdpf_degrades_gracefully(self, rng, small_trajectory):
+        from repro.core.cdpf import CDPFTracker
+        from repro.experiments.runner import run_tracking
+
+        s = make_small_scenario(rng)
+
+        def run(scenario):
+            tr = CDPFTracker(scenario, rng=np.random.default_rng(1))
+            return run_tracking(
+                tr, scenario, small_trajectory, rng=np.random.default_rng(7)
+            ).rmse
+
+        clean = run(s)
+        noisy = run(s.with_localization_error(2.0, np.random.default_rng(2)))
+        assert np.isfinite(noisy)
+        assert noisy < clean + 8.0  # degraded but not lost
