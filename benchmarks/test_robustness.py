@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.core.cdpf import CDPFTracker
 from repro.experiments.report import render_table
-from repro.experiments.runner import generate_step_context
-from repro.scenario import StepContext, make_paper_scenario, make_trajectory
+from repro.experiments.runner import generate_step_context, run_tracking
+from repro.network.faults import FaultPlan
+from repro.scenario import make_paper_scenario, make_trajectory
 
 
 def run_with_failures(fail_fraction, ne=False, seed=0, density=20.0):
@@ -28,34 +29,21 @@ def run_with_failures(fail_fraction, ne=False, seed=0, density=20.0):
     tracker = CDPFTracker(
         scenario, rng=np.random.default_rng(seed), neighborhood_estimation=ne
     )
-    fail_rng = np.random.default_rng(600 + seed)
-    n = scenario.deployment.n_nodes
-    errors = []
-    for k in range(trajectory.n_iterations + 1):
-        if fail_fraction > 0 and k > 0:
-            # fresh crash faults every iteration (cumulative)
-            n_fail = int(fail_fraction * n / trajectory.n_iterations)
-            tracker.medium.fail_nodes(fail_rng.integers(0, n, size=n_fail))
-        ctx = generate_step_context(scenario, trajectory, k, np.random.default_rng(8500 + seed * 100 + k))
-        available = np.array(
-            [d for d in ctx.detectors if tracker.medium.is_available(int(d))], dtype=int
+    plan = (
+        FaultPlan.cumulative_crashes(
+            fail_fraction, trajectory.n_iterations, seed=600 + seed, start=1
         )
-        ctx = StepContext(
-            iteration=k,
-            detectors=available,
-            measurements={int(d): ctx.measurements[int(d)] for d in available},
-        )
-        est = tracker.step(ctx)
-        if est is not None:
-            ref = tracker.estimate_iteration()
-            errors.append(
-                float(np.linalg.norm(est - trajectory.position_at_iteration(ref)))
-            )
-    if not errors:
-        return float("nan"), 0.0
-    rmse = float(np.sqrt(np.mean(np.square(errors))))
-    coverage = len(errors) / (trajectory.n_iterations + 1)
-    return rmse, coverage
+        if fail_fraction > 0
+        else FaultPlan()
+    )
+    result = run_tracking(
+        tracker,
+        scenario,
+        trajectory,
+        rng=np.random.default_rng(8500 + seed * 100),
+        fault_plan=plan,
+    )
+    return result.rmse, result.error.coverage
 
 
 def test_node_failures(report_sink, benchmark):
@@ -92,35 +80,18 @@ def run_with_random_sleep(ne, seed=0, density=20.0, awake_fraction=0.7):
     tracker = CDPFTracker(
         scenario, rng=np.random.default_rng(seed), neighborhood_estimation=ne
     )
-    sleep_rng = np.random.default_rng(700 + seed)
-    n = scenario.deployment.n_nodes
-    errors = []
-    for k in range(trajectory.n_iterations + 1):
-        # an UNANTICIPATED pattern: the tracker is told nothing about it
-        asleep = np.nonzero(sleep_rng.uniform(size=n) > awake_fraction)[0]
-        tracker.medium.set_asleep(asleep)
-        ctx = generate_step_context(
-            scenario, trajectory, k, np.random.default_rng(8600 + seed * 100 + k)
-        )
-        available = np.array(
-            [d for d in ctx.detectors if tracker.medium.is_available(int(d))], dtype=int
-        )
-        ctx = StepContext(
-            iteration=k,
-            detectors=available,
-            measurements={int(d): ctx.measurements[int(d)] for d in available},
-        )
-        est = tracker.step(ctx)
-        if est is not None:
-            ref = tracker.estimate_iteration()
-            errors.append(
-                float(np.linalg.norm(est - trajectory.position_at_iteration(ref)))
-            )
-    if not errors:
-        return float("nan"), 0.0
-    return float(np.sqrt(np.mean(np.square(errors)))), len(errors) / (
-        trajectory.n_iterations + 1
+    # an UNANTICIPATED pattern: the tracker is told nothing about it
+    plan = FaultPlan.unanticipated_sleep(
+        trajectory.n_iterations, awake_fraction=awake_fraction, seed=700 + seed
     )
+    result = run_tracking(
+        tracker,
+        scenario,
+        trajectory,
+        rng=np.random.default_rng(8600 + seed * 100),
+        fault_plan=plan,
+    )
+    return result.rmse, result.error.coverage
 
 
 def test_unanticipated_sleep(report_sink, benchmark):

@@ -88,17 +88,34 @@ class CPFTracker:
         self._estimate_iter: int | None = None
         self._path_cache: dict[int, list[int]] = {}
         self.hop_counts: list[int] = []  # per-message hop counts (for Table I checks)
+        self._reliable = None  # lazy ARQ layer, built only for a lossy medium
 
     # ------------------------------------------------------------------
 
     def _route(self, source: int) -> list[int]:
         path = self._path_cache.get(source)
         if path is None:
+            exclude = self._reliable.blacklist if self._reliable is not None else None
             path = greedy_path(
-                self.scenario.deployment.index, source, self.sink, self.scenario.radio
+                self.scenario.deployment.index,
+                source,
+                self.sink,
+                self.scenario.radio,
+                exclude=exclude,
             )
             self._path_cache[source] = path
         return path
+
+    def _arq(self):
+        if self._reliable is None:
+            from ..network.reliability import ReliableUnicast
+
+            self._reliable = ReliableUnicast(
+                self.medium,
+                index=self.scenario.deployment.index,
+                radio=self.scenario.radio,
+            )
+        return self._reliable
 
     def _convergecast(self, ctx: StepContext) -> list[Observation]:
         """Forward every detector's measurement to the sink; return the fused batch."""
@@ -115,11 +132,26 @@ class CPFTracker:
                 continue
             try:
                 path = self._route(nid)
-                self.medium.unicast_path(path, msg, ctx.iteration)
             except RoutingError:
                 continue  # disconnected detector: its measurement is lost
-            except RuntimeError:
-                continue  # a relay (or the sender) is asleep/failed: lost
+            if self.medium.is_unreliable:
+                # lossy channel: convergecast runs over the bounded
+                # ack/retransmit layer (hop-by-hop ARQ + route repair),
+                # every attempt charged to the ledger
+                delivery = self._arq().send_path(path, msg, ctx.iteration)
+                if delivery.receivers.size == 0:
+                    # timed out (or parked for next iteration): the sink
+                    # never fuses it this iteration; drop the cached path so
+                    # the next report re-routes around whatever died
+                    self._path_cache.pop(nid, None)
+                    continue
+            else:
+                try:
+                    delivery = self.medium.unicast_path(path, msg, ctx.iteration)
+                except RuntimeError:
+                    continue  # a relay (or the sender) is asleep: lost
+                if delivery.dropped.size:
+                    continue  # a crashed relay silently ate the packet
             self.hop_counts.append(len(path) - 1)
             observations.append(Observation(self.scenario.measurement, z, positions[nid]))
         self.medium.clear_inboxes()

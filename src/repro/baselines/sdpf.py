@@ -99,6 +99,9 @@ class SDPFTracker:
         self._last_predictions: np.ndarray | None = None
         self._last_union_count = 1
         self.transceiver_id = -1  # pseudo-node; not part of the deployment
+        #: iterations where channel loss erased every recorded share and the
+        #: tracker fell back to prior-weight propagation (0 on a reliable medium)
+        self.degraded_iterations = 0
 
     # ------------------------------------------------------------------
 
@@ -207,14 +210,18 @@ class SDPFTracker:
         cfg = self.config
 
         broadcast: list[ParticleMessage] = []
+        lost_sets: list[set[int]] = []  # per-broadcast recipients that lost the copy
         for nid in sorted(self.holders):
             if not self.medium.is_available(nid):
                 continue  # sleeping/failed holder: its particles leak away
             p = self.holders[nid]
             states = np.hstack([np.tile(positions[nid], (p.n, 1)), p.velocities])
             msg = ParticleMessage(sender=nid, iteration=k, states=states, weights=p.weights)
-            self.medium.broadcast(nid, msg, k)
+            delivery = self.medium.broadcast(nid, msg, k)
             broadcast.append(msg)
+            lost_sets.append(
+                set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
+            )
         if not broadcast:
             self.holders = {}
             return
@@ -227,7 +234,7 @@ class SDPFTracker:
         comm_radius = self.scenario.radio.comm_radius
         shares_at: dict[int, list[tuple[float, np.ndarray]]] = {}
         all_recorder_ids: set[int] = set()
-        for msg in broadcast:
+        for mi, msg in enumerate(broadcast):
             # one spatial query per message covering all of its particles'
             # predicted areas, then vectorized per-particle filtering
             preds = msg.states[:, :2] + msg.states[:, 2:] * dt
@@ -241,6 +248,14 @@ class SDPFTracker:
                 np.sum((positions[cand_all] - sender_pos0) ** 2, axis=1)
             )
             cand_all = cand_all[d_sender_all <= comm_radius]
+            lost = lost_sets[mi]
+            if lost and cand_all.size:
+                # recipients that lost this broadcast heard none of its
+                # particles and cannot record any of its shares
+                keep = np.fromiter(
+                    (int(c) not in lost for c in cand_all), dtype=bool, count=cand_all.size
+                )
+                cand_all = cand_all[keep]
             if cand_all.size == 0:
                 continue
             cand_pos_all = positions[cand_all]
@@ -290,6 +305,14 @@ class SDPFTracker:
                     weights = weights * (total_before / kept)
             new_holders[rid] = _NodeParticles(velocities=velocities, weights=weights)
 
+        if not new_holders and any(lost_sets):
+            # Graceful degradation: every share was lost to the channel.
+            # Prior-weight propagation — surviving holders keep their particle
+            # lists for one iteration instead of the track dying in one fade.
+            self.degraded_iterations += 1
+            new_holders = {
+                nid: p for nid, p in self.holders.items() if self.medium.is_available(nid)
+            }
         self.holders = new_holders
         self._last_union_count = max(len(all_recorder_ids), 1)
         self.medium.clear_inboxes()

@@ -108,6 +108,11 @@ class CDPFStats:
     partial_overhearing: list[int] = field(default_factory=list)
     track_lost_iterations: int = 0
     area_widenings: int = 0
+    #: iterations where channel loss forced graceful degradation: a recorder
+    #: renormalized against an incomplete overheard total, or the whole
+    #: correction round lost quorum and fell back to prior-weight propagation.
+    #: Always 0 on a reliable medium.
+    degraded_iterations: int = 0
 
 
 class CDPFTracker:
@@ -254,7 +259,11 @@ class CDPFTracker:
         # --- step 1: every (available) holder broadcasts its particle ------
         # A holder that slept or failed before its broadcast loses its
         # particle — the weight leaks, exactly the §V-D uncertain-factor case.
+        # Under an unreliable channel each broadcast's per-recipient drop
+        # record is kept: a node that lost a copy can neither record a share
+        # from it nor count its weight in the overheard total.
         broadcast: list[ParticleMessage] = []
+        lost_sets: list[set[int]] = []  # per-broadcast recipients that lost the copy
         for nid in sorted(self.holders):
             if not self.medium.is_available(nid):
                 continue
@@ -265,8 +274,11 @@ class CDPFTracker:
                 states=particle.state(positions[nid])[None, :],
                 weights=np.array([particle.weight]),
             )
-            self.medium.broadcast(nid, msg, k)
+            delivery = self.medium.broadcast(nid, msg, k)
             broadcast.append(msg)
+            lost_sets.append(
+                set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
+            )
         if not broadcast:
             # the whole population became unavailable: the track is lost and
             # detection-driven creation must rebuild it
@@ -347,6 +359,16 @@ class CDPFTracker:
             cand = cand[(d_sender <= comm_radius) & self._available_mask(cand)]
             if cand.size == 0:
                 continue
+            lost = lost_sets[bi]
+            if lost:
+                # a candidate that lost this copy never heard the particle:
+                # it cannot record a share of it
+                keep = np.fromiter(
+                    (int(c) not in lost for c in cand), dtype=bool, count=cand.size
+                )
+                cand = cand[keep]
+                if cand.size == 0:
+                    continue
             rec_ids, probs = select_recorders(cand, positions[cand], pred, cfg)
             if rec_ids.size == 0:
                 continue
@@ -379,16 +401,55 @@ class CDPFTracker:
         # go extinct and the surviving holder count is set by geometry —
         # growing with deployment density exactly as §III-A describes.
         combined = {rid: combine_shares(shares_at[rid]) for rid in sorted(shares_at)}
+        any_lost = any(lost_sets)
+        if not combined and any_lost:
+            # Graceful degradation: the correction round lost quorum — every
+            # share was lost to the channel.  Fall back to prior-weight
+            # propagation: surviving holders keep their particles and weights
+            # for one iteration instead of declaring the track lost, so a
+            # single deep fade does not erase the whole posterior.
+            self.stats.degraded_iterations += 1
+            self.stats.dropped_per_iteration.append(0)
+            self.holders = {
+                nid: p for nid, p in self.holders.items() if self.medium.is_available(nid)
+            }
+            if self.check_consistency:
+                self._record_consistency()
+            self.medium.clear_inboxes()
+            return estimate
+
+        # Per-recorder overheard totals: a recorder that lost copies saw a
+        # *smaller* total weight than the full round carried.  It renormalizes
+        # by what it actually overheard (the locally correct denominator) —
+        # on a reliable medium this is exactly the shared total.
+        lost_weight_at: dict[int, float] = {}
+        if any_lost:
+            for bi, lost in enumerate(lost_sets):
+                w_bi = float(w_eff[bi])
+                for r in lost:
+                    lost_weight_at[r] = lost_weight_at.get(r, 0.0) + w_bi
+
         max_share = max((p.weight for p in combined.values()), default=0.0)
         threshold = cfg.drop_threshold * max_share
         new_holders: dict[int, HeldParticle] = {}
         dropped = 0
+        degraded = False
         for rid, particle in combined.items():
             if particle.weight < threshold:
                 dropped += 1
                 continue
-            particle.weight = particle.weight / total_eff
+            lost_w = lost_weight_at.get(rid, 0.0)
+            if lost_w > 0.0:
+                degraded = True
+                denom = total_eff - lost_w
+                if denom <= 0.0:
+                    denom = total_eff
+            else:
+                denom = total_eff
+            particle.weight = particle.weight / denom
             new_holders[rid] = particle
+        if degraded:
+            self.stats.degraded_iterations += 1
 
         if self.check_consistency:
             self._record_consistency()

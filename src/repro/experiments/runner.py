@@ -14,13 +14,16 @@ estimate under the iteration it refers to, so RMSE compares like with like.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..models.trajectory import Trajectory
 from ..scenario import Scenario, StepContext, Tracker
 from .metrics import ErrorSummary, cost_series, summarize_errors
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.faults import FaultPlan
 
 __all__ = ["TrackingResult", "run_tracking", "generate_step_context"]
 
@@ -134,6 +137,7 @@ def run_tracking(
     trajectory: Trajectory,
     *,
     rng: np.random.Generator,
+    fault_plan: "FaultPlan | None" = None,
     on_iteration: Callable[[int, StepContext, np.ndarray | None], None] | None = None,
 ) -> TrackingResult:
     """Drive ``tracker`` along the whole trajectory and summarize the run.
@@ -141,13 +145,30 @@ def run_tracking(
     Iterations outside the deployment field (the target leaves the area) are
     still executed — detectors simply become empty, exactly as in a real
     deployment.
+
+    ``fault_plan`` (a :class:`~repro.network.faults.FaultPlan`) is replayed
+    against the tracker's medium at the start of each iteration: crashed and
+    sleeping nodes stop sensing (their detections never happen) as well as
+    transmitting, so every fault benchmark injects failures through one
+    deterministic path instead of ad-hoc per-benchmark loops.
     """
     n_iter = trajectory.n_iterations
     estimates: dict[int, np.ndarray] = {}
     detectors_per_iteration: list[int] = []
 
     for k in range(n_iter + 1):
+        if fault_plan is not None:
+            fault_plan.apply(tracker.medium, k)
         ctx = generate_step_context(scenario, trajectory, k, rng)
+        if fault_plan is not None:
+            medium = tracker.medium
+            alive = [int(d) for d in np.asarray(ctx.detectors).ravel()
+                     if medium.is_available(int(d))]
+            ctx = StepContext(
+                iteration=k,
+                detectors=np.array(alive, dtype=np.intp),
+                measurements={n: ctx.measurements[n] for n in alive},
+            )
         detectors_per_iteration.append(int(np.asarray(ctx.detectors).size))
         est = tracker.step(ctx)
         if est is not None:

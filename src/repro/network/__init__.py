@@ -9,6 +9,21 @@ from .deployment import (
     uniform_deployment,
 )
 from .energy import EnergyBreakdown, EnergyModel
+from .faults import (
+    CrashFault,
+    FaultPlan,
+    LossBurst,
+    RegionPartition,
+    SleepWindow,
+)
+from .links import (
+    DelayingLink,
+    DistanceFadingLink,
+    GilbertElliottLink,
+    IIDLossLink,
+    LinkModel,
+    LinkOutcome,
+)
 from .codec import (
     CodecError,
     decode,
@@ -28,6 +43,7 @@ from .latency import (
 from .medium import CommAccounting, Delivery, Medium
 from .mobility import GroupDriftMobility, RandomDriftMobility
 from .messages import (
+    AckMessage,
     DataSizes,
     EstimateReportMessage,
     FilterStateMessage,
@@ -41,6 +57,7 @@ from .messages import (
     WeightReportMessage,
 )
 from .radio import RadioModel, protocol_model_receptions
+from .reliability import ReliabilityConfig, ReliableUnicast
 from .routing import RoutingError, greedy_path, hop_counts_bfs, path_hop_count
 from .sensing import (
     DetectionModel,
@@ -57,11 +74,16 @@ __all__ = [
     "Deployment", "clustered_deployment", "density_to_count", "grid_deployment",
     "poisson_deployment", "uniform_deployment",
     "EnergyBreakdown", "EnergyModel",
+    "CrashFault", "FaultPlan", "LossBurst", "RegionPartition", "SleepWindow",
+    "DelayingLink", "DistanceFadingLink", "GilbertElliottLink", "IIDLossLink",
+    "LinkModel", "LinkOutcome",
+    "ReliabilityConfig", "ReliableUnicast",
     "CodecError", "decode", "decode_particles", "decode_scalar",
     "encode", "encode_particles", "encode_scalar", "wire_size",
     "Transmission", "broadcast_round_slots", "conflict_matrix", "convergecast_slots",
     "CommAccounting", "Delivery", "Medium",
     "GroupDriftMobility", "RandomDriftMobility",
+    "AckMessage",
     "DataSizes", "EstimateReportMessage", "FilterStateMessage", "MeasurementMessage",
     "Message", "ParticleMessage", "QuantizedMeasurementMessage", "QueryMessage",
     "TotalWeightMessage", "WakeupMessage", "WeightReportMessage",

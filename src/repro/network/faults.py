@@ -1,0 +1,252 @@
+"""Declarative fault plans: reproducible fault injection for robustness studies.
+
+The robustness bench used to mutate the medium with ad-hoc inline loops
+(fresh ``fail_nodes`` calls per iteration, hand-rolled sleep patterns); a
+:class:`FaultPlan` replaces that with a *declarative* schedule of fault
+events that the runner replays deterministically — the same plan, the same
+medium, the same run, every time.  Plans compose the §V-D / §VIII-1 uncertain
+factors:
+
+:class:`CrashFault`
+    Nodes crash permanently at a given iteration — explicit ids or a
+    seeded random fraction of the deployment.
+:class:`SleepWindow`
+    Unanticipated sleep: during ``[start, end]`` a fresh random subset of
+    nodes is asleep each iteration (the pattern no schedule anticipates —
+    the §V-D caveat for CDPF-NE).
+:class:`LossBurst`
+    During ``[start, end]`` an i.i.d. loss overlay at ``p_loss`` is stacked
+    on top of whatever base link model the medium carries (a network-wide
+    interference burst).
+:class:`RegionPartition`
+    During ``[start, end]`` messages crossing the boundary of a disk are
+    dropped — a geographic partition.
+
+All randomness derives from per-event seeds through
+:class:`numpy.random.SeedSequence`, so replay does not depend on call order.
+``FaultPlan.apply(medium, iteration)`` is idempotent per iteration and is the
+single entry point the runner calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .links import IIDLossLink
+from .medium import Medium
+
+__all__ = [
+    "CrashFault",
+    "SleepWindow",
+    "LossBurst",
+    "RegionPartition",
+    "FaultPlan",
+]
+
+
+def _event_rng(seed: int, *key: int) -> np.random.Generator:
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in key))
+    return np.random.default_rng(ss)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Permanent crash of nodes at ``iteration`` (explicit ids or a fraction)."""
+
+    iteration: int
+    node_ids: tuple[int, ...] | None = None
+    fraction: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.node_ids is None) == (self.fraction is None):
+            raise ValueError("specify exactly one of node_ids / fraction")
+        if self.fraction is not None and not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+    def node_set(self, n_nodes: int) -> np.ndarray:
+        if self.node_ids is not None:
+            return np.asarray(self.node_ids, dtype=np.intp)
+        n_fail = int(round(self.fraction * n_nodes))
+        if n_fail == 0:
+            return np.array([], dtype=np.intp)
+        rng = _event_rng(self.seed, 1, self.iteration)
+        return rng.choice(n_nodes, size=min(n_fail, n_nodes), replace=False)
+
+
+@dataclass(frozen=True)
+class SleepWindow:
+    """Unanticipated sleep: a fresh seeded random subset sleeps each iteration.
+
+    Each node is independently asleep with probability ``1 - awake_fraction``
+    during ``[start, end]`` (both inclusive); the pattern changes every
+    iteration, which is exactly what no duty-cycle schedule can anticipate.
+    """
+
+    start: int
+    end: int
+    awake_fraction: float = 0.7
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+        if not 0.0 <= self.awake_fraction <= 1.0:
+            raise ValueError(f"awake_fraction must be in [0, 1], got {self.awake_fraction}")
+
+    def active(self, iteration: int) -> bool:
+        return self.start <= iteration <= self.end
+
+    def asleep_at(self, iteration: int, n_nodes: int) -> np.ndarray:
+        rng = _event_rng(self.seed, 2, iteration)
+        return np.nonzero(rng.uniform(size=n_nodes) > self.awake_fraction)[0]
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """An i.i.d. loss overlay at ``p_loss`` during ``[start, end]`` (inclusive)."""
+
+    start: int
+    end: int
+    p_loss: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+        if not 0.0 <= self.p_loss <= 1.0:
+            raise ValueError(f"p_loss must be in [0, 1], got {self.p_loss}")
+
+    def active(self, iteration: int) -> bool:
+        return self.start <= iteration <= self.end
+
+
+@dataclass(frozen=True)
+class RegionPartition:
+    """Drop every message crossing the boundary of the disk at ``center``."""
+
+    start: int
+    end: int
+    center: tuple[float, float] = (0.0, 0.0)
+    radius: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+
+    def active(self, iteration: int) -> bool:
+        return self.start <= iteration <= self.end
+
+    def side_mask(self, positions: np.ndarray) -> np.ndarray:
+        d2 = np.sum((positions - np.asarray(self.center, dtype=np.float64)) ** 2, axis=1)
+        return d2 <= self.radius**2
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered schedule of fault events, replayed by the runner.
+
+    :meth:`apply` mutates the medium for one iteration.  The plan only
+    touches the machinery its events use: a plan with no sleep windows never
+    calls ``set_asleep`` (so externally managed sleep schedules compose), a
+    plan with no bursts never touches the link override, and so on.
+    """
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        allowed = (CrashFault, SleepWindow, LossBurst, RegionPartition)
+        for ev in self.events:
+            if not isinstance(ev, allowed):
+                raise TypeError(f"unknown fault event type: {type(ev).__name__}")
+
+    def _of(self, kind) -> list:
+        return [ev for ev in self.events if isinstance(ev, kind)]
+
+    def apply(self, medium: Medium, iteration: int) -> None:
+        """Install this iteration's faults on ``medium`` (idempotent per iteration)."""
+        n = medium.n_nodes
+        for ev in self._of(CrashFault):
+            if ev.iteration == iteration:
+                medium.fail_nodes(ev.node_set(n))
+
+        sleeps = self._of(SleepWindow)
+        if sleeps:
+            asleep: set[int] = set()
+            for ev in sleeps:
+                if ev.active(iteration):
+                    asleep.update(int(i) for i in ev.asleep_at(iteration, n))
+            medium.set_asleep(asleep)
+
+        bursts = self._of(LossBurst)
+        if bursts:
+            active = [ev for ev in bursts if ev.active(iteration)]
+            if active:
+                # stack concurrent bursts into one overlay: survival is the
+                # product of per-burst survivals
+                p_keep = 1.0
+                for ev in active:
+                    p_keep *= 1.0 - ev.p_loss
+                medium.install_link_override(
+                    IIDLossLink(p_loss=1.0 - p_keep, seed=active[0].seed)
+                )
+            else:
+                medium.install_link_override(None)
+
+        partitions = self._of(RegionPartition)
+        if partitions:
+            active_p = [ev for ev in partitions if ev.active(iteration)]
+            if active_p:
+                # simultaneous partitions merge into one region (union of the
+                # disks) — inside-vs-outside of the union is the boundary
+                mask = active_p[0].side_mask(medium.positions)
+                for ev in active_p[1:]:
+                    mask = mask | ev.side_mask(medium.positions)
+                medium.set_partition(mask)
+            else:
+                medium.set_partition(None)
+
+    # -- factories -----------------------------------------------------------
+
+    @classmethod
+    def cumulative_crashes(
+        cls,
+        total_fraction: float,
+        n_iterations: int,
+        *,
+        seed: int = 0,
+        start: int = 1,
+    ) -> "FaultPlan":
+        """Fresh random crashes every iteration, accumulating to ``total_fraction``.
+
+        The robustness bench's historical fault pattern, now declarative: at
+        each iteration in ``[start, start + n_iterations)`` a fraction
+        ``total_fraction / n_iterations`` of the deployment crashes.
+        """
+        if not 0.0 <= total_fraction <= 1.0:
+            raise ValueError(f"total_fraction must be in [0, 1], got {total_fraction}")
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        per = total_fraction / n_iterations
+        events = tuple(
+            CrashFault(iteration=k, fraction=per, seed=seed)
+            for k in range(start, start + n_iterations)
+        )
+        return cls(events=events)
+
+    @classmethod
+    def unanticipated_sleep(
+        cls, n_iterations: int, *, awake_fraction: float = 0.7, seed: int = 0
+    ) -> "FaultPlan":
+        """The §V-D caveat as a plan: random sleep over the whole run."""
+        return cls(
+            events=(
+                SleepWindow(
+                    start=0, end=n_iterations, awake_fraction=awake_fraction, seed=seed
+                ),
+            )
+        )

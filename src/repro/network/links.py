@@ -1,0 +1,259 @@
+"""Unreliable-channel models: per-link delivery decided by a pluggable LinkModel.
+
+The seed repository's :class:`~repro.network.medium.Medium` delivered every
+message perfectly — the overhearing trick the paper builds CDPF around was
+never stressed by the lossy radios it was designed for (the paper's first
+future-work item, §VIII-1, asks exactly for this evaluation).  A
+:class:`LinkModel` decides, per (sender, receiver, iteration), whether a
+transmission is **delivered**, **dropped**, or **delayed** by one filter
+iteration.
+
+Design constraints, all load-bearing for the test tier:
+
+* **Determinism** — every random draw derives from a
+  :class:`numpy.random.SeedSequence` keyed on ``(seed, sender, receiver,
+  iteration, nonce)``, so the same seed reproduces the same drop pattern
+  bit-for-bit regardless of how many unrelated draws happened in between.
+  The ``nonce`` distinguishes multiple messages on the same link within one
+  iteration (they would otherwise share one fate).
+* **Zero-loss transparency** — a model configured for zero loss must make the
+  medium byte-for-byte identical to no model at all; the differential tests
+  in ``tests/core/test_cdpf_lossy.py`` pin this.
+* **Locality** — a link model sees only the geometry the radio sees
+  (sender/receiver ids and their distance); it never reads algorithm state.
+
+Models
+------
+:class:`IIDLossLink`
+    i.i.d. Bernoulli loss at a fixed probability — the standard first stress.
+:class:`DistanceFadingLink`
+    Delivery probability falls with distance: perfect inside an inner radius,
+    then a smooth power-law ramp down to an edge probability at the
+    communication radius (a deterministic-given-seed stand-in for log-distance
+    path loss + fading margin).
+:class:`GilbertElliottLink`
+    Two-state burst-loss Markov chain per *directed* link (good state: low
+    loss, bad state: high loss), the classic model for fading channels whose
+    outages arrive in bursts rather than i.i.d.
+:class:`DelayingLink`
+    Wrapper that converts a fraction of an inner model's deliveries into
+    one-iteration-late deliveries (queueing / retransmission-at-MAC delay).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LinkOutcome",
+    "LinkModel",
+    "IIDLossLink",
+    "DistanceFadingLink",
+    "GilbertElliottLink",
+    "DelayingLink",
+]
+
+
+class LinkOutcome(enum.Enum):
+    """Fate of one message on one directed link."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+    DELAY = "delay"  # delivered at the start of the next iteration
+
+
+def _link_uniform(seed: int, *key: int) -> float:
+    """One deterministic uniform draw keyed on (seed, *key).
+
+    Order-independent: the draw depends only on the key, never on how many
+    other draws were made before it.
+    """
+    ss = np.random.SeedSequence(entropy=seed, spawn_key=tuple(int(k) for k in key))
+    return float(np.random.default_rng(ss).random())
+
+
+class LinkModel:
+    """Base class: always deliver.  Subclasses override :meth:`classify`.
+
+    ``classify`` receives the directed link, the sender-receiver distance and
+    the iteration; the medium calls it once per (message, receiver) pair and
+    passes a ``nonce`` that increments across messages on the same link within
+    one iteration.
+    """
+
+    def classify(
+        self,
+        sender: int,
+        receiver: int,
+        distance: float,
+        iteration: int,
+        nonce: int = 0,
+    ) -> LinkOutcome:
+        return LinkOutcome.DELIVER
+
+    def delivery_probability(self, distance: float) -> float:
+        """Marginal delivery probability at the given distance (for docs/tests)."""
+        return 1.0
+
+    def reset(self) -> None:
+        """Discard any per-link state (Gilbert-Elliott chains etc.)."""
+
+
+@dataclass
+class IIDLossLink(LinkModel):
+    """Independent Bernoulli loss: every message dropped with ``p_loss``."""
+
+    p_loss: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_loss <= 1.0:
+            raise ValueError(f"p_loss must be in [0, 1], got {self.p_loss}")
+
+    def classify(self, sender, receiver, distance, iteration, nonce=0):
+        if self.p_loss <= 0.0:
+            return LinkOutcome.DELIVER  # no draw: zero-loss is transparent
+        if self.p_loss >= 1.0:
+            return LinkOutcome.DROP
+        u = _link_uniform(self.seed, 1, sender, receiver, iteration, nonce)
+        return LinkOutcome.DROP if u < self.p_loss else LinkOutcome.DELIVER
+
+    def delivery_probability(self, distance: float) -> float:
+        return 1.0 - self.p_loss
+
+
+@dataclass
+class DistanceFadingLink(LinkModel):
+    """Distance-dependent delivery: perfect inside ``inner_radius``, then a
+    power-law ramp down to ``edge_probability`` at ``comm_radius``.
+
+        p(d) = 1                                       d <= r_in
+        p(d) = 1 - (1 - p_edge) * ((d - r_in)/(r_c - r_in))^gamma   otherwise
+
+    ``gamma`` > 1 keeps mid-range links good and concentrates the loss near
+    the cell edge (the empirical "transitional region" of real radios).
+    """
+
+    comm_radius: float = 30.0
+    inner_radius: float = 15.0
+    edge_probability: float = 0.5
+    gamma: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.comm_radius <= 0:
+            raise ValueError("comm_radius must be positive")
+        if not 0.0 <= self.inner_radius <= self.comm_radius:
+            raise ValueError("inner_radius must be in [0, comm_radius]")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise ValueError("edge_probability must be in [0, 1]")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+
+    def delivery_probability(self, distance: float) -> float:
+        if distance <= self.inner_radius:
+            return 1.0
+        span = self.comm_radius - self.inner_radius
+        if span <= 0.0 or distance >= self.comm_radius:
+            return self.edge_probability
+        x = (distance - self.inner_radius) / span
+        return 1.0 - (1.0 - self.edge_probability) * x**self.gamma
+
+    def classify(self, sender, receiver, distance, iteration, nonce=0):
+        p = self.delivery_probability(distance)
+        if p >= 1.0:
+            return LinkOutcome.DELIVER
+        u = _link_uniform(self.seed, 2, sender, receiver, iteration, nonce)
+        return LinkOutcome.DELIVER if u < p else LinkOutcome.DROP
+
+
+@dataclass
+class GilbertElliottLink(LinkModel):
+    """Gilbert-Elliott burst loss: a two-state Markov chain per directed link.
+
+    Each directed link is in a *good* or *bad* state; the state advances once
+    per filter iteration (transitions ``p_good_to_bad`` / ``p_bad_to_good``)
+    and messages are dropped with the state's loss probability.  Expected
+    burst length is ``1 / p_bad_to_good`` iterations; stationary loss is
+    ``pi_B * loss_bad + pi_G * loss_good``.
+
+    The chain is advanced lazily and deterministically: the state at iteration
+    ``k`` is a pure function of the seed, the link, and ``k``, so replaying a
+    run reproduces every burst.
+    """
+
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.4
+    loss_good: float = 0.0
+    loss_bad: float = 0.9
+    seed: int = 0
+    #: (sender, receiver) -> (state_is_bad, iteration_of_state)
+    _state: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+
+    def reset(self) -> None:
+        self._state.clear()
+
+    def _state_at(self, sender: int, receiver: int, iteration: int) -> bool:
+        """True iff the directed link is in the bad state at ``iteration``."""
+        key = (sender, receiver)
+        bad, at = self._state.get(key, (False, -1))
+        if at > iteration:
+            # replay from the chain's origin: the per-step draws are keyed,
+            # so recomputation gives the identical path
+            bad, at = False, -1
+        for k in range(at + 1, iteration + 1):
+            u = _link_uniform(self.seed, 3, sender, receiver, k, 0)
+            bad = (u < self.p_good_to_bad) if not bad else (u >= self.p_bad_to_good)
+        self._state[key] = (bad, iteration)
+        return bad
+
+    def classify(self, sender, receiver, distance, iteration, nonce=0):
+        bad = self._state_at(sender, receiver, iteration)
+        p = self.loss_bad if bad else self.loss_good
+        if p <= 0.0:
+            return LinkOutcome.DELIVER
+        if p >= 1.0:
+            return LinkOutcome.DROP
+        u = _link_uniform(self.seed, 4, sender, receiver, iteration, nonce)
+        return LinkOutcome.DROP if u < p else LinkOutcome.DELIVER
+
+    def delivery_probability(self, distance: float) -> float:
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        pi_bad = self.p_good_to_bad / denom if denom > 0 else 0.0
+        return 1.0 - (pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good)
+
+
+@dataclass
+class DelayingLink(LinkModel):
+    """Convert a fraction of an inner model's deliveries into one-iteration-late
+    deliveries (the medium parks them and flushes at the next iteration)."""
+
+    inner: LinkModel = field(default_factory=LinkModel)
+    p_delay: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_delay <= 1.0:
+            raise ValueError(f"p_delay must be in [0, 1], got {self.p_delay}")
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def delivery_probability(self, distance: float) -> float:
+        return self.inner.delivery_probability(distance)
+
+    def classify(self, sender, receiver, distance, iteration, nonce=0):
+        outcome = self.inner.classify(sender, receiver, distance, iteration, nonce)
+        if outcome is not LinkOutcome.DELIVER or self.p_delay <= 0.0:
+            return outcome
+        u = _link_uniform(self.seed, 5, sender, receiver, iteration, nonce)
+        return LinkOutcome.DELAY if u < self.p_delay else LinkOutcome.DELIVER

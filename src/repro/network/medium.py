@@ -1,4 +1,4 @@
-"""The shared wireless medium: delivery, overhearing, and cost accounting.
+"""The shared wireless medium: delivery, overhearing, loss, and cost accounting.
 
 Semantics follow the paper's round-based simulation:
 
@@ -13,6 +13,21 @@ Semantics follow the paper's round-based simulation:
   down by iteration and by message category, so each figure's cost series is
   read straight from the ledger.
 
+Unreliable channels (paper §VIII-1's future-work evaluation) are opt-in: a
+:class:`~repro.network.links.LinkModel` decides per (message, receiver)
+whether the copy is delivered, dropped, or delayed one iteration.  Drops are
+recorded per recipient in the :class:`Delivery` result and in a parallel
+*dropped* ledger on :class:`CommAccounting` — transmission cost is unchanged
+(the sender pays for the transmission whether or not anyone decodes it),
+which is exactly why a medium with a zero-loss link model is byte-for-byte
+identical to one with no link model at all.  Fault plans additionally hook in
+through :meth:`Medium.install_link_override` (loss bursts) and
+:meth:`Medium.set_partition` (region partitions).
+
+Crashed nodes drop their own transmissions silently (recorded in the dropped
+ledger) instead of raising: a node program cannot know its radio died, and
+fault plans inject fresh crashes between the availability check and the send.
+
 The medium never lets a node read another node's state — algorithms see only
 their inbox, which is what "completely distributed" means operationally.
 """
@@ -24,11 +39,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .links import LinkModel, LinkOutcome
 from .messages import DataSizes, Message
 from .radio import RadioModel
 from .spatial import GridIndex
 
 __all__ = ["CommAccounting", "Medium", "Delivery"]
+
+_EMPTY_IDS = np.array([], dtype=np.intp)
 
 
 @dataclass
@@ -38,12 +56,23 @@ class CommAccounting:
     Keys are ``(iteration, category)``; convenience views aggregate either
     axis.  ``record`` is the single entry point so totals can never drift
     from the breakdowns.
+
+    A parallel *dropped* ledger (same keys) counts per-recipient copies lost
+    to an unreliable channel or to a crashed sender.  Dropped entries never
+    touch the transmission totals: the radio energy was spent whether or not
+    the copy decoded, so cost figures are loss-invariant while loss studies
+    read the dropped views.
     """
 
     sizes: DataSizes = field(default_factory=DataSizes)
     total_bytes: int = 0
     total_messages: int = 0
     by_key: dict[tuple[int, str], list] = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+    total_dropped_bytes: int = 0
+    total_dropped_messages: int = 0
+    dropped_by_key: dict[tuple[int, str], list] = field(
+        default_factory=lambda: defaultdict(lambda: [0, 0])
+    )
 
     def record(self, iteration: int, category: str, n_bytes: int, n_messages: int = 1) -> None:
         if n_bytes < 0 or n_messages < 0:
@@ -51,6 +80,18 @@ class CommAccounting:
         self.total_bytes += n_bytes
         self.total_messages += n_messages
         entry = self.by_key[(iteration, category)]
+        entry[0] += n_bytes
+        entry[1] += n_messages
+
+    def record_dropped(
+        self, iteration: int, category: str, n_bytes: int, n_messages: int = 1
+    ) -> None:
+        """Log per-recipient copies lost in flight (channel loss / dead sender)."""
+        if n_bytes < 0 or n_messages < 0:
+            raise ValueError("accounting entries must be non-negative")
+        self.total_dropped_bytes += n_bytes
+        self.total_dropped_messages += n_messages
+        entry = self.dropped_by_key[(iteration, category)]
         entry[0] += n_bytes
         entry[1] += n_messages
 
@@ -80,6 +121,24 @@ class CommAccounting:
             out[cat] += m
         return dict(out)
 
+    def dropped_messages_by_iteration(self) -> dict[int, int]:
+        out: dict[int, int] = defaultdict(int)
+        for (it, _cat), (_b, m) in self.dropped_by_key.items():
+            out[it] += m
+        return dict(out)
+
+    def dropped_messages_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, cat), (_b, m) in self.dropped_by_key.items():
+            out[cat] += m
+        return dict(out)
+
+    def dropped_bytes_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, cat), (b, _m) in self.dropped_by_key.items():
+            out[cat] += b
+        return dict(out)
+
     def merge(self, other: "CommAccounting") -> None:
         self.total_bytes += other.total_bytes
         self.total_messages += other.total_messages
@@ -87,15 +146,41 @@ class CommAccounting:
             entry = self.by_key[key]
             entry[0] += b
             entry[1] += m
+        self.total_dropped_bytes += other.total_dropped_bytes
+        self.total_dropped_messages += other.total_dropped_messages
+        for key, (b, m) in other.dropped_by_key.items():
+            entry = self.dropped_by_key[key]
+            entry[0] += b
+            entry[1] += m
 
 
 @dataclass(frozen=True)
 class Delivery:
-    """Result of one transmission: who heard it, and what it cost."""
+    """Result of one transmission: who heard it, who lost it, what it cost.
+
+    ``receivers + dropped + delayed`` partition the recipients the radio
+    *offered* the message to (in range and available); a reliable medium
+    always reports empty ``dropped``/``delayed``.
+    """
 
     receivers: np.ndarray  # node ids that received the message
     n_bytes: int
     n_messages: int
+    dropped: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)  # copies lost in flight
+    delayed: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)  # arrive next iteration
+
+    @property
+    def n_offered(self) -> int:
+        """Recipient slots the radio offered (delivered + dropped + delayed)."""
+        return int(self.receivers.size + self.dropped.size + self.delayed.size)
+
+
+def _failed_send(
+    accounting: CommAccounting, iteration: int, message: Message, n_bytes: int
+) -> Delivery:
+    """A crashed sender's transmission: silently lost, logged as dropped."""
+    accounting.record_dropped(iteration, message.category, n_bytes, 1)
+    return Delivery(receivers=_EMPTY_IDS, n_bytes=0, n_messages=0)
 
 
 class Medium:
@@ -111,6 +196,9 @@ class Medium:
         Byte model used to charge every message.
     accounting:
         Optional shared ledger; a fresh one is created if omitted.
+    link_model:
+        Optional :class:`~repro.network.links.LinkModel` deciding per-copy
+        delivery.  ``None`` (default) is the paper's reliable medium.
 
     Notes
     -----
@@ -126,15 +214,26 @@ class Medium:
         radio: RadioModel,
         sizes: DataSizes | None = None,
         accounting: CommAccounting | None = None,
+        link_model: LinkModel | None = None,
     ) -> None:
         self.positions = np.asarray(positions, dtype=np.float64)
         self.radio = radio
         self.sizes = sizes if sizes is not None else DataSizes()
         self.accounting = accounting if accounting is not None else CommAccounting(self.sizes)
+        self.link_model = link_model
         self._index = GridIndex(self.positions, radio.comm_radius)
         self._inboxes: dict[int, list[Message]] = defaultdict(list)
         self._asleep: set[int] = set()
         self._failed: set[int] = set()
+        #: fault-plan hooks: an extra link model (loss bursts) and a boolean
+        #: side-of-partition mask (region partitions); both None when healthy
+        self._link_override: LinkModel | None = None
+        self._partition: np.ndarray | None = None
+        #: messages parked by a DELAY outcome: (deliver_at_iteration, node, msg)
+        self._delayed: list[tuple[int, int, Message]] = []
+        #: per-(sender, receiver, iteration) message counter so two messages on
+        #: the same link in one iteration draw independent link fates
+        self._link_nonce: dict[tuple[int, int, int], int] = {}
 
     @property
     def n_nodes(self) -> int:
@@ -171,15 +270,88 @@ class Medium:
     def is_available(self, node_id: int) -> bool:
         return node_id not in self._asleep and node_id not in self._failed
 
+    # -- fault-plan hooks ----------------------------------------------------
+
+    def install_link_override(self, link_model: LinkModel | None) -> None:
+        """Install (or clear) an *additional* link model on top of any base one.
+
+        Used by fault plans for loss-burst windows: during the window every
+        copy must survive both the base model and the override.
+        """
+        self._link_override = link_model
+
+    def set_partition(self, side_mask: np.ndarray | None) -> None:
+        """Partition the network: copies crossing the mask boundary are dropped.
+
+        ``side_mask`` is a boolean array over node ids; a copy is dropped iff
+        sender and receiver sit on different sides.  ``None`` heals the
+        partition.
+        """
+        if side_mask is not None:
+            side_mask = np.asarray(side_mask, dtype=bool)
+            if side_mask.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"partition mask shape {side_mask.shape} != ({self.n_nodes},)"
+                )
+        self._partition = side_mask
+
+    @property
+    def is_unreliable(self) -> bool:
+        """True when any lossy machinery is installed (link model, burst, partition)."""
+        return (
+            self.link_model is not None
+            or self._link_override is not None
+            or self._partition is not None
+        )
+
+    # -- per-copy link evaluation -------------------------------------------
+
+    def _copy_outcome(self, sender: int, receiver: int, iteration: int) -> LinkOutcome:
+        """Fate of one message copy on the directed link sender -> receiver."""
+        if self._partition is not None and bool(
+            self._partition[sender] != self._partition[receiver]
+        ):
+            return LinkOutcome.DROP
+        if self.link_model is None and self._link_override is None:
+            return LinkOutcome.DELIVER
+        key = (sender, receiver, iteration)
+        nonce = self._link_nonce.get(key, 0)
+        self._link_nonce[key] = nonce + 1
+        distance = float(np.linalg.norm(self.positions[sender] - self.positions[receiver]))
+        outcome = LinkOutcome.DELIVER
+        if self.link_model is not None:
+            outcome = self.link_model.classify(sender, receiver, distance, iteration, nonce)
+        if outcome is LinkOutcome.DELIVER and self._link_override is not None:
+            outcome = self._link_override.classify(sender, receiver, distance, iteration, nonce)
+        return outcome
+
+    def flush_delayed(self, iteration: int) -> None:
+        """Deliver parked copies whose iteration has arrived (to awake nodes)."""
+        if not self._delayed:
+            return
+        still_parked: list[tuple[int, int, Message]] = []
+        for due, node, message in self._delayed:
+            if due <= iteration:
+                if self.is_available(node):
+                    self._inboxes[node].append(message)
+                # a copy due while its target is unavailable is simply lost;
+                # it was already counted in the Delivery's delayed record
+            else:
+                still_parked.append((due, node, message))
+        self._delayed = still_parked
+
     # -- transmission primitives --------------------------------------------
 
-    def _check_sender(self, sender: int) -> None:
+    def _check_sender(self, sender: int) -> bool:
+        """Validate the sender; returns False when the send must be silently
+        dropped (crashed sender), raises for programming errors."""
         if not 0 <= sender < self.n_nodes:
             raise ValueError(f"sender id {sender} out of range [0, {self.n_nodes})")
         if sender in self._failed:
-            raise RuntimeError(f"node {sender} has failed and cannot transmit")
+            return False
         if sender in self._asleep:
             raise RuntimeError(f"node {sender} is asleep and cannot transmit")
+        return True
 
     def broadcast(
         self,
@@ -195,20 +367,51 @@ class Medium:
         (excluding the sender itself) gets the message appended to its inbox.
         The cost is one message of ``message.size_bytes`` regardless of the
         number of receivers — broadcast is charged once, which is exactly why
-        overhearing-based aggregation is free.
+        overhearing-based aggregation is free.  Under an unreliable channel
+        each in-range copy is individually dropped/delayed per the link model;
+        the transmission still costs one message.
         """
-        self._check_sender(sender)
-        in_range = self._index.query_disk(self.positions[sender], self.radio.comm_radius)
-        receivers = np.array(
-            [i for i in in_range if i != sender and self.is_available(int(i))],
-            dtype=np.intp,
-        )
-        for r in receivers:
-            self._inboxes[int(r)].append(message)
+        self.flush_delayed(iteration)
         n_bytes = message.size_bytes(self.sizes)
+        if not self._check_sender(sender):
+            return _failed_send(self.accounting, iteration, message, n_bytes)
+        in_range = self._index.query_disk(self.positions[sender], self.radio.comm_radius)
+        offered = [i for i in in_range if i != sender and self.is_available(int(i))]
+        if not self.is_unreliable:
+            receivers = np.array(offered, dtype=np.intp)
+            for r in receivers:
+                self._inboxes[int(r)].append(message)
+            if count_cost:
+                self.accounting.record(iteration, message.category, n_bytes, 1)
+            return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
+
+        delivered: list[int] = []
+        dropped: list[int] = []
+        delayed: list[int] = []
+        for r in offered:
+            r = int(r)
+            outcome = self._copy_outcome(sender, r, iteration)
+            if outcome is LinkOutcome.DELIVER:
+                self._inboxes[r].append(message)
+                delivered.append(r)
+            elif outcome is LinkOutcome.DELAY:
+                self._delayed.append((iteration + 1, r, message))
+                delayed.append(r)
+            else:
+                dropped.append(r)
         if count_cost:
             self.accounting.record(iteration, message.category, n_bytes, 1)
-        return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
+        if dropped:
+            self.accounting.record_dropped(
+                iteration, message.category, n_bytes * len(dropped), len(dropped)
+            )
+        return Delivery(
+            receivers=np.array(delivered, dtype=np.intp),
+            n_bytes=n_bytes,
+            n_messages=1,
+            dropped=np.array(dropped, dtype=np.intp),
+            delayed=np.array(delayed, dtype=np.intp),
+        )
 
     def unicast(
         self,
@@ -218,9 +421,18 @@ class Medium:
         iteration: int,
         *,
         count_cost: bool = True,
+        deliver_to_inbox: bool = True,
     ) -> Delivery:
-        """Single-hop unicast.  The receiver must be in radio range and awake."""
-        self._check_sender(sender)
+        """Single-hop unicast.  The receiver must be in radio range and awake.
+
+        ``deliver_to_inbox=False`` evaluates link success and charges the
+        transmission without filing the message (relay hops of a reliability
+        layer, where intermediate nodes forward rather than consume).
+        """
+        self.flush_delayed(iteration)
+        n_bytes = message.size_bytes(self.sizes)
+        if not self._check_sender(sender):
+            return _failed_send(self.accounting, iteration, message, n_bytes)
         if not 0 <= receiver < self.n_nodes:
             raise ValueError(f"receiver id {receiver} out of range")
         if not self.radio.in_range(self.positions[sender], self.positions[receiver]):
@@ -228,14 +440,37 @@ class Medium:
                 f"unicast {sender}->{receiver} exceeds comm radius "
                 f"{self.radio.comm_radius}"
             )
-        n_bytes = message.size_bytes(self.sizes)
         if count_cost:
             self.accounting.record(iteration, message.category, n_bytes, 1)
-        delivered = self.is_available(receiver)
-        if delivered:
+        if not self.is_available(receiver):
+            return Delivery(receivers=_EMPTY_IDS, n_bytes=n_bytes, n_messages=1)
+        outcome = (
+            self._copy_outcome(sender, receiver, iteration)
+            if self.is_unreliable
+            else LinkOutcome.DELIVER
+        )
+        if outcome is LinkOutcome.DROP:
+            self.accounting.record_dropped(iteration, message.category, n_bytes, 1)
+            return Delivery(
+                receivers=_EMPTY_IDS,
+                n_bytes=n_bytes,
+                n_messages=1,
+                dropped=np.array([receiver], dtype=np.intp),
+            )
+        if outcome is LinkOutcome.DELAY:
+            if deliver_to_inbox:
+                self._delayed.append((iteration + 1, receiver, message))
+            return Delivery(
+                receivers=_EMPTY_IDS,
+                n_bytes=n_bytes,
+                n_messages=1,
+                delayed=np.array([receiver], dtype=np.intp),
+            )
+        if deliver_to_inbox:
             self._inboxes[receiver].append(message)
-        recv = np.array([receiver] if delivered else [], dtype=np.intp)
-        return Delivery(receivers=recv, n_bytes=n_bytes, n_messages=1)
+        return Delivery(
+            receivers=np.array([receiver], dtype=np.intp), n_bytes=n_bytes, n_messages=1
+        )
 
     def unicast_path(
         self,
@@ -250,25 +485,87 @@ class Medium:
         Charges one transmission per hop (``len(path) - 1`` messages), the
         convergecast cost model of CPF.  Only the final node receives the
         message in its inbox; intermediate nodes are pure relays.
+
+        Under an unreliable channel the packet walks the path hop by hop:
+        hops up to a loss are still charged (the radios did transmit), the
+        copy is recorded as dropped at the losing hop, and nothing reaches
+        the destination.  A crashed node anywhere on the path kills the
+        packet the same way.  Relay-hop DELAY outcomes count as immediate
+        forwarding (stop-and-wait at the MAC, invisible at filter timescale);
+        only a final-hop delay parks the message for the next iteration.
         """
+        self.flush_delayed(iteration)
         if len(path) < 2:
             raise ValueError("a path needs at least a sender and a receiver")
         n_bytes_each = message.size_bytes(self.sizes)
-        hops = len(path) - 1
+        # geometry errors are programming errors regardless of channel state
         for a, b in zip(path[:-1], path[1:]):
-            self._check_sender(a)
+            if not 0 <= a < self.n_nodes:
+                raise ValueError(f"sender id {a} out of range [0, {self.n_nodes})")
             if not self.radio.in_range(self.positions[a], self.positions[b]):
                 raise RuntimeError(
                     f"path hop {a}->{b} exceeds comm radius {self.radio.comm_radius}"
                 )
-        if count_cost:
-            self.accounting.record(iteration, message.category, n_bytes_each * hops, hops)
         dest = int(path[-1])
+        hops_attempted = 0
+        lost_at: int | None = None
+        for a, b in zip(path[:-1], path[1:]):
+            a, b = int(a), int(b)
+            if a in self._failed:
+                # the relay crashed holding the packet: hops already counted
+                self.accounting.record_dropped(iteration, message.category, n_bytes_each, 1)
+                lost_at = b
+                break
+            if a in self._asleep:
+                raise RuntimeError(f"node {a} is asleep and cannot transmit")
+            hops_attempted += 1
+            if b != dest and b in self._failed:
+                # transmitted into a dead relay: charged, copy lost
+                self.accounting.record_dropped(iteration, message.category, n_bytes_each, 1)
+                lost_at = b
+                break
+            if self.is_unreliable:
+                outcome = self._copy_outcome(a, b, iteration)
+                if outcome is LinkOutcome.DROP:
+                    self.accounting.record_dropped(
+                        iteration, message.category, n_bytes_each, 1
+                    )
+                    lost_at = b
+                    break
+                if outcome is LinkOutcome.DELAY and b == dest:
+                    # final hop delayed: the packet arrives next iteration
+                    self._delayed.append((iteration + 1, dest, message))
+                    if count_cost:
+                        self.accounting.record(
+                            iteration,
+                            message.category,
+                            n_bytes_each * hops_attempted,
+                            hops_attempted,
+                        )
+                    return Delivery(
+                        receivers=_EMPTY_IDS,
+                        n_bytes=n_bytes_each * hops_attempted,
+                        n_messages=hops_attempted,
+                        delayed=np.array([dest], dtype=np.intp),
+                    )
+        if count_cost and hops_attempted:
+            self.accounting.record(
+                iteration, message.category, n_bytes_each * hops_attempted, hops_attempted
+            )
+        if lost_at is not None:
+            return Delivery(
+                receivers=_EMPTY_IDS,
+                n_bytes=n_bytes_each * hops_attempted,
+                n_messages=hops_attempted,
+                dropped=np.array([dest], dtype=np.intp),
+            )
         delivered = self.is_available(dest)
         if delivered:
             self._inboxes[dest].append(message)
         recv = np.array([dest] if delivered else [], dtype=np.intp)
-        return Delivery(receivers=recv, n_bytes=n_bytes_each * hops, n_messages=hops)
+        return Delivery(
+            receivers=recv, n_bytes=n_bytes_each * hops_attempted, n_messages=hops_attempted
+        )
 
     def global_broadcast(self, message: Message, iteration: int, sender: int = -1) -> Delivery:
         """SDPF's global transceiver: reaches every available node in ONE message.
@@ -276,7 +573,10 @@ class Medium:
         The paper assumes the transceiver "is one hop away from every node in
         the network"; its broadcast therefore costs a single message.
         ``sender = -1`` denotes the transceiver, which is not a field node.
+        The transceiver's high-power channel is modeled as reliable even when
+        the field links are lossy (it is infrastructure, not a field radio).
         """
+        self.flush_delayed(iteration)
         receivers = np.array(
             [i for i in range(self.n_nodes) if self.is_available(i)], dtype=np.intp
         )

@@ -73,6 +73,22 @@ class Message:
     def size_bytes(self, sizes: DataSizes) -> int:
         return sizes.header + self.payload_bytes(sizes)
 
+    def dedupe_key(self) -> tuple:
+        """Stable identity for receiver-side duplicate suppression.
+
+        A retransmission resends the *same* message object, so object
+        identity plus (type, sender, iteration) is exactly the stop-and-wait
+        sequence tag the reliability layer needs: retransmits of one message
+        collapse, while two distinct messages from the same sender in the
+        same iteration never do.
+        """
+        return (
+            type(self).__name__,
+            getattr(self, "sender", None),
+            getattr(self, "iteration", None),
+            id(self),
+        )
+
 
 def _as_readonly(a: np.ndarray, dtype=np.float64) -> np.ndarray:
     out = np.array(a, dtype=dtype, copy=True)

@@ -39,12 +39,17 @@ def greedy_path(
     radio: RadioModel,
     *,
     max_hops: int = 64,
+    exclude: set[int] | None = None,
 ) -> list[int]:
     """Greedy geographic route from ``source`` to ``sink`` (inclusive).
 
     Returns the node-id path ``[source, ..., sink]``.  Raises
     :class:`RoutingError` on a local minimum (no neighbor closer to the sink)
     or when ``max_hops`` is exceeded.
+
+    ``exclude`` removes nodes from *relay* selection (route repair around
+    dead or blacklisted forwarders — the reliability layer's timeout signal);
+    the source and a direct final hop to the sink are never excluded.
     """
     positions = index.positions
     n = positions.shape[0]
@@ -53,6 +58,7 @@ def greedy_path(
     sink_pos = positions[sink]
     path = [source]
     current = source
+    excluded = {int(i) for i in exclude} if exclude else None
     for _ in range(max_hops):
         if current == sink:
             return path
@@ -62,6 +68,8 @@ def greedy_path(
             return path
         neigh = index.query_disk(cur_pos, radio.comm_radius)
         neigh = neigh[neigh != current]
+        if excluded and neigh.size:
+            neigh = neigh[~np.isin(neigh, list(excluded))]
         if neigh.size == 0:
             raise RoutingError(f"node {current} has no neighbors; cannot reach sink {sink}")
         d2 = np.sum((positions[neigh] - sink_pos) ** 2, axis=1)

@@ -20,6 +20,7 @@ from .models.constant_velocity import ConstantVelocityModel
 from .models.measurement import BearingMeasurement
 from .models.trajectory import Trajectory
 from .network.deployment import Deployment
+from .network.links import LinkModel
 from .network.medium import CommAccounting, Medium
 from .network.messages import DataSizes
 from .network.radio import RadioModel
@@ -86,6 +87,10 @@ class Scenario:
     #: (neighbor tables, contributions, likelihoods) keeps using the believed
     #: one.  ``None`` means believed == physical (the paper's assumption).
     physical: Deployment | None = None
+    #: Optional unreliable-channel model installed on every medium this
+    #: scenario builds (``None`` = the paper's perfectly reliable radios).
+    #: A zero-loss model is byte-for-byte equivalent to ``None``.
+    link_model: LinkModel | None = None
 
     def __post_init__(self) -> None:
         self.radio.validate_against_sensing(self.detection.sensing_radius)
@@ -104,7 +109,11 @@ class Scenario:
     def make_medium(self, accounting: CommAccounting | None = None) -> Medium:
         # radio delivery follows PHYSICAL geometry
         return Medium(
-            self.physical_deployment.positions, self.radio, self.sizes, accounting
+            self.physical_deployment.positions,
+            self.radio,
+            self.sizes,
+            accounting,
+            link_model=self.link_model,
         )
 
     def with_localization_error(

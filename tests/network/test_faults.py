@@ -1,0 +1,185 @@
+"""FaultPlan: declarative, deterministic fault injection against a Medium."""
+
+import numpy as np
+import pytest
+
+from repro.network.faults import (
+    CrashFault,
+    FaultPlan,
+    LossBurst,
+    RegionPartition,
+    SleepWindow,
+)
+from repro.network.medium import Medium
+from repro.network.messages import MeasurementMessage
+from repro.network.radio import RadioModel
+
+
+def make_medium(n=40, seed=0, comm=30.0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 100, (n, 2))
+    return Medium(pos, RadioModel(comm_radius=comm))
+
+
+def msg(sender=0, k=0):
+    return MeasurementMessage(sender=sender, iteration=k, value=1.0)
+
+
+class TestEvents:
+    def test_crash_fault_explicit_ids(self):
+        m = make_medium()
+        plan = FaultPlan(events=(CrashFault(iteration=2, node_ids=(3, 7)),))
+        plan.apply(m, 1)
+        assert m.is_available(3) and m.is_available(7)
+        plan.apply(m, 2)
+        assert not m.is_available(3) and not m.is_available(7)
+        plan.apply(m, 3)  # crashes are permanent
+        assert not m.is_available(3)
+
+    def test_crash_fault_fraction_is_seeded(self):
+        a, b = make_medium(), make_medium()
+        ev = CrashFault(iteration=1, fraction=0.25, seed=42)
+        assert ev.node_set(40).tolist() == ev.node_set(40).tolist()
+        FaultPlan(events=(ev,)).apply(a, 1)
+        FaultPlan(events=(ev,)).apply(b, 1)
+        assert [a.is_available(i) for i in range(40)] == [
+            b.is_available(i) for i in range(40)
+        ]
+        assert sum(not a.is_available(i) for i in range(40)) == 10
+
+    def test_crash_fault_validation(self):
+        with pytest.raises(ValueError):
+            CrashFault(iteration=0)  # neither ids nor fraction
+        with pytest.raises(ValueError):
+            CrashFault(iteration=0, node_ids=(1,), fraction=0.1)  # both
+        with pytest.raises(ValueError):
+            CrashFault(iteration=0, fraction=1.5)
+
+    def test_sleep_window_fresh_subset_each_iteration(self):
+        m = make_medium()
+        plan = FaultPlan(events=(SleepWindow(start=1, end=3, awake_fraction=0.5, seed=9),))
+        plan.apply(m, 0)
+        assert all(m.is_available(i) for i in range(40))
+        plan.apply(m, 1)
+        asleep_1 = {i for i in range(40) if not m.is_available(i)}
+        plan.apply(m, 2)
+        asleep_2 = {i for i in range(40) if not m.is_available(i)}
+        assert asleep_1 and asleep_2 and asleep_1 != asleep_2
+        plan.apply(m, 4)  # window over: everyone wakes
+        assert all(m.is_available(i) for i in range(40))
+
+    def test_plan_without_sleep_does_not_touch_sleep_state(self):
+        m = make_medium()
+        m.set_asleep([5])  # externally managed schedule
+        FaultPlan(events=(CrashFault(iteration=0, node_ids=(1,)),)).apply(m, 0)
+        assert not m.is_available(5)
+
+    def test_loss_burst_window(self):
+        m = make_medium()
+        plan = FaultPlan(events=(LossBurst(start=1, end=2, p_loss=1.0, seed=0),))
+        plan.apply(m, 0)
+        assert not m.is_unreliable
+        d = m.broadcast(0, msg(0, 0), 0)
+        assert d.dropped.size == 0
+        plan.apply(m, 1)
+        assert m.is_unreliable
+        d = m.broadcast(0, msg(0, 1), 1)
+        assert d.receivers.size == 0 and d.dropped.size > 0
+        plan.apply(m, 3)  # burst over: override cleared
+        assert not m.is_unreliable
+
+    def test_concurrent_bursts_stack(self):
+        plan = FaultPlan(
+            events=(
+                LossBurst(start=0, end=5, p_loss=0.5, seed=0),
+                LossBurst(start=0, end=5, p_loss=0.5, seed=1),
+            )
+        )
+        m = make_medium()
+        plan.apply(m, 0)
+        # survival = 0.5 * 0.5: the installed override carries p_loss = 0.75
+        assert m._link_override.p_loss == pytest.approx(0.75)
+
+    def test_region_partition(self):
+        m = make_medium()
+        plan = FaultPlan(
+            events=(RegionPartition(start=1, end=2, center=(50.0, 50.0), radius=40.0),)
+        )
+        plan.apply(m, 1)
+        inside = plan.events[0].side_mask(m.positions)
+        # pick an inside sender with at least one in-range outside neighbor
+        sender = int(np.nonzero(inside)[0][0])
+        d = m.broadcast(sender, msg(sender, 1), 1)
+        for r in d.receivers:
+            assert inside[int(r)]
+        for r in d.dropped:
+            assert not inside[int(r)]
+        plan.apply(m, 3)
+        assert not m.is_unreliable
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SleepWindow(start=3, end=1)
+        with pytest.raises(ValueError):
+            LossBurst(start=0, end=1, p_loss=2.0)
+        with pytest.raises(ValueError):
+            RegionPartition(start=0, end=1, radius=0.0)
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(events=("not-an-event",))
+
+
+class TestPlanReplay:
+    def test_full_plan_replays_identically(self):
+        plan = FaultPlan(
+            events=(
+                CrashFault(iteration=2, fraction=0.1, seed=1),
+                SleepWindow(start=1, end=4, awake_fraction=0.7, seed=2),
+                LossBurst(start=3, end=4, p_loss=0.5, seed=3),
+            )
+        )
+        outcomes = []
+        for _replay in range(2):
+            m = make_medium()
+            trace = []
+            for k in range(6):
+                plan.apply(m, k)
+                d = m.broadcast(0, msg(0, k), k) if m.is_available(0) else None
+                trace.append(
+                    (
+                        tuple(sorted(i for i in range(40) if not m.is_available(i))),
+                        None if d is None else tuple(d.receivers.tolist()),
+                        None if d is None else tuple(d.dropped.tolist()),
+                    )
+                )
+            outcomes.append(trace)
+        assert outcomes[0] == outcomes[1]
+
+    def test_crashed_sender_mid_protocol_does_not_raise(self):
+        """A plan crashing a node between its availability check and its send
+        must not blow up the tracker: the send silently drops (satellite d)."""
+        m = make_medium()
+        FaultPlan(events=(CrashFault(iteration=1, node_ids=(0,)),)).apply(m, 1)
+        d = m.broadcast(0, msg(0, 1), 1)
+        assert d.receivers.size == 0 and d.n_messages == 0
+        assert m.accounting.total_dropped_messages == 1
+
+
+class TestFactories:
+    def test_cumulative_crashes_reaches_total_fraction(self):
+        plan = FaultPlan.cumulative_crashes(0.3, 10, seed=0, start=1)
+        assert len(plan.events) == 10
+        m = make_medium(n=200)
+        for k in range(12):
+            plan.apply(m, k)
+        failed = sum(not m.is_available(i) for i in range(200))
+        # fresh draws may collide across iterations, so <= total, but close
+        assert 0.2 * 200 <= failed <= 0.3 * 200
+
+    def test_unanticipated_sleep_factory(self):
+        plan = FaultPlan.unanticipated_sleep(10, awake_fraction=0.7, seed=4)
+        m = make_medium(n=200)
+        plan.apply(m, 5)
+        asleep = sum(not m.is_available(i) for i in range(200))
+        assert 0.15 * 200 < asleep < 0.45 * 200

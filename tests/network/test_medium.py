@@ -126,8 +126,24 @@ class TestSleepAndFailure:
         m.fail_nodes([1])
         d = m.broadcast(0, msg(), 0)
         assert 1 not in d.receivers
-        with pytest.raises(RuntimeError, match="failed"):
-            m.broadcast(1, msg(1), 0)
+        # a crashed sender's send is a *silent drop*, not a programming
+        # error: nothing goes on the air, nothing is charged, and the
+        # attempt lands in the dropped ledger (fault plans crash nodes
+        # mid-protocol, so trackers must be able to survive the attempt)
+        d = m.broadcast(1, msg(1), 0)
+        assert d.receivers.size == 0
+        assert d.n_messages == 0 and d.n_bytes == 0
+        assert m.accounting.total_messages == 1  # only node 0's broadcast
+        assert m.accounting.total_dropped_messages == 1
+        assert m.pending_nodes() == [2, 3] or set(m.pending_nodes()) == {2, 3}
+
+    def test_failed_unicast_sender_drops_silently(self):
+        m = line_medium()
+        m.fail_nodes([0])
+        d = m.unicast(0, 1, msg(), 0)
+        assert d.receivers.size == 0 and d.n_messages == 0
+        assert m.accounting.total_dropped_messages == 1
+        assert len(m.peek(1)) == 0
 
     def test_waking_does_not_heal_failed_node(self):
         m = line_medium()

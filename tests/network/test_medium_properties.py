@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.network.links import IIDLossLink
 from repro.network.medium import CommAccounting, Medium
 from repro.network.messages import MeasurementMessage, ParticleMessage
 from repro.network.radio import RadioModel
@@ -86,3 +87,76 @@ class TestBroadcastGeometryProperty:
         medium.broadcast(0, msg, 3)
         assert medium.accounting.total_bytes == n_particles * 20
         assert medium.accounting.total_messages == 1
+
+
+dropped_entries = st.lists(
+    st.tuples(
+        st.integers(0, 20),
+        st.sampled_from(["propagation", "measurement", "control"]),
+        st.integers(0, 10_000),
+        st.integers(0, 50),
+    ),
+    max_size=40,
+)
+
+
+class TestDroppedLedgerInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(dropped_entries)
+    def test_dropped_breakdowns_sum_to_totals(self, recs):
+        acc = CommAccounting()
+        for it, cat, b, m in recs:
+            acc.record_dropped(it, cat, b, m)
+        assert sum(acc.dropped_messages_by_iteration().values()) == acc.total_dropped_messages
+        assert sum(acc.dropped_messages_by_category().values()) == acc.total_dropped_messages
+        assert sum(acc.dropped_bytes_by_category().values()) == acc.total_dropped_bytes
+        # the dropped ledger never leaks into the transmission totals
+        assert acc.total_bytes == 0 and acc.total_messages == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(dropped_entries, dropped_entries)
+    def test_merge_is_additive_for_dropped(self, recs_a, recs_b):
+        a, b = CommAccounting(), CommAccounting()
+        for it, cat, by, m in recs_a:
+            a.record_dropped(it, cat, by, m)
+        for it, cat, by, m in recs_b:
+            b.record_dropped(it, cat, by, m)
+        expected = a.total_dropped_messages + b.total_dropped_messages
+        a.merge(b)
+        assert a.total_dropped_messages == expected
+        assert sum(m for _b, m in a.dropped_by_key.values()) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.0, 1.0))
+    def test_lossy_broadcast_conserves_offered_copies(self, seed, p_loss):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 100, (40, 2))
+        reliable = Medium(pos, RadioModel(comm_radius=35.0))
+        lossy = Medium(
+            pos, RadioModel(comm_radius=35.0), link_model=IIDLossLink(p_loss=p_loss, seed=seed)
+        )
+        m = MeasurementMessage(sender=0, iteration=0, value=0.5)
+        offered = reliable.broadcast(0, m, 0).receivers
+        d = lossy.broadcast(0, m, 0)
+        got = np.concatenate([d.receivers, d.dropped, d.delayed])
+        assert sorted(got.tolist()) == sorted(offered.tolist())
+        # cost is loss-invariant; per-copy drops land in the parallel ledger
+        assert lossy.accounting.total_messages == reliable.accounting.total_messages
+        assert lossy.accounting.total_dropped_messages == d.dropped.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_seed_reproduces_drop_pattern(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 100, (30, 2))
+        runs = []
+        for _ in range(2):
+            medium = Medium(
+                pos, RadioModel(comm_radius=40.0), link_model=IIDLossLink(p_loss=0.5, seed=seed)
+            )
+            trace = []
+            for k in range(3):
+                d = medium.broadcast(k, MeasurementMessage(sender=k, iteration=k, value=1.0), k)
+                trace.append((tuple(d.receivers.tolist()), tuple(d.dropped.tolist())))
+            runs.append(trace)
+        assert runs[0] == runs[1]

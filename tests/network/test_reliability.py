@@ -1,0 +1,114 @@
+"""ReliableUnicast: stop-and-wait ARQ, dedupe, route repair, honest accounting."""
+
+import numpy as np
+import pytest
+
+from repro.network.links import IIDLossLink
+from repro.network.medium import Medium
+from repro.network.messages import MeasurementMessage
+from repro.network.radio import RadioModel
+from repro.network.reliability import ReliabilityConfig, ReliableUnicast
+from repro.network.spatial import GridIndex
+
+
+def line_medium(link_model=None, spacing=20.0, n=5, comm=25.0):
+    pos = np.column_stack([np.arange(n) * spacing, np.zeros(n)]).astype(float)
+    return Medium(pos, RadioModel(comm_radius=comm), link_model=link_model)
+
+
+def msg(sender=0, k=0):
+    return MeasurementMessage(sender=sender, iteration=k, value=1.0)
+
+
+class TestLosslessPath:
+    def test_delivers_and_charges_acks(self):
+        m = line_medium()
+        arq = ReliableUnicast(m)
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.tolist() == [2]
+        assert len(m.peek(2)) == 1
+        assert len(m.peek(1)) == 0  # relays forward, never consume
+        # 2 data hops + 2 acks
+        assert m.accounting.messages_by_category() == {"measurement": 2, "control": 2}
+
+    def test_no_ack_config_skips_ack_traffic(self):
+        m = line_medium()
+        arq = ReliableUnicast(m, ReliabilityConfig(ack=False))
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.tolist() == [2]
+        assert "control" not in m.accounting.messages_by_category()
+
+    def test_short_path_rejected(self):
+        with pytest.raises(ValueError):
+            ReliableUnicast(line_medium()).send_path([0], msg(), 0)
+
+
+class TestLossyPath:
+    def test_retransmits_until_delivered_without_duplicates(self):
+        # seeded moderate loss: over many sends, every outcome is either a
+        # clean single-copy delivery or an honest dropped/delayed report
+        delivered = dropped = 0
+        for seed in range(20):
+            m = line_medium(IIDLossLink(p_loss=0.4, seed=seed))
+            arq = ReliableUnicast(m, ReliabilityConfig(max_retries=3, reroute=False))
+            message = msg(k=seed)
+            d = arq.send_path([0, 1, 2], message, 0)
+            assert d.n_offered <= 1
+            if d.receivers.size:
+                delivered += 1
+                assert len(m.peek(2)) == 1  # dedupe: never two copies
+            else:
+                dropped += 1
+                assert len(m.peek(2)) == 0
+        assert delivered > 0  # retries do rescue packets at 40% loss
+
+    def test_retries_cost_more_than_lossless(self):
+        lossless = line_medium()
+        ReliableUnicast(lossless).send_path([0, 1, 2], msg(), 0)
+        lossy = line_medium(IIDLossLink(p_loss=0.5, seed=3))
+        ReliableUnicast(lossy, ReliabilityConfig(max_retries=3)).send_path(
+            [0, 1, 2], msg(), 0
+        )
+        assert lossy.accounting.total_messages > lossless.accounting.total_messages
+
+    def test_bounded_attempts_give_up(self):
+        m = line_medium(IIDLossLink(p_loss=1.0, seed=0))
+        arq = ReliableUnicast(m, ReliabilityConfig(max_retries=2, reroute=False))
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.size == 0 and d.dropped.tolist() == [2]
+        # exactly 1 + max_retries data attempts on the first hop, no acks back
+        assert m.accounting.total_messages == 3
+
+
+class TestRouteRepair:
+    def grid(self):
+        # 0 -- 1 -- 2 in a line, with 3 a detour neighbor of 0 and 2
+        pos = np.array([[0.0, 0.0], [20.0, 0.0], [40.0, 0.0], [20.0, 15.0]])
+        radio = RadioModel(comm_radius=26.0)
+        m = Medium(pos, radio)
+        return m, GridIndex(pos, radio.comm_radius), radio
+
+    def test_dead_relay_is_blacklisted_and_routed_around(self):
+        m, index, radio = self.grid()
+        m.fail_nodes([1])
+        arq = ReliableUnicast(m, index=index, radio=radio)
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.tolist() == [2]
+        assert 1 in arq.blacklist
+        assert len(m.peek(2)) == 1
+
+    def test_no_repair_possible_drops_packet(self):
+        m, index, radio = self.grid()
+        m.fail_nodes([1, 3])
+        arq = ReliableUnicast(m, index=index, radio=radio)
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.size == 0
+
+    def test_crashed_sender_kills_packet(self):
+        m, index, radio = self.grid()
+        m.fail_nodes([0])
+        arq = ReliableUnicast(m, index=index, radio=radio)
+        d = arq.send_path([0, 1, 2], msg(), 0)
+        assert d.receivers.size == 0
+        assert m.accounting.total_messages == 0  # nothing went on the air
+        assert m.accounting.total_dropped_messages >= 1
