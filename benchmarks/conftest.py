@@ -8,6 +8,8 @@ variables for quick iterations:
     REPRO_BENCH_SEEDS      (default 10 — the paper's count)
     REPRO_BENCH_DENSITIES  (default "5,10,15,20,25,30,35,40")
     REPRO_BENCH_ITERATIONS (default 10 — 50 s at the 5 s filter period)
+    REPRO_BENCH_WORKERS    (default min(4, cpu_count) — sweep worker
+                            processes; bit-identical to serial)
 
 Every bench prints its table/series and also appends it to
 ``benchmarks/results/report.txt`` so the artifacts survive pytest's capture.
@@ -40,13 +42,20 @@ def bench_iterations() -> int:
     return _int_env("REPRO_BENCH_ITERATIONS", 10)
 
 
+def bench_workers() -> int:
+    return _int_env("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+
+
 @pytest.fixture(scope="session")
 def paper_sweep():
     """The Figure 5/6 runs (shared by every bench that needs them)."""
     from repro.experiments.sweep import density_sweep
 
     return density_sweep(
-        bench_densities(), n_seeds=bench_seeds(), n_iterations=bench_iterations()
+        bench_densities(),
+        n_seeds=bench_seeds(),
+        n_iterations=bench_iterations(),
+        max_workers=bench_workers(),
     )
 
 

@@ -1,0 +1,112 @@
+"""Sweep-engine throughput bench: serial vs parallel wall-clock.
+
+Runs the same Monte-Carlo grid twice — ``max_workers=1`` and a process
+pool — verifies the cells are bit-identical, and emits
+``benchmarks/results/BENCH_sweep.json`` with wall-clock, tasks/sec and the
+speedup.  This is the repo's first wall-clock trajectory point.
+
+Scale knobs (all environment variables):
+
+    REPRO_BENCH_SMOKE           1 = tiny grid for CI smoke runs
+    REPRO_BENCH_WORKERS         pool size (default: min(4, cpu_count))
+    REPRO_BENCH_SWEEP_DENSITIES full-mode densities (default "5,10,15,20")
+    REPRO_BENCH_SEEDS           full-mode seeds per cell (default 4)
+    REPRO_BENCH_ITERATIONS      full-mode filter iterations (default 10)
+
+The >=2x speedup assertion only arms on machines with >=4 cores running the
+full (non-smoke) grid; the JSON records the measured speedup either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import density_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1)))
+
+
+def sweep_grid() -> dict:
+    if SMOKE:
+        return dict(
+            densities=(5.0, 10.0),
+            n_seeds=2,
+            n_iterations=3,
+            scenario_kwargs={"width": 80.0, "height": 60.0},
+            trajectory_kwargs={"start": (5.0, 30.0)},
+        )
+    densities = tuple(
+        float(x)
+        for x in os.environ.get("REPRO_BENCH_SWEEP_DENSITIES", "5,10,15,20").split(",")
+    )
+    return dict(
+        densities=densities,
+        n_seeds=int(os.environ.get("REPRO_BENCH_SEEDS", 4)),
+        n_iterations=int(os.environ.get("REPRO_BENCH_ITERATIONS", 10)),
+    )
+
+
+def test_bench_sweep(report_sink):
+    grid = sweep_grid()
+    workers = bench_workers()
+
+    t0 = time.perf_counter()
+    serial = density_sweep(max_workers=1, **grid)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = density_sweep(max_workers=workers, **grid)
+    parallel_s = time.perf_counter() - t0
+
+    # the engine's core guarantee: execution strategy never changes results
+    for key, pt in serial.points.items():
+        other = parallel.points[key]
+        assert other.rmse_runs == pt.rmse_runs, key
+        assert other.bytes_runs == pt.bytes_runs, key
+        assert other.messages_runs == pt.messages_runs, key
+        assert other.coverage_runs == pt.coverage_runs, key
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    payload = {
+        "smoke": SMOKE,
+        "densities": list(serial.densities),
+        "n_seeds": grid["n_seeds"],
+        "n_iterations": grid["n_iterations"],
+        "n_tasks": serial.run_summary.n_tasks,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_clock_s": serial_s,
+        "parallel_wall_clock_s": parallel_s,
+        "speedup": speedup,
+        "serial_tasks_per_sec": serial.run_summary.tasks_per_sec,
+        "parallel_tasks_per_sec": parallel.run_summary.tasks_per_sec,
+        "parallel_efficiency": parallel.run_summary.parallel_efficiency,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_sweep.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        ["tasks", str(payload["n_tasks"])],
+        ["workers", str(workers)],
+        ["serial wall clock", f"{serial_s:.2f} s"],
+        [f"parallel wall clock (x{workers})", f"{parallel_s:.2f} s"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["parallel throughput", f"{payload['parallel_tasks_per_sec']:.2f} tasks/s"],
+    ]
+    report_sink(render_table(["Sweep bench", "Value"], rows, title="BENCH_sweep"))
+
+    assert out.exists()
+    assert payload["n_tasks"] == len(serial.densities) * 4 * grid["n_seeds"]
+    if not SMOKE and workers >= 4 and (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"expected >=2x on >=4 cores, got {speedup:.2f}x"

@@ -21,7 +21,7 @@ True
 
 from .baselines import CPFTracker, DPFTracker, SDPFTracker
 from .core import CDPFTracker, PropagationConfig
-from .experiments import TrackingResult, density_sweep, run_tracking
+from .experiments import JsonlStore, RunSummary, TrackingResult, density_sweep, run_tracking
 from .filters import ParticleSet, SIRFilter
 from .models import BearingMeasurement, ConstantVelocityModel, random_turn_trajectory
 from .network import DataSizes, Medium, RadioModel, uniform_deployment
@@ -31,7 +31,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CPFTracker", "DPFTracker", "SDPFTracker", "CDPFTracker", "PropagationConfig",
-    "TrackingResult", "density_sweep", "run_tracking",
+    "JsonlStore", "RunSummary", "TrackingResult", "density_sweep", "run_tracking",
     "ParticleSet", "SIRFilter",
     "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
     "DataSizes", "Medium", "RadioModel", "uniform_deployment",

@@ -1,6 +1,15 @@
 """Experiment harness: runner, metrics, cost model, sweeps, figure generators."""
 
 from .costmodel import CostModel, cdpf_cost, cdpf_ne_cost, cpf_cost, dpf_cost, sdpf_cost, table1_rows
+from .engine import (
+    CellResult,
+    JsonlStore,
+    RunSummary,
+    SweepTask,
+    expand_tasks,
+    run_sweep,
+    task_seed_sequences,
+)
 from .figures import (
     Figure4Data,
     figure4_estimation_example,
@@ -16,6 +25,7 @@ from .runner import TrackingResult, generate_step_context, run_tracking
 
 __all__ = [
     "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
+    "CellResult", "JsonlStore", "RunSummary", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
     "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
     "format_number", "render_ascii_chart", "render_series", "render_table",
     "HeadlineClaims", "extract_headline_claims",

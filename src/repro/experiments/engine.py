@@ -1,0 +1,417 @@
+"""Process-parallel Monte-Carlo execution engine for parameter sweeps.
+
+The paper's evaluation protocol (§VI, Figures 5-6) is a Monte-Carlo grid:
+densities x algorithms x seeds.  This module turns such a grid into an
+explicit list of :class:`SweepTask` cells and executes them with three
+guarantees the old serial triple loop could not give:
+
+**Collision-free seeding.**  Every task derives its world / tracker / sensing
+random streams from ``np.random.SeedSequence`` spawn keys — the documented
+mechanism behind ``SeedSequence.spawn()`` — keyed on ``(stream id, density,
+seed)``.  The old additive scheme (``base_seed + seed``, ``base_seed +
+1000*seed + d``, ``base_seed + 7000 + seed``) collided for realistic grids
+(tracker seed ``2011 + 5`` equals world seed ``2011 + 1000*0 + 5``),
+silently correlating streams across cells; spawn keys cannot collide by
+construction.  Streams depend only on ``(density, seed)``, never on the
+algorithm, so every algorithm at a cell sees the same deployment, trajectory
+and sensing noise — the paper's paired-comparison protocol.
+
+**Serial == parallel, bit for bit.**  Each task is a pure function of its
+spec, so fanning tasks out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` produces exactly the cells the serial loop produces,
+in the same deterministic order (results are reassembled by task index, not
+completion order).
+
+**Resumability.**  With a ``store`` (a :class:`JsonlStore` or a path), every
+completed cell is appended to a JSONL file as soon as it finishes; a rerun
+of the same sweep loads the store first and only executes the missing cells.
+Records carry a fingerprint of the sweep configuration so a store is never
+reused across incompatible sweeps, and a truncated final line (the typical
+signature of an interrupt) is tolerated on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import TrackingResult
+
+__all__ = [
+    "SweepTask",
+    "CellResult",
+    "RunSummary",
+    "JsonlStore",
+    "task_seed_sequences",
+    "expand_tasks",
+    "run_sweep",
+]
+
+#: Stream identifiers: the first spawn-key component keeps the three
+#: per-cell streams (deployment+trajectory, tracker internals, sensing
+#: noise) in disjoint key spaces.
+WORLD_STREAM, TRACKER_STREAM, SENSING_STREAM = 0, 1, 2
+
+
+def _density_key(density: float) -> int:
+    """Integer spawn-key component for a (possibly fractional) density."""
+    return int(round(float(density) * 1_000_000))
+
+
+def task_seed_sequences(
+    base_seed: int, density: float, seed: int
+) -> dict[str, np.random.SeedSequence]:
+    """The three independent streams of one ``(density, seed)`` cell.
+
+    Keyed on ``(stream id, density, seed)`` only — deliberately not on the
+    algorithm — so all algorithms at a cell share the same world and sensing
+    randomness (paired comparisons).  Distinct key tuples give statistically
+    independent streams by SeedSequence's construction; no additive-seed
+    collisions are possible.
+    """
+    dk = _density_key(density)
+    return {
+        "world": np.random.SeedSequence(base_seed, spawn_key=(WORLD_STREAM, dk, seed)),
+        "tracker": np.random.SeedSequence(base_seed, spawn_key=(TRACKER_STREAM, dk, seed)),
+        "sensing": np.random.SeedSequence(base_seed, spawn_key=(SENSING_STREAM, dk, seed)),
+    }
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One Monte-Carlo cell: an algorithm run at a (density, seed) world."""
+
+    density: float
+    algorithm: str
+    seed: int
+
+    @property
+    def key(self) -> tuple[float, str, int]:
+        return (self.density, self.algorithm, self.seed)
+
+
+def expand_tasks(
+    densities: Sequence[float],
+    algorithms: Sequence[str],
+    n_seeds: int,
+) -> list[SweepTask]:
+    """The full grid in deterministic order: density -> seed -> algorithm.
+
+    The order matches the historical serial triple loop, so per-point run
+    lists come back seed-ordered regardless of execution strategy.
+    """
+    return [
+        SweepTask(float(d), str(name), int(seed))
+        for d in densities
+        for seed in range(n_seeds)
+        for name in algorithms
+    ]
+
+
+@dataclass
+class CellResult:
+    """What one executed (or resumed) cell produced.
+
+    ``tracking`` carries the full :class:`~repro.experiments.runner.
+    TrackingResult` for freshly executed cells and is ``None`` for cells
+    loaded from a store (only the scalar metrics are persisted).
+    """
+
+    density: float
+    algorithm: str
+    seed: int
+    rmse: float
+    total_bytes: int
+    total_messages: int
+    coverage: float
+    elapsed_s: float
+    resumed: bool = False
+    tracking: "TrackingResult | None" = None
+
+    @property
+    def key(self) -> tuple[float, str, int]:
+        return (self.density, self.algorithm, self.seed)
+
+    def to_record(self, fingerprint: str) -> dict:
+        return {
+            "fingerprint": fingerprint,
+            "density": self.density,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "rmse": self.rmse,
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "coverage": self.coverage,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CellResult":
+        return cls(
+            density=float(record["density"]),
+            algorithm=str(record["algorithm"]),
+            seed=int(record["seed"]),
+            rmse=float(record["rmse"]),
+            total_bytes=int(record["total_bytes"]),
+            total_messages=int(record["total_messages"]),
+            coverage=float(record["coverage"]),
+            elapsed_s=float(record["elapsed_s"]),
+            resumed=True,
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Timing and throughput of one sweep execution."""
+
+    n_tasks: int
+    n_executed: int
+    n_resumed: int
+    max_workers: int
+    wall_clock_s: float
+    task_time_s: float  # summed per-task compute time across workers
+
+    @property
+    def tasks_per_sec(self) -> float:
+        """Executed-task throughput (resumed cells cost nothing)."""
+        return self.n_executed / self.wall_clock_s if self.wall_clock_s > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Summed task time over (wall clock x workers); 1.0 = perfect scaling."""
+        denom = self.wall_clock_s * self.max_workers
+        return self.task_time_s / denom if denom > 0 else 0.0
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        return [
+            ("tasks (total / executed / resumed)",
+             f"{self.n_tasks} / {self.n_executed} / {self.n_resumed}"),
+            ("workers", str(self.max_workers)),
+            ("wall clock", f"{self.wall_clock_s:.2f} s"),
+            ("summed task time", f"{self.task_time_s:.2f} s"),
+            ("throughput", f"{self.tasks_per_sec:.2f} tasks/s"),
+            ("parallel efficiency", f"{self.parallel_efficiency:.2f}"),
+        ]
+
+
+class JsonlStore:
+    """Append-only JSONL persistence for completed sweep cells.
+
+    One JSON object per line.  Loading tolerates a truncated or corrupt
+    final line — the typical on-disk state after an interrupted run — and
+    filters records by configuration fingerprint so a store file is never
+    silently reused for a sweep it does not match.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self, fingerprint: str) -> dict[tuple[float, str, int], CellResult]:
+        """All stored cells matching ``fingerprint``, keyed by cell."""
+        cells: dict[tuple[float, str, int], CellResult] = {}
+        if not self.path.exists():
+            return cells
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail from an interrupted append
+                if not isinstance(record, dict):
+                    continue
+                if record.get("fingerprint") != fingerprint:
+                    continue
+                try:
+                    cell = CellResult.from_record(record)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                cells[cell.key] = cell
+        return cells
+
+    def append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+
+
+def sweep_fingerprint(
+    base_seed: int,
+    n_iterations: int,
+    scenario_kwargs: dict,
+    trajectory_kwargs: dict,
+) -> str:
+    """Short stable hash of everything that changes a cell's result."""
+    blob = json.dumps(
+        {
+            "base_seed": base_seed,
+            "n_iterations": n_iterations,
+            "scenario_kwargs": scenario_kwargs,
+            "trajectory_kwargs": trajectory_kwargs,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class _TaskSpec:
+    """Everything a worker process needs to execute one cell."""
+
+    task: SweepTask
+    base_seed: int
+    n_iterations: int
+    factory: Callable
+    scenario_kwargs: dict
+    trajectory_kwargs: dict
+
+
+def _execute_task(spec: _TaskSpec) -> CellResult:
+    """Run one cell: build the world from its streams, track, summarize.
+
+    Module-level so it pickles into worker processes; a pure function of
+    the spec, which is what makes serial and parallel execution identical.
+    """
+    from ..scenario import make_paper_scenario, make_trajectory
+    from .runner import run_tracking
+
+    t0 = time.perf_counter()
+    task = spec.task
+    streams = task_seed_sequences(spec.base_seed, task.density, task.seed)
+    world_rng = np.random.default_rng(streams["world"])
+    scenario = make_paper_scenario(
+        density_per_100m2=task.density, rng=world_rng, **spec.scenario_kwargs
+    )
+    trajectory = make_trajectory(
+        n_iterations=spec.n_iterations, rng=world_rng, **spec.trajectory_kwargs
+    )
+    tracker = spec.factory(scenario, np.random.default_rng(streams["tracker"]))
+    result = run_tracking(
+        tracker, scenario, trajectory, rng=np.random.default_rng(streams["sensing"])
+    )
+    return CellResult(
+        density=task.density,
+        algorithm=task.algorithm,
+        seed=task.seed,
+        rmse=result.rmse,
+        total_bytes=int(result.total_bytes),
+        total_messages=int(result.total_messages),
+        coverage=result.error.coverage,
+        elapsed_s=time.perf_counter() - t0,
+        tracking=result,
+    )
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    factories: dict[str, Callable],
+    base_seed: int = 2011,
+    n_iterations: int = 10,
+    scenario_kwargs: dict | None = None,
+    trajectory_kwargs: dict | None = None,
+    max_workers: int = 1,
+    store: JsonlStore | str | Path | None = None,
+) -> tuple[list[CellResult], RunSummary]:
+    """Execute a task list and return its cells in task order, plus timing.
+
+    ``max_workers=1`` runs in-process (no pickling requirements on the
+    factories); ``max_workers>1`` fans out over a process pool, which
+    requires picklable factories (module-level functions — the default
+    factories qualify).  With a ``store``, already-completed cells are
+    loaded instead of recomputed, and every fresh cell is appended to the
+    store the moment it finishes, so an interrupted sweep loses at most
+    the cells in flight.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    scenario_kwargs = dict(scenario_kwargs or {})
+    trajectory_kwargs = dict(trajectory_kwargs or {})
+    for task in tasks:
+        if task.algorithm not in factories:
+            raise ValueError(f"no factory for algorithm {task.algorithm!r}")
+
+    fingerprint = sweep_fingerprint(
+        base_seed, n_iterations, scenario_kwargs, trajectory_kwargs
+    )
+    if store is not None and not isinstance(store, JsonlStore):
+        store = JsonlStore(store)
+    done = store.load(fingerprint) if store is not None else {}
+
+    results: list[CellResult | None] = [None] * len(tasks)
+    pending: list[tuple[int, _TaskSpec]] = []
+    for i, task in enumerate(tasks):
+        if task.key in done:
+            results[i] = done[task.key]
+        else:
+            pending.append(
+                (
+                    i,
+                    _TaskSpec(
+                        task=task,
+                        base_seed=base_seed,
+                        n_iterations=n_iterations,
+                        factory=factories[task.algorithm],
+                        scenario_kwargs=scenario_kwargs,
+                        trajectory_kwargs=trajectory_kwargs,
+                    ),
+                )
+            )
+
+    t0 = time.perf_counter()
+    if max_workers == 1 or len(pending) <= 1:
+        for i, spec in pending:
+            cell = _execute_task(spec)
+            results[i] = cell
+            if store is not None:
+                store.append(cell.to_record(fingerprint))
+    else:
+        for _, spec in pending:
+            try:
+                pickle.dumps(spec)
+            except Exception as exc:
+                raise ValueError(
+                    "parallel sweeps need picklable factories (module-level "
+                    "functions); pass max_workers=1 for closure factories"
+                ) from exc
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            future_to_index = {
+                executor.submit(_execute_task, spec): i for i, spec in pending
+            }
+            outstanding = set(future_to_index)
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    cell = future.result()
+                    results[future_to_index[future]] = cell
+                    # persist in completion order: the store is unordered,
+                    # and waiting for the whole pool would forfeit resume
+                    if store is not None:
+                        store.append(cell.to_record(fingerprint))
+    wall_clock = time.perf_counter() - t0
+
+    cells = [r for r in results if r is not None]
+    assert len(cells) == len(tasks)
+    n_resumed = sum(1 for c in cells if c.resumed)
+    summary = RunSummary(
+        n_tasks=len(tasks),
+        n_executed=len(tasks) - n_resumed,
+        n_resumed=n_resumed,
+        max_workers=max_workers,
+        wall_clock_s=wall_clock,
+        task_time_s=float(sum(c.elapsed_s for c in cells if not c.resumed)),
+    )
+    return cells, summary

@@ -86,9 +86,22 @@ def figure5_communication_cost(
     densities=PAPER_DENSITIES,
     n_seeds: int = 10,
     n_iterations: int = 10,
+    max_workers: int = 1,
+    store=None,
 ) -> SweepResult:
-    """Communication cost vs density (paper Fig. 5's data)."""
-    return density_sweep(densities, n_seeds=n_seeds, n_iterations=n_iterations)
+    """Communication cost vs density (paper Fig. 5's data).
+
+    ``max_workers`` / ``store`` pass through to the sweep engine: parallel
+    execution is bit-identical to serial, and a store makes the sweep
+    resumable across interruptions.
+    """
+    return density_sweep(
+        densities,
+        n_seeds=n_seeds,
+        n_iterations=n_iterations,
+        max_workers=max_workers,
+        store=store,
+    )
 
 
 def figure6_estimation_error(
@@ -97,6 +110,8 @@ def figure6_estimation_error(
     n_seeds: int = 10,
     n_iterations: int = 10,
     sweep: SweepResult | None = None,
+    max_workers: int = 1,
+    store=None,
 ) -> SweepResult:
     """RMSE vs density (paper Fig. 6's data).
 
@@ -105,4 +120,10 @@ def figure6_estimation_error(
     """
     if sweep is not None:
         return sweep
-    return density_sweep(densities, n_seeds=n_seeds, n_iterations=n_iterations)
+    return density_sweep(
+        densities,
+        n_seeds=n_seeds,
+        n_iterations=n_iterations,
+        max_workers=max_workers,
+        store=store,
+    )

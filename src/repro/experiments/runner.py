@@ -50,8 +50,18 @@ class TrackingResult:
 
     @property
     def mean_bytes_per_iteration(self) -> float:
-        """Average cost over the iterations the target was actually in the field."""
-        active = self.bytes_per_iteration[self.bytes_per_iteration > 0]
+        """Average cost over the iterations the target was actually in the field.
+
+        "Active" means the sensing layer produced at least one detector that
+        iteration; an active iteration that genuinely cost 0 bytes counts
+        toward the mean instead of being conflated with the target being
+        outside the field (the old ``bytes > 0`` heuristic dropped both).
+        """
+        detectors = np.asarray(self.detectors_per_iteration)
+        if detectors.size == self.bytes_per_iteration.size and detectors.size:
+            active = self.bytes_per_iteration[detectors > 0]
+        else:  # detector counts unavailable (hand-built result): old heuristic
+            active = self.bytes_per_iteration[self.bytes_per_iteration > 0]
         return float(active.mean()) if active.size else 0.0
 
 
@@ -97,9 +107,14 @@ def generate_multi_step_context(
     Each node reports at most one measurement; a node inside several
     targets' sensing ranges measures the *nearest* one (a single-channel
     sensor).  Used by the multi-target extension.
+
+    Detection and measurement use the PHYSICAL node geometry, exactly as
+    the single-target path does: localization error shifts what the nodes
+    *believe*, never what their hardware senses.
     """
-    positions = scenario.deployment.positions
-    index = scenario.deployment.index
+    physical = scenario.physical_deployment
+    positions = physical.positions
+    index = physical.index
     owner: dict[int, int] = {}  # node id -> index of the target it measures
     for ti, trajectory in enumerate(trajectories):
         if k > trajectory.n_iterations:

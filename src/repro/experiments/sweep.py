@@ -3,13 +3,18 @@
 The paper's protocol (§VI-A): for each node density in 5..40 nodes/100 m^2,
 run each of the four algorithms on the same deployments/trajectories for ten
 random seeds and report the averages.  :func:`density_sweep` reproduces that
-protocol; per-(density, algorithm) aggregates come back as a
-:class:`SweepResult` that the figure benches render.
+protocol on top of :mod:`repro.experiments.engine` — a task list of
+``(density, algorithm, seed)`` cells with collision-free SeedSequence
+streams, optionally executed process-parallel (``max_workers``) and/or
+persisted to a resumable JSONL ``store``.  Per-(density, algorithm)
+aggregates come back as a :class:`SweepResult` that the figure benches
+render.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -17,21 +22,40 @@ import numpy as np
 from ..baselines.cpf import CPFTracker
 from ..baselines.sdpf import SDPFTracker
 from ..core.cdpf import CDPFTracker
-from ..scenario import Scenario, make_paper_scenario, make_trajectory
-from .runner import TrackingResult, run_tracking
+from ..scenario import Scenario
+from .engine import JsonlStore, RunSummary, expand_tasks, run_sweep
+from .runner import TrackingResult
 
 __all__ = ["SweepPoint", "SweepResult", "density_sweep", "default_tracker_factories"]
 
 TrackerFactory = Callable[[Scenario, np.random.Generator], object]
 
 
+# Module-level factories (not lambdas) so the default sweep pickles into
+# the engine's worker processes.
+def _make_cpf(s: Scenario, rng: np.random.Generator) -> CPFTracker:
+    return CPFTracker(s, rng=rng)
+
+
+def _make_sdpf(s: Scenario, rng: np.random.Generator) -> SDPFTracker:
+    return SDPFTracker(s, rng=rng)
+
+
+def _make_cdpf(s: Scenario, rng: np.random.Generator) -> CDPFTracker:
+    return CDPFTracker(s, rng=rng)
+
+
+def _make_cdpf_ne(s: Scenario, rng: np.random.Generator) -> CDPFTracker:
+    return CDPFTracker(s, rng=rng, neighborhood_estimation=True)
+
+
 def default_tracker_factories() -> dict[str, TrackerFactory]:
     """The paper's four algorithms, in Figure 5/6 legend order."""
     return {
-        "CPF": lambda s, rng: CPFTracker(s, rng=rng),
-        "SDPF": lambda s, rng: SDPFTracker(s, rng=rng),
-        "CDPF": lambda s, rng: CDPFTracker(s, rng=rng),
-        "CDPF-NE": lambda s, rng: CDPFTracker(s, rng=rng, neighborhood_estimation=True),
+        "CPF": _make_cpf,
+        "SDPF": _make_sdpf,
+        "CDPF": _make_cdpf,
+        "CDPF-NE": _make_cdpf_ne,
     }
 
 
@@ -76,6 +100,9 @@ class SweepResult:
     densities: list[float]
     algorithms: list[str]
     points: dict[tuple[float, str], SweepPoint]
+    #: Timing/throughput of the execution that produced this sweep
+    #: (``None`` for hand-built results).
+    run_summary: RunSummary | None = None
 
     def series(self, algorithm: str, metric: str) -> np.ndarray:
         """One algorithm's metric across densities (Figure 5/6's curves)."""
@@ -99,45 +126,58 @@ def density_sweep(
     base_seed: int = 2011,
     scenario_kwargs: dict | None = None,
     trajectory_kwargs: dict | None = None,
-    on_result: Callable[[float, str, int, TrackingResult], None] | None = None,
+    on_result: Callable[[float, str, int, TrackingResult | None], None] | None = None,
+    max_workers: int = 1,
+    store: JsonlStore | str | Path | None = None,
 ) -> SweepResult:
     """The Figure 5/6 protocol: densities x algorithms x seeds.
 
-    Every algorithm at a given (density, seed) sees the *same* deployment and
-    trajectory — paired comparisons, matching the paper's "variable random
-    seeds" averaging while eliminating cross-algorithm deployment variance.
+    Every algorithm at a given (density, seed) sees the *same* deployment,
+    trajectory and sensing noise — paired comparisons, matching the paper's
+    "variable random seeds" averaging while eliminating cross-algorithm
+    deployment variance.  Streams are SeedSequence-spawned per cell (see
+    :mod:`repro.experiments.engine`), so no two cells share randomness.
     Pass ``scenario_kwargs`` / ``trajectory_kwargs`` jointly when changing
     the field geometry: the default trajectory enters at (0, 100).
+
+    ``max_workers > 1`` fans the cells out over a process pool and is
+    bit-identical to the serial run (``max_workers=1``, the default).
+    ``store`` names a JSONL file persisting completed cells: an interrupted
+    sweep rerun with the same store resumes, skipping finished cells.
+
+    ``on_result`` is called once per cell in deterministic task order after
+    the sweep body; for cells resumed from a store, the ``TrackingResult``
+    argument is ``None`` (only scalar metrics are persisted).
     """
     if factories is None:
         factories = default_tracker_factories()
-    scenario_kwargs = scenario_kwargs or {}
-    trajectory_kwargs = trajectory_kwargs or {}
+    tasks = expand_tasks(densities, list(factories), n_seeds)
+    cells, summary = run_sweep(
+        tasks,
+        factories=factories,
+        base_seed=base_seed,
+        n_iterations=n_iterations,
+        scenario_kwargs=scenario_kwargs,
+        trajectory_kwargs=trajectory_kwargs,
+        max_workers=max_workers,
+        store=store,
+    )
     points: dict[tuple[float, str], SweepPoint] = {
         (float(d), name): SweepPoint(float(d), name)
         for d in densities
         for name in factories
     }
-    for d in densities:
-        for seed in range(n_seeds):
-            world_rng = np.random.default_rng(base_seed + 1000 * seed + int(d))
-            scenario = make_paper_scenario(density_per_100m2=float(d), rng=world_rng, **scenario_kwargs)
-            trajectory = make_trajectory(
-                n_iterations=n_iterations, rng=world_rng, **trajectory_kwargs
-            )
-            for name, make in factories.items():
-                tracker = make(scenario, np.random.default_rng(base_seed + seed))
-                sense_rng = np.random.default_rng(base_seed + 7000 + seed)
-                result = run_tracking(tracker, scenario, trajectory, rng=sense_rng)
-                pt = points[(float(d), name)]
-                pt.rmse_runs.append(result.rmse)
-                pt.bytes_runs.append(result.total_bytes)
-                pt.messages_runs.append(result.total_messages)
-                pt.coverage_runs.append(result.error.coverage)
-                if on_result is not None:
-                    on_result(float(d), name, seed, result)
+    for cell in cells:  # task order: density -> seed -> algorithm
+        pt = points[(cell.density, cell.algorithm)]
+        pt.rmse_runs.append(cell.rmse)
+        pt.bytes_runs.append(cell.total_bytes)
+        pt.messages_runs.append(cell.total_messages)
+        pt.coverage_runs.append(cell.coverage)
+        if on_result is not None:
+            on_result(cell.density, cell.algorithm, cell.seed, cell.tracking)
     return SweepResult(
         densities=[float(d) for d in densities],
         algorithms=list(factories),
         points=points,
+        run_summary=summary,
     )

@@ -125,10 +125,13 @@ class GridIndex:
 
     def query_disk_many(self, centers: np.ndarray, radius: float) -> np.ndarray:
         """Union of ``query_disk`` over several centers, deduplicated and sorted."""
-        centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
-        hits = [self.query_disk(c, radius) for c in centers]
-        if not hits:
+        centers = np.asarray(centers, dtype=np.float64)
+        if centers.size == 0:
+            # before atleast_2d: a 1-D empty array would become shape (1, 0)
+            # and crash the per-center query with a malformed center
             return np.zeros(0, dtype=np.intp)
+        centers = np.atleast_2d(centers)
+        hits = [self.query_disk(c, radius) for c in centers]
         return np.unique(np.concatenate(hits))
 
     def query_segment(self, p0, p1, radius: float) -> np.ndarray:

@@ -6,6 +6,8 @@ benchmarks use).  Options:
 
     python -m repro.reproduce --seeds 10 --densities 5,10,15,20,25,30,35,40
     python -m repro.reproduce --quick          # 3 seeds, 3 densities
+    python -m repro.reproduce --workers 4      # process-parallel sweep
+    python -m repro.reproduce --store sweep.jsonl   # resumable sweep
 """
 
 from __future__ import annotations
@@ -28,6 +30,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--iterations", type=int, default=10, help="filter iterations per run")
     parser.add_argument("--quick", action="store_true", help="3 seeds x 3 densities")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep worker processes (bit-identical to serial; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--store",
+        type=str,
+        default=None,
+        help="JSONL file persisting completed sweep cells (interrupt + rerun resumes)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -64,8 +78,24 @@ def main(argv: list[str] | None = None) -> int:
 
     # ---- Figures 5 + 6 ------------------------------------------------------
     print(f"\nRunning the density sweep: {len(densities)} densities x 4 algorithms x "
-          f"{args.seeds} seeds ...", flush=True)
-    sweep = density_sweep(densities, n_seeds=args.seeds, n_iterations=args.iterations)
+          f"{args.seeds} seeds ({args.workers} worker{'s' if args.workers != 1 else ''}) ...",
+          flush=True)
+    sweep = density_sweep(
+        densities,
+        n_seeds=args.seeds,
+        n_iterations=args.iterations,
+        max_workers=args.workers,
+        store=args.store,
+    )
+    if sweep.run_summary is not None:
+        print()
+        print(
+            render_table(
+                ["Sweep engine", "Value"],
+                [list(r) for r in sweep.run_summary.as_rows()],
+                title="Run summary",
+            )
+        )
     print()
     print(
         render_series(

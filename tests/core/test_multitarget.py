@@ -65,6 +65,23 @@ class TestMultiStepContext:
             err = abs(np.mod(z - expected + np.pi, 2 * np.pi) - np.pi)
             assert err < 1.0  # bearing points at the nearer target
 
+    def test_sensing_uses_physical_geometry_under_localization_error(self, mt_world):
+        """Localization error shifts what nodes BELIEVE, never what their
+        hardware senses: detection/measurement must follow the physical
+        deployment, exactly as the single-target path does."""
+        scenario, trajectories = mt_world
+        noisy = scenario.with_localization_error(1000.0, np.random.default_rng(0))
+        ctx_true = generate_multi_step_context(
+            scenario, trajectories, 1, np.random.default_rng(3)
+        )
+        ctx_noisy = generate_multi_step_context(
+            noisy, trajectories, 1, np.random.default_rng(3)
+        )
+        assert ctx_true.detectors.size > 0
+        np.testing.assert_array_equal(ctx_true.detectors, ctx_noisy.detectors)
+        for nid, z in ctx_true.measurements.items():
+            assert ctx_noisy.measurements[nid] == z
+
 
 class TestMultiTargetCDPF:
     def test_spawns_one_track_per_target(self, mt_world):

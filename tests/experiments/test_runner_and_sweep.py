@@ -123,6 +123,45 @@ class TestSweep:
             extract_headline_claims(sweep)
 
 
+class TestMeanBytesPerIteration:
+    def _result(self, bytes_per_iter, detectors):
+        from repro.experiments.metrics import ErrorSummary
+        from repro.experiments.runner import TrackingResult
+
+        n = len(bytes_per_iter)
+        return TrackingResult(
+            tracker_name="X",
+            estimates={},
+            truth=np.zeros((n, 2)),
+            n_iterations=n - 1,
+            total_bytes=int(sum(bytes_per_iter)),
+            total_messages=0,
+            bytes_per_iteration=np.asarray(bytes_per_iter, dtype=np.int64),
+            messages_per_iteration=np.zeros(n, dtype=np.int64),
+            bytes_by_category={},
+            error=ErrorSummary(float("nan"), float("nan"), float("nan"), 0, n),
+            detectors_per_iteration=detectors,
+        )
+
+    def test_active_zero_cost_iteration_counts(self):
+        """An iteration with detectors but 0 bytes is ACTIVE and must pull
+        the mean down (the old bytes>0 filter silently dropped it)."""
+        r = self._result([0, 100, 0, 50], [0, 3, 2, 1])
+        assert r.mean_bytes_per_iteration == pytest.approx((100 + 0 + 50) / 3)
+
+    def test_outside_field_iterations_excluded(self):
+        r = self._result([0, 100, 0, 0], [0, 3, 0, 0])
+        assert r.mean_bytes_per_iteration == pytest.approx(100.0)
+
+    def test_no_active_iterations_is_zero(self):
+        r = self._result([0, 0], [0, 0])
+        assert r.mean_bytes_per_iteration == 0.0
+
+    def test_legacy_fallback_without_detector_counts(self):
+        r = self._result([0, 100, 0, 50], [])
+        assert r.mean_bytes_per_iteration == pytest.approx(75.0)
+
+
 class TestSweepPoint:
     def test_nan_rmse_runs_skipped(self):
         pt = SweepPoint(5.0, "X", rmse_runs=[1.0, float("nan"), 3.0])

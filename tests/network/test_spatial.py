@@ -97,6 +97,19 @@ class TestQueryDiskMany:
         idx = GridIndex(np.zeros((3, 2)), 1.0)
         assert idx.query_disk_many(np.zeros((0, 2)), 1.0).size == 0
 
+    def test_empty_1d_centers(self):
+        """A 1-D empty array used to become shape (1, 0) under atleast_2d
+        and crash the per-center query."""
+        idx = GridIndex(np.zeros((3, 2)), 1.0)
+        got = idx.query_disk_many(np.zeros(0), 1.0)
+        assert got.size == 0
+        assert got.dtype == np.intp
+
+    def test_single_center_1d(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        idx = GridIndex(pts, 2.0)
+        np.testing.assert_array_equal(idx.query_disk_many(np.array([0.0, 0.0]), 1.0), [0])
+
 
 class TestQuerySegment:
     def test_matches_brute_force(self):
