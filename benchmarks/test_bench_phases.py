@@ -1,0 +1,68 @@
+"""Per-phase cost profile bench: Table I's rows, measured per phase.
+
+Runs the paper's four algorithms (CPF, SDPF, CDPF, CDPF-NE) once each through
+the phase pipeline and emits ``benchmarks/results/BENCH_phases.json`` — the
+per-phase wall-clock and communication breakdown the runtime's instrumentation
+produces.  The same rows print as tables via :func:`render_phase_profile`.
+
+Scale knobs (environment variables):
+
+    REPRO_BENCH_SMOKE       1 = tiny run for CI smoke (few iterations)
+    REPRO_BENCH_ITERATIONS  full-mode filter iterations (default 10)
+    REPRO_BENCH_PHASE_DENSITY  node density per 100 m^2 (default 20)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.figures import phase_profile_data
+from repro.experiments.report import render_phase_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+
+def phase_grid() -> dict:
+    if SMOKE:
+        return dict(density=10.0, n_iterations=4)
+    return dict(
+        density=float(os.environ.get("REPRO_BENCH_PHASE_DENSITY", 20.0)),
+        n_iterations=int(os.environ.get("REPRO_BENCH_ITERATIONS", 10)),
+    )
+
+
+def test_bench_phases(report_sink):
+    grid = phase_grid()
+    profiles = phase_profile_data(**grid)
+
+    expected = {"CPF", "SDPF", "CDPF", "CDPF-NE"}
+    assert set(profiles) == expected
+
+    payload = {
+        "smoke": SMOKE,
+        "density": grid["density"],
+        "n_iterations": grid["n_iterations"],
+        "profiles": {name: p.to_dict() for name, p in profiles.items()},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_phases.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for name, profile in profiles.items():
+        report_sink(render_phase_profile(profile, title=f"BENCH_phases: {name}"))
+        # every byte the run charged is attributed to a declared phase
+        assert profile.bytes.get("", 0) == 0, f"{name} has unscoped traffic"
+        assert profile.total_bytes > 0, name
+        assert profile.total_seconds > 0, name
+
+    # Table I structure: CDPF-NE declares no likelihood phase; SDPF's
+    # aggregation overhead exists and CDPF variants have none
+    assert "likelihood" not in profiles["CDPF-NE"].phases
+    assert profiles["SDPF"].bytes.get("aggregation", 0) > 0
+    assert "aggregation" not in profiles["CDPF"].phases
+
+    assert out.exists()

@@ -43,7 +43,7 @@ def run_with_failures(fail_fraction, ne=False, seed=0, density=20.0):
         rng=np.random.default_rng(8500 + seed * 100),
         fault_plan=plan,
     )
-    return result.rmse, result.error.coverage
+    return result.rmse, result.error.coverage, result.degraded_iterations, result.dropped_messages
 
 
 def test_node_failures(report_sink, benchmark):
@@ -56,6 +56,8 @@ def test_node_failures(report_sink, benchmark):
             out[f] = (
                 float(np.nanmean([x[0] for x in r])),
                 float(np.mean([x[1] for x in r])),
+                float(np.mean([x[2] for x in r])),
+                float(np.mean([x[3] for x in r])),
             )
         return out
 
@@ -63,7 +65,13 @@ def test_node_failures(report_sink, benchmark):
     rows = [[f, *results[f]] for f in fractions]
     report_sink(
         render_table(
-            ["failed fraction", "CDPF RMSE (m)", "coverage"],
+            [
+                "failed fraction",
+                "CDPF RMSE (m)",
+                "coverage",
+                "degraded iters",
+                "dropped msgs",
+            ],
             rows,
             title="Robustness: cumulative random node failures (density 20)",
         )

@@ -125,3 +125,63 @@ def test_sdpf_ledger_matches_formula(measured_runs, report_sink, benchmark):
     # reported weights >= broadcast particles is not guaranteed iteration by
     # iteration, but the aggregate must be weight-granular:
     assert agg % sizes.weight == 0
+
+
+def test_phase_rows_match_table1_structure(measured_runs, report_sink):
+    """Table I derived from the phase ledger instead of message categories.
+
+    Each tracker's per-phase byte marginal must (a) sum to the run total with
+    nothing left unscoped, and (b) place each Table I term in the phase the
+    paper assigns it: CPF's whole cost is the convergecast, CDPF splits into
+    propagation Ns(Dp+Dw) + likelihood Ns*Dm, CDPF-NE is propagation-only,
+    and SDPF adds the transceiver aggregation row.
+    """
+    scenario, runs = measured_runs
+    sizes = scenario.sizes
+
+    expected_phase_of_category = {
+        "CPF": {"measurement": "convergecast"},
+        "SDPF": {
+            "propagation": "propagation",
+            "measurement": "share",
+            "weight_aggregation": "aggregation",
+        },
+        "CDPF": {"propagation": "propagation", "measurement": "likelihood"},
+        "CDPF-NE": {"propagation": "propagation"},
+    }
+
+    for name, (tracker, result) in runs.items():
+        profile = result.phase_profile
+        assert profile is not None, name
+        by_phase = profile.bytes
+        # (a) the phase marginal covers every byte, with no unscoped traffic
+        assert sum(by_phase.values()) == result.total_bytes, name
+        assert by_phase.get("", 0) == 0, f"{name} charged bytes outside any phase"
+        assert sum(profile.messages.values()) == result.total_messages, name
+        # (b) every category lands entirely in its Table I phase
+        by_cat_phase = tracker.accounting.bytes_by_category_phase()
+        for (category, phase), n_bytes in by_cat_phase.items():
+            expected = expected_phase_of_category[name].get(category)
+            if expected is None:
+                continue  # extension categories (e.g. report) are unconstrained
+            assert phase == expected, (
+                f"{name}: {n_bytes} B of {category!r} charged to phase {phase!r},"
+                f" expected {expected!r}"
+            )
+
+    # the phase-derived CDPF propagation row still satisfies Ns(Dp+Dw)
+    cdpf_tracker, cdpf_result = runs["CDPF"]
+    ns = sum(cdpf_tracker.stats.holders_per_iteration[:-1])
+    assert cdpf_result.phase_profile.bytes["propagation"] == ns * (
+        sizes.particle + sizes.weight
+    )
+
+    rows = []
+    for name, (_, result) in runs.items():
+        for phase in result.phase_profile.phase_names():
+            rows.append([name, phase or "(unscoped)", result.phase_profile.bytes.get(phase, 0)])
+    report_sink(
+        render_table(
+            ["Method", "phase", "bytes"], rows, title="Table I from the phase ledger"
+        )
+    )

@@ -25,6 +25,7 @@ from .experiments import JsonlStore, RunSummary, TrackingResult, density_sweep, 
 from .filters import ParticleSet, SIRFilter
 from .models import BearingMeasurement, ConstantVelocityModel, random_turn_trajectory
 from .network import DataSizes, Medium, RadioModel, uniform_deployment
+from .runtime import EventBus, IterationEvent, Phase, PhaseEvent, PhasePipeline, PhaseProfile, TrackerStats
 from .scenario import Scenario, StepContext, make_paper_scenario, make_trajectory
 
 __version__ = "1.0.0"
@@ -35,6 +36,8 @@ __all__ = [
     "ParticleSet", "SIRFilter",
     "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
     "DataSizes", "Medium", "RadioModel", "uniform_deployment",
+    "EventBus", "IterationEvent", "Phase", "PhaseEvent", "PhasePipeline",
+    "PhaseProfile", "TrackerStats",
     "Scenario", "StepContext", "make_paper_scenario", "make_trajectory",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from ..filters.sir import Observation, SIRFilter
 from ..models.measurement import BearingMeasurement
 from ..network.messages import MeasurementMessage
 from ..network.routing import RoutingError, greedy_path
+from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 
 __all__ = ["CPFTracker", "fuse_origin_bearings"]
@@ -89,6 +90,17 @@ class CPFTracker:
         self._path_cache: dict[int, list[int]] = {}
         self.hop_counts: list[int] = []  # per-message hop counts (for Table I checks)
         self._reliable = None  # lazy ARQ layer, built only for a lossy medium
+        self.stats = TrackerStats()
+
+        # All of CPF's traffic is the convergecast phase — exactly Table I's
+        # single sum_i D_m H_i term; sensing and the sink-side SIR update are
+        # radio-silent.
+        self.phases = (
+            Phase("sense", self._phase_sense),
+            Phase("convergecast", self._phase_convergecast),
+            Phase("sir_update", self._phase_sir_update),
+        )
+        self.pipeline = PhasePipeline(self, medium=self.medium, stats=self.stats)
 
     # ------------------------------------------------------------------
 
@@ -117,12 +129,24 @@ class CPFTracker:
             )
         return self._reliable
 
-    def _convergecast(self, ctx: StepContext) -> list[Observation]:
-        """Forward every detector's measurement to the sink; return the fused batch."""
+    def _phase_sense(self, state: IterationState) -> None:
+        """Read out each detector's bearing (no radio traffic)."""
+        ctx = state.ctx
+        state.detectors = sorted(int(d) for d in np.asarray(ctx.detectors).ravel())
+        state.readings = [(nid, float(ctx.measurements[nid])) for nid in state.detectors]
+
+    def _phase_convergecast(self, state: IterationState) -> None:
+        """Forward every detector's measurement to the sink; fuse the batch.
+
+        The observation order follows the sorted detector ids; the circular
+        mean in :meth:`_fuse` is evaluated over that exact order, so the
+        convergecast stays one phase (splitting it would reorder the float
+        reduction).
+        """
+        ctx = state.ctx
         positions = self.scenario.deployment.positions
         observations: list[Observation] = []
-        for nid in sorted(int(d) for d in np.asarray(ctx.detectors).ravel()):
-            z = float(ctx.measurements[nid])
+        for nid, z in state.readings:
             msg = MeasurementMessage(sender=nid, iteration=ctx.iteration, value=z)
             if nid == self.sink:
                 # the sink's own measurement needs no transmission
@@ -155,7 +179,7 @@ class CPFTracker:
             self.hop_counts.append(len(path) - 1)
             observations.append(Observation(self.scenario.measurement, z, positions[nid]))
         self.medium.clear_inboxes()
-        return self._fuse(observations)
+        state.observations = self._fuse(observations)
 
     def _fuse(self, observations: list[Observation]) -> list[Observation]:
         """Collapse origin-referenced bearings into their sufficient statistic."""
@@ -198,16 +222,19 @@ class CPFTracker:
     # ------------------------------------------------------------------
 
     def step(self, ctx: StepContext) -> np.ndarray | None:
-        observations = self._convergecast(ctx)
+        return self.pipeline.run(ctx)
+
+    def _phase_sir_update(self, state: IterationState) -> None:
+        """Sink-side SIR update (or track birth) on the fused observations."""
+        observations = state.observations
         if not self._initialized:
-            self._initialize(ctx, observations)
+            self._initialize(state.ctx, observations)
             if not self._initialized:
-                return None
-            self._estimate_iter = ctx.iteration
-            return self.filter.estimate()[:2]
-        self.filter.step(observations)
-        self._estimate_iter = ctx.iteration
-        return self.filter.estimate()[:2]
+                return  # no detections yet: the track is unborn
+        else:
+            self.filter.step(observations)
+        self._estimate_iter = state.iteration
+        state.estimate = self.filter.estimate()[:2]
 
     def estimate_iteration(self) -> int | None:
         return self._estimate_iter

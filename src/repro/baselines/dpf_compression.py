@@ -28,6 +28,7 @@ from ..models.constant_velocity import ConstantVelocityModel
 from ..models.measurement import BearingMeasurement
 from ..network.messages import FilterStateMessage, QuantizedMeasurementMessage
 from ..network.routing import RoutingError, greedy_path
+from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 
 __all__ = ["DPFTracker", "quantize_bearing", "dequantize_bearing"]
@@ -115,6 +116,19 @@ class DPFTracker:
         self.filter: SIRFilter | None = None
         self._estimate: np.ndarray | None = None
         self._estimate_iter: int | None = None
+        self.stats = TrackerStats()
+
+        # The leader-chain iteration: traffic splits into the hand-off
+        # (posterior compression) and collection (N P H) phases; sensing,
+        # election, and the leader's SIR update are radio-silent.
+        self.phases = (
+            Phase("sense", self._phase_sense),
+            Phase("leader_election", self._phase_leader_election),
+            Phase("handoff", self._phase_handoff),
+            Phase("collect", self._phase_collect),
+            Phase("sir_update", self._phase_sir_update),
+        )
+        self.pipeline = PhasePipeline(self, medium=self.medium, stats=self.stats)
 
     # ------------------------------------------------------------------
 
@@ -208,16 +222,24 @@ class DPFTracker:
     # ------------------------------------------------------------------
 
     def step(self, ctx: StepContext) -> np.ndarray | None:
-        detectors = np.asarray(ctx.detectors).ravel()
-        if detectors.size == 0:
+        return self.pipeline.run(ctx)
+
+    def _phase_sense(self, state: IterationState) -> None:
+        """Parse the detector set; with no detections the leader coasts."""
+        state.detectors = np.asarray(state.ctx.detectors).ravel()
+        if state.detectors.size == 0:
             if self.filter is not None:
                 self.filter.predict()
                 self._estimate = self.filter.estimate()[:2]
-                self._estimate_iter = ctx.iteration
-                return self._estimate
-            return None
+                self._estimate_iter = state.iteration
+                state.finish(self._estimate)
+            else:
+                state.finish(None)
 
-        new_leader = self._elect_leader(detectors)
+    def _phase_leader_election(self, state: IterationState) -> None:
+        """Elect the detector nearest the prediction; track birth claims it."""
+        detectors = state.detectors
+        state.new_leader = self._elect_leader(detectors)
         if self.filter is None:
             # track birth at the first leader
             positions = self.scenario.deployment.positions
@@ -236,13 +258,22 @@ class DPFTracker:
                 ]
             )
             self.filter.initialize(mean, cov)
-            self.leader = new_leader
-        elif new_leader != self.leader:
-            self._handoff(self.leader, new_leader, ctx.iteration)
-            self.leader = new_leader
+            self.leader = state.new_leader
+            state.new_leader = None  # a newborn track needs no hand-off
 
-        observations = self._collect_measurements(ctx, self.leader, detectors)
-        self.filter.step(observations)
+    def _phase_handoff(self, state: IterationState) -> None:
+        """Route the compressed posterior to the new leader when it changed."""
+        if state.new_leader is not None and state.new_leader != self.leader:
+            self._handoff(self.leader, state.new_leader, state.iteration)
+            self.leader = state.new_leader
+
+    def _phase_collect(self, state: IterationState) -> None:
+        state.observations = self._collect_measurements(
+            state.ctx, self.leader, state.detectors
+        )
+
+    def _phase_sir_update(self, state: IterationState) -> None:
+        self.filter.step(state.observations)
         self._estimate = self.filter.estimate()[:2]
-        self._estimate_iter = ctx.iteration
-        return self._estimate
+        self._estimate_iter = state.iteration
+        state.estimate = self._estimate

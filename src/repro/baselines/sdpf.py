@@ -41,6 +41,7 @@ from ..network.messages import (
     TotalWeightMessage,
     WeightReportMessage,
 )
+from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 
 __all__ = ["SDPFTracker"]
@@ -99,9 +100,28 @@ class SDPFTracker:
         self._last_predictions: np.ndarray | None = None
         self._last_union_count = 1
         self.transceiver_id = -1  # pseudo-node; not part of the deployment
-        #: iterations where channel loss erased every recorded share and the
-        #: tracker fell back to prior-weight propagation (0 on a reliable medium)
-        self.degraded_iterations = 0
+        self.stats = TrackerStats()
+
+        # The classic SIR order of Fig. 2(a): measurement sharing and the
+        # local likelihood multiply are separate phases (Table I charges the
+        # sharing traffic under N_n D_m), and the transceiver handshake is
+        # the aggregation phase whose 2-message overhead CDPF eliminates.
+        self.phases = (
+            Phase("propagation", self._phase_propagation),
+            Phase("creation", self._phase_creation),
+            Phase("share", self._phase_share),
+            Phase("likelihood", self._phase_likelihood),
+            Phase("aggregation", self._phase_aggregation),
+            Phase("resample", self._phase_resample),
+            Phase("estimation", self._phase_estimation),
+        )
+        self.pipeline = PhasePipeline(self, medium=self.medium, stats=self.stats)
+
+    @property
+    def degraded_iterations(self) -> int:
+        """Iterations where channel loss erased every recorded share and the
+        tracker fell back to prior-weight propagation (0 on a reliable medium)."""
+        return self.stats.degraded_iterations
 
     # ------------------------------------------------------------------
 
@@ -120,18 +140,8 @@ class SDPFTracker:
     # ------------------------------------------------------------------
 
     def step(self, ctx: StepContext) -> np.ndarray | None:
-        detectors = set(int(d) for d in np.asarray(ctx.detectors).ravel())
-        if not self.holders:
-            self._initialize(detectors)
-            if not self.holders:
-                return None
-            # aggregation + estimation still run in the birth iteration
-            return self._aggregate_and_estimate(ctx.iteration)
-
-        self._propagate(ctx.iteration)
-        created = self._create_new_particles(detectors)
-        self._update_weights(ctx, detectors, skip=created)
-        return self._aggregate_and_estimate(ctx.iteration)
+        """One SDPF iteration; the estimate refers to the *current* iteration."""
+        return self.pipeline.run(ctx)
 
     # ------------------------------------------------------------------
 
@@ -202,8 +212,24 @@ class SDPFTracker:
 
     # ------------------------------------------------------------------
 
-    def _propagate(self, k: int) -> None:
-        """Step 1: broadcast particle lists; record/divide/combine per particle."""
+    def _phase_propagation(self, state: IterationState) -> None:
+        """Step 1: broadcast particle lists; record/divide/combine per particle.
+
+        Also hosts the birth iteration: with no holders yet the detectors seed
+        the first particle lists and the iteration jumps straight to the
+        aggregation handshake (``state.birth`` short-circuits the in-between
+        phases), exactly as the classic order prescribes.
+        """
+        state.detectors = set(int(d) for d in np.asarray(state.ctx.detectors).ravel())
+        state.birth = False
+        if not self.holders:
+            self._initialize(state.detectors)
+            if not self.holders:
+                state.finish(None)
+            else:
+                state.birth = True
+            return
+        k = state.iteration
         positions = self.scenario.deployment.positions
         index = self.scenario.deployment.index
         dt = self.scenario.dynamics.dt
@@ -309,7 +335,7 @@ class SDPFTracker:
             # Graceful degradation: every share was lost to the channel.
             # Prior-weight propagation — surviving holders keep their particle
             # lists for one iteration instead of the track dying in one fade.
-            self.degraded_iterations += 1
+            self.stats.degraded_iterations += 1
             new_holders = {
                 nid: p for nid, p in self.holders.items() if self.medium.is_available(nid)
             }
@@ -319,23 +345,36 @@ class SDPFTracker:
 
     # ------------------------------------------------------------------
 
-    def _update_weights(
-        self, ctx: StepContext, detectors: set[int], skip: set[int] = frozenset()
-    ) -> None:
-        """Steps 2 + 3: share measurements among holders, multiply likelihoods."""
-        positions = self.scenario.deployment.positions
-        measurement = self.scenario.measurement
-        k = ctx.iteration
+    def _phase_creation(self, state: IterationState) -> None:
+        if state.birth:
+            return
+        state.created = self._create_new_particles(state.detectors)
+
+    def _phase_share(self, state: IterationState) -> None:
+        """Step 2: holders that detected broadcast their measurements (N_n D_m)."""
+        if state.birth:
+            return
+        ctx = state.ctx
+        k = state.iteration
         sharers = sorted(
             nid
             for nid in self.holders
-            if nid in detectors and self.medium.is_available(nid)
+            if nid in state.detectors and self.medium.is_available(nid)
         )
         for s in sharers:
             msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
             self.medium.broadcast(s, msg, k)
+
+    def _phase_likelihood(self, state: IterationState) -> None:
+        """Step 3: every holder multiplies its weights by the joint likelihood."""
+        if state.birth:
+            return
+        ctx = state.ctx
+        detectors = state.detectors
+        positions = self.scenario.deployment.positions
+        measurement = self.scenario.measurement
         for r in sorted(self.holders):
-            if r in skip:
+            if r in state.created:
                 self.medium.collect(r)
                 continue
             inbox = [m for m in self.medium.collect(r) if isinstance(m, MeasurementMessage)]
@@ -343,7 +382,7 @@ class SDPFTracker:
             pairs = [(m.sender, m.value) for m in inbox] + own
             if not pairs:
                 continue
-            state = np.concatenate([positions[r], np.zeros(2)])[None, :]
+            p_state = np.concatenate([positions[r], np.zeros(2)])[None, :]
             # discretization-aware sigma inflation (see core.cdpf)
             from ..core.cdpf import quantization_sigma
 
@@ -359,7 +398,7 @@ class SDPFTracker:
                 kernels.append(
                     float(
                         measurement.log_kernel(
-                            state, z, positions[sender], noise_std=sigma_eff
+                            p_state, z, positions[sender], noise_std=sigma_eff
                         )[0]
                     )
                 )
@@ -371,9 +410,9 @@ class SDPFTracker:
 
     # ------------------------------------------------------------------
 
-    def _aggregate_and_estimate(self, k: int) -> np.ndarray | None:
-        """Steps 4-6: transceiver handshake, normalize + drop, global estimate."""
-        positions = self.scenario.deployment.positions
+    def _phase_aggregation(self, state: IterationState) -> None:
+        """Step 4: three-way transceiver handshake (query, reports, total)."""
+        k = state.iteration
 
         # (a) transceiver query broadcast (1 global message)
         self.medium.global_broadcast(
@@ -397,11 +436,15 @@ class SDPFTracker:
             k,
         )
         self.medium.clear_inboxes()
+        state.reported = reported
+        state.total = total
 
-        # resampling: normalize by the total; a holder drops out when its
-        # share falls below drop_threshold times the average per-node share
-        # (scale-free, so a freshly initialized population of equal-weight
-        # holders always survives)
+    def _phase_resample(self, state: IterationState) -> None:
+        """Step 5: normalize by the total; a holder drops out when its share
+        falls below drop_threshold times the average per-node share
+        (scale-free, so a freshly initialized population of equal-weight
+        holders always survives)."""
+        total = state.total
         if total > 0 and self.holders:
             threshold = self.config.drop_threshold / len(self.holders)
             for nid in list(self.holders):
@@ -410,8 +453,14 @@ class SDPFTracker:
                 if p.weights.sum() < threshold:
                     del self.holders[nid]
 
+    def _phase_estimation(self, state: IterationState) -> None:
+        """Step 6: the transceiver computes the global (current-iteration) estimate."""
+        self.stats.record_population(len(self.holders), len(state.created))
+        reported = state.reported
         if not reported:
-            return None
+            return  # estimate stays unavailable this iteration
+        k = state.iteration
+        positions = self.scenario.deployment.positions
         # transceiver-side estimate: weights + static (a-priori known) host positions
         ids = [nid for nid, _ in reported]
         w_sums = np.array([float(w.sum()) for _, w in reported])
@@ -426,7 +475,7 @@ class SDPFTracker:
             self._velocity_estimate = (est - self._estimate) / self.scenario.dynamics.dt
         self._estimate = est
         self._estimate_iter = k
-        return self._estimate
+        state.estimate = self._estimate
 
     # convenience for tests -------------------------------------------------
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..models.measurement import wrap_angle
 from ..network.messages import MeasurementMessage, ParticleMessage
+from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 from .contributions import estimated_contributions
 from .propagation import (
@@ -98,21 +99,22 @@ def bearing_log_kernel(
 
 
 @dataclass
-class CDPFStats:
-    """Per-run bookkeeping the experiments read out."""
+class CDPFStats(TrackerStats):
+    """Per-run bookkeeping the experiments read out.
 
-    holders_per_iteration: list[int] = field(default_factory=list)
-    creators_per_iteration: list[int] = field(default_factory=list)
+    Extends the shared :class:`~repro.runtime.stats.TrackerStats` (holder /
+    creator / track-lost / degraded counters, per-phase timings) with the
+    CDPF-specific series.  ``degraded_iterations`` counts iterations where
+    channel loss forced graceful degradation: a recorder renormalized against
+    an incomplete overheard total, or the whole correction round lost quorum
+    and fell back to prior-weight propagation.  Always 0 on a reliable
+    medium.
+    """
+
     dropped_per_iteration: list[int] = field(default_factory=list)
     estimate_disagreement: list[float] = field(default_factory=list)
     partial_overhearing: list[int] = field(default_factory=list)
-    track_lost_iterations: int = 0
     area_widenings: int = 0
-    #: iterations where channel loss forced graceful degradation: a recorder
-    #: renormalized against an incomplete overheard total, or the whole
-    #: correction round lost quorum and fell back to prior-weight propagation.
-    #: Always 0 on a reliable medium.
-    degraded_iterations: int = 0
 
 
 class CDPFTracker:
@@ -196,29 +198,27 @@ class CDPFTracker:
         self._last_sender_positions: np.ndarray | None = None
         self._last_predictions: np.ndarray | None = None
 
+        # Fig. 2(b)'s reordered iteration as declared phases: CDPF-NE has no
+        # likelihood channel, so its phase list simply omits that phase (the
+        # traffic difference between the variants is one missing phase row).
+        phases = [
+            Phase("propagation", self._phase_propagation),
+            Phase("correction", self._phase_correction),
+            Phase("creation", self._phase_creation),
+        ]
+        if not neighborhood_estimation:
+            phases.append(Phase("likelihood", self._phase_likelihood))
+        phases.append(Phase("assign_weight", self._phase_assign_weight))
+        self.phases = tuple(phases)
+        self.pipeline = PhasePipeline(self, medium=self.medium, stats=self.stats)
+
     # ------------------------------------------------------------------
     # public interface
     # ------------------------------------------------------------------
 
     def step(self, ctx: StepContext) -> np.ndarray | None:
         """One CDPF iteration; returns the estimate for the *previous* iteration."""
-        detectors = set(int(d) for d in np.asarray(ctx.detectors).ravel())
-        if not self.holders:
-            self._initialize(ctx, detectors)
-            return None
-
-        estimate = self._propagate_and_correct(ctx.iteration)
-        created = self._create_new_particles(ctx, detectors)
-        creators = len(created)
-        if self.neighborhood_estimation:
-            self._assign_weights_ne(ctx.iteration, skip=created)
-        else:
-            self._assign_weights_likelihood(ctx, detectors, skip=created)
-        self.stats.holders_per_iteration.append(len(self.holders))
-        self.stats.creators_per_iteration.append(creators)
-        if not self.holders:
-            self.stats.track_lost_iterations += 1
-        return estimate
+        return self.pipeline.run(ctx)
 
     def estimate_iteration(self) -> int | None:
         return self._estimate_iter
@@ -250,13 +250,22 @@ class CDPFTracker:
             return np.ones(ids.shape[0], dtype=bool)
         return np.asarray(self.anticipate_available(ids), dtype=bool)
 
-    def _propagate_and_correct(self, k: int) -> np.ndarray | None:
-        positions = self.scenario.deployment.positions
-        index = self.scenario.deployment.index
-        dt = self.scenario.dynamics.dt
-        cfg = self.config
+    def _phase_propagation(self, state: IterationState) -> None:
+        """Step 1 (first half): every available holder broadcasts its particle.
 
-        # --- step 1: every (available) holder broadcasts its particle ------
+        Also hosts the birth iteration (§III-B initialization): with no
+        holders yet there is nothing to propagate, the detectors seed the
+        first particles, and the iteration ends early.
+        """
+        ctx = state.ctx
+        state.detectors = set(int(d) for d in np.asarray(ctx.detectors).ravel())
+        if not self.holders:
+            self._initialize(ctx, state.detectors)
+            state.finish(None)
+            return
+        k = state.iteration
+        positions = self.scenario.deployment.positions
+
         # A holder that slept or failed before its broadcast loses its
         # particle — the weight leaks, exactly the §V-D uncertain-factor case.
         # Under an unreliable channel each broadcast's per-recipient drop
@@ -279,11 +288,24 @@ class CDPFTracker:
             lost_sets.append(
                 set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
             )
+        state.broadcast = broadcast
+        state.lost_sets = lost_sets
         if not broadcast:
             # the whole population became unavailable: the track is lost and
             # detection-driven creation must rebuild it
             self.holders = {}
-            return None
+
+    def _phase_correction(self, state: IterationState) -> None:
+        """Steps 1b + 2: overheard total, record/divide/combine, normalize, drop."""
+        broadcast: list[ParticleMessage] = state.broadcast
+        if not broadcast:
+            return  # nothing was propagated; the estimate stays unavailable
+        lost_sets: list[set[int]] = state.lost_sets
+        k = state.iteration
+        positions = self.scenario.deployment.positions
+        index = self.scenario.deployment.index
+        dt = self.scenario.dynamics.dt
+        cfg = self.config
 
         # --- overheard aggregate (identical at every in-area node) --------
         states = np.vstack([m.states for m in broadcast])
@@ -416,7 +438,8 @@ class CDPFTracker:
             if self.check_consistency:
                 self._record_consistency()
             self.medium.clear_inboxes()
-            return estimate
+            state.estimate = estimate
+            return
 
         # Per-recorder overheard totals: a recorder that lost copies saw a
         # *smaller* total weight than the full round carried.  It renormalizes
@@ -459,7 +482,7 @@ class CDPFTracker:
         if self.report_to_sink and new_holders:
             self._send_estimate_report(estimate, k)
         self.medium.clear_inboxes()
-        return estimate
+        state.estimate = estimate
 
     def _send_estimate_report(self, estimate: np.ndarray, k: int) -> None:
         """Route the correction-step estimate from the top holder to the sink."""
@@ -575,15 +598,29 @@ class CDPFTracker:
         return created
 
     # ------------------------------------------------------------------
-    # steps 3 + 4, CDPF flavor: measurement sharing + likelihood weights
+    # new-particle creation phase
     # ------------------------------------------------------------------
 
-    def _assign_weights_likelihood(
-        self, ctx: StepContext, detectors: set[int], skip: set[int] = frozenset()
-    ) -> None:
+    def _phase_creation(self, state: IterationState) -> None:
+        state.created = self._create_new_particles(state.ctx, state.detectors)
+
+    # ------------------------------------------------------------------
+    # step 3, CDPF flavor: measurement sharing + likelihood evaluation
+    # ------------------------------------------------------------------
+
+    def _phase_likelihood(self, state: IterationState) -> None:
+        """Share measurements one hop and evaluate each holder's joint kernel.
+
+        Only computes the per-holder log-likelihood (into ``state.log_liks``);
+        the weight multiplication is the assign_weight phase.  The kernels
+        read only prior-weight-independent data (states, measurements), so
+        deferring the multiply is bit-identical to the fused loop.
+        """
+        ctx = state.ctx
+        detectors: set[int] = state.detectors
         positions = self.scenario.deployment.positions
         measurement = self.scenario.measurement
-        k = ctx.iteration
+        k = state.iteration
         sharers = sorted(
             nid
             for nid in self.holders
@@ -592,8 +629,9 @@ class CDPFTracker:
         for s in sharers:
             msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
             self.medium.broadcast(s, msg, k)
+        log_liks: dict[int, float] = {}
         for r in sorted(self.holders):
-            if r in skip:
+            if r in state.created:
                 self.medium.collect(r)  # drain; initialization weight stands
                 continue
             inbox = [m for m in self.medium.collect(r) if isinstance(m, MeasurementMessage)]
@@ -602,7 +640,7 @@ class CDPFTracker:
             pairs = [(m.sender, m.value) for m in inbox] + own
             if not pairs:
                 continue  # no information this iteration; weight unchanged
-            state = self.holders[r].state(positions[r])[None, :]
+            p_state = self.holders[r].state(positions[r])[None, :]
             # discretization-aware sigma: local density from the node's degree
             lam = (self.neighbors.degree(r) + 1) / (
                 np.pi * self.scenario.radio.comm_radius**2
@@ -616,7 +654,7 @@ class CDPFTracker:
                 kernels.append(
                     float(
                         measurement.log_kernel(
-                            state, z, positions[sender], noise_std=sigma_eff
+                            p_state, z, positions[sender], noise_std=sigma_eff
                         )[0]
                     )
                 )
@@ -624,10 +662,22 @@ class CDPFTracker:
             # a common-mode error, so treating them as fully independent would
             # sharpen the joint likelihood far below the node-position
             # quantization scale and randomly annihilate every holder
-            log_lik = float(np.mean(kernels))
-            particle = self.holders[r]
-            particle.weight = particle.weight * float(np.exp(log_lik))
+            log_liks[r] = float(np.mean(kernels))
+        state.log_liks = log_liks
         self.medium.clear_inboxes()
+
+    # ------------------------------------------------------------------
+    # step 4: assign weight (likelihood multiply, or NE contribution)
+    # ------------------------------------------------------------------
+
+    def _phase_assign_weight(self, state: IterationState) -> None:
+        if self.neighborhood_estimation:
+            self._assign_weights_ne(state.iteration, skip=state.created)
+        else:
+            for r, log_lik in state.log_liks.items():
+                particle = self.holders[r]
+                particle.weight = particle.weight * float(np.exp(log_lik))
+        self.stats.record_population(len(self.holders), len(state.created))
 
     # ------------------------------------------------------------------
     # steps 3 + 4, CDPF-NE flavor: estimated neighbor contributions

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 from .cdpf import CDPFTracker
 from .propagation import PropagationConfig
@@ -122,6 +123,18 @@ class MultiTargetCDPF:
         self.tracks: list[Track] = []
         self._next_id = 0
         self._estimate_iter: int | None = None
+        self.stats = TrackerStats()
+
+        # The wrapper's own phases; each per-track CDPF iteration inside
+        # "tracks" runs its *own* pipeline on the shared medium, and the
+        # innermost phase scope wins, so the combined ledger still attributes
+        # traffic to CDPF's propagation/correction/... phases.
+        self.phases = (
+            Phase("associate", self._phase_associate),
+            Phase("tracks", self._phase_tracks),
+            Phase("maintain", self._phase_maintain),
+        )
+        self.pipeline = PhasePipeline(self, medium=self.medium, stats=self.stats)
 
     # ------------------------------------------------------------------
 
@@ -212,13 +225,19 @@ class MultiTargetCDPF:
         Estimates refer to iteration ``ctx.iteration - 1`` (CDPF's inherent
         correction latency).
         """
-        k = ctx.iteration
-        assigned, free = self._associate(ctx)
-        estimates: dict[int, np.ndarray] = {}
+        return self.pipeline.run(ctx)
 
+    def _phase_associate(self, state: IterationState) -> None:
+        state.assigned, state.free = self._associate(state.ctx)
+
+    def _phase_tracks(self, state: IterationState) -> None:
+        """Advance each live track's CDPF one iteration on its gated detections."""
+        ctx = state.ctx
+        k = state.iteration
+        estimates: dict[int, np.ndarray] = {}
         live = self.live_tracks
         for idx, track in enumerate(live):
-            detectors = assigned.get(idx, [])
+            detectors = state.assigned.get(idx, [])
             sub = self._sub_context(
                 k, detectors, {nid: ctx.measurements[nid] for nid in detectors}
             )
@@ -234,11 +253,21 @@ class MultiTargetCDPF:
                 track.empty_iterations += 1
                 if track.empty_iterations >= self.prune_after:
                     track.retired = True
+        state.estimate = estimates
 
+    def _phase_maintain(self, state: IterationState) -> None:
+        """Merge duplicate tracks, spawn new ones, roll up the shared stats."""
+        k = state.iteration
+        n_before = len(self.tracks)
         self._merge_duplicates()
-        self._spawn_tracks(free, k)
+        self._spawn_tracks(state.free, k)
         self._estimate_iter = k - 1
-        return estimates
+        n_holders = sum(len(t.tracker.holders) for t in self.live_tracks)
+        self.stats.record_population(n_holders, len(self.tracks) - n_before)
+        # per-track counters roll up into the wrapper's combined view
+        self.stats.degraded_iterations = sum(
+            t.tracker.stats.degraded_iterations for t in self.tracks
+        )
 
     def _merge_duplicates(self) -> None:
         """Retire the weaker of any two tracks following the same target.

@@ -19,15 +19,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.cdpf import CDPFTracker
+from ..runtime import PhaseProfile
 from ..scenario import make_paper_scenario, make_trajectory
 from .runner import run_tracking
-from .sweep import SweepResult, density_sweep
+from .sweep import SweepResult, default_tracker_factories, density_sweep
 
 __all__ = [
     "Figure4Data",
     "figure4_estimation_example",
     "figure5_communication_cost",
     "figure6_estimation_error",
+    "phase_profile_data",
 ]
 
 PAPER_DENSITIES = (5, 10, 15, 20, 25, 30, 35, 40)
@@ -127,3 +129,32 @@ def figure6_estimation_error(
         max_workers=max_workers,
         store=store,
     )
+
+
+def phase_profile_data(
+    *,
+    density: float = 10.0,
+    n_iterations: int = 10,
+    seed: int = 2011,
+    trackers: dict | None = None,
+) -> dict[str, PhaseProfile]:
+    """Per-phase cost profiles for the paper's four algorithms (Table I, measured).
+
+    Runs each tracker once at ``density`` on the same world/trajectory seed
+    and reads its :class:`~repro.runtime.profile.PhaseProfile` off the run;
+    the phase bench serializes these to ``BENCH_phases.json``.
+    """
+    factories = trackers if trackers is not None else default_tracker_factories()
+    profiles: dict[str, PhaseProfile] = {}
+    for name, factory in factories.items():
+        world_rng = np.random.default_rng(seed)
+        scenario = make_paper_scenario(density_per_100m2=density, rng=world_rng)
+        trajectory = make_trajectory(n_iterations=n_iterations, rng=world_rng)
+        tracker = factory(scenario, np.random.default_rng(seed + 1))
+        result = run_tracking(
+            tracker, scenario, trajectory, rng=np.random.default_rng(seed + 2)
+        )
+        if result.phase_profile is None:
+            raise RuntimeError(f"{name} did not produce a phase profile")
+        profiles[name] = result.phase_profile
+    return profiles

@@ -7,11 +7,20 @@ trivially diffable across runs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_series", "render_ascii_chart", "format_number"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime import PhaseProfile
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_ascii_chart",
+    "render_phase_profile",
+    "format_number",
+]
 
 
 def format_number(x, precision: int = 2) -> str:
@@ -56,6 +65,23 @@ def render_table(
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt_row(r) for r in str_rows)
     return "\n".join(lines)
+
+
+def render_phase_profile(
+    profile: "PhaseProfile", *, title: str | None = None, precision: int = 4
+) -> str:
+    """One tracker's per-phase cost table (Table I, measured).
+
+    Rows follow the tracker's declared phase order; a trailing ``(unscoped)``
+    row appears only if traffic was charged outside any phase scope.
+    """
+    headers = ["phase", "calls", "seconds", "bytes", "messages", "dropped msgs"]
+    return render_table(
+        headers,
+        profile.as_rows(),
+        title=title if title is not None else f"{profile.tracker} phase profile",
+        precision=precision,
+    )
 
 
 def render_ascii_chart(

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from ..models.trajectory import Trajectory
+from ..runtime import EventBus, IterationEvent, PhaseProfile
 from ..scenario import Scenario, StepContext, Tracker
 from .metrics import ErrorSummary, cost_series, summarize_errors
 
@@ -43,6 +44,17 @@ class TrackingResult:
     bytes_by_category: dict[str, int]
     error: ErrorSummary
     detectors_per_iteration: list[int] = field(default_factory=list)
+    #: iterations where the tracker degraded gracefully under channel loss
+    #: (renormalized against an incomplete total, or fell back to
+    #: prior-weight propagation); 0 on a reliable medium
+    degraded_iterations: int = 0
+    #: channel-loss ledger: traffic that was transmitted (and charged) but
+    #: never delivered.  All 0 on a reliable medium.
+    dropped_bytes: int = 0
+    dropped_messages: int = 0
+    dropped_bytes_by_category: dict[str, int] = field(default_factory=dict)
+    #: per-phase cost breakdown (None for trackers without a phase pipeline)
+    phase_profile: PhaseProfile | None = None
 
     @property
     def rmse(self) -> float:
@@ -154,6 +166,7 @@ def run_tracking(
     rng: np.random.Generator,
     fault_plan: "FaultPlan | None" = None,
     on_iteration: Callable[[int, StepContext, np.ndarray | None], None] | None = None,
+    bus: EventBus | None = None,
 ) -> TrackingResult:
     """Drive ``tracker`` along the whole trajectory and summarize the run.
 
@@ -166,10 +179,20 @@ def run_tracking(
     sleeping nodes stop sensing (their detections never happen) as well as
     transmitting, so every fault benchmark injects failures through one
     deterministic path instead of ad-hoc per-benchmark loops.
+
+    ``bus`` attaches a :class:`~repro.runtime.events.EventBus` for the run:
+    the tracker's pipeline emits per-phase start/end events on it and the
+    runner emits one :class:`~repro.runtime.events.IterationEvent` per step.
+    ``on_iteration`` remains as the plain-callable hook; both may be used at
+    once.
     """
     n_iter = trajectory.n_iterations
     estimates: dict[int, np.ndarray] = {}
     detectors_per_iteration: list[int] = []
+
+    pipeline = getattr(tracker, "pipeline", None)
+    if bus is not None and pipeline is not None:
+        pipeline.bus = bus
 
     for k in range(n_iter + 1):
         if fault_plan is not None:
@@ -196,10 +219,28 @@ def run_tracking(
                 estimates[ref] = np.asarray(est, dtype=np.float64).copy()
         if on_iteration is not None:
             on_iteration(k, ctx, est)
+        if bus is not None:
+            bus.emit(
+                IterationEvent(
+                    tracker=tracker.name,
+                    iteration=k,
+                    context=ctx,
+                    estimate=est,
+                    estimate_iteration=(
+                        tracker.estimate_iteration() if est is not None else None
+                    ),
+                )
+            )
 
     truth = trajectory.iteration_positions()
     accounting = tracker.accounting
     series = cost_series(accounting, n_iter)
+    stats = getattr(tracker, "stats", None)
+    profile = (
+        PhaseProfile.from_tracker(tracker)
+        if pipeline is not None and stats is not None
+        else None
+    )
     return TrackingResult(
         tracker_name=tracker.name,
         estimates=estimates,
@@ -212,4 +253,11 @@ def run_tracking(
         bytes_by_category=accounting.bytes_by_category(),
         error=summarize_errors(estimates, truth, n_iter + 1),
         detectors_per_iteration=detectors_per_iteration,
+        degraded_iterations=(
+            int(stats.degraded_iterations) if stats is not None else 0
+        ),
+        dropped_bytes=accounting.total_dropped_bytes,
+        dropped_messages=accounting.total_dropped_messages,
+        dropped_bytes_by_category=accounting.dropped_bytes_by_category(),
+        phase_profile=profile,
     )

@@ -1,11 +1,14 @@
 """Run tracing and ASCII field maps.
 
-:class:`TraceRecorder` hooks into :func:`~repro.experiments.runner.run_tracking`
-via ``on_iteration`` and snapshots what the tracker saw and did each
-iteration — detector sets, holder populations, estimates.  The snapshots
-drive :func:`render_field_map`, a terminal rendering of one instant of the
-run (nodes, detectors, holders, truth, estimate), which is how the examples
-and postmortems show *where* a tracker's particles actually live.
+:class:`TraceRecorder` subscribes to the run's
+:class:`~repro.runtime.events.EventBus` (or hooks into
+:func:`~repro.experiments.runner.run_tracking` via the legacy
+``on_iteration`` callable) and snapshots what the tracker saw and did each
+iteration — detector sets, holder populations, estimates, and per-phase
+timing/traffic events.  The snapshots drive :func:`render_field_map`, a
+terminal rendering of one instant of the run (nodes, detectors, holders,
+truth, estimate), which is how the examples and postmortems show *where* a
+tracker's particles actually live.
 """
 
 from __future__ import annotations
@@ -15,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..models.trajectory import Trajectory
+from ..runtime import EventBus, IterationEvent, PhaseEvent
 from ..scenario import Scenario, StepContext
 
 __all__ = ["IterationSnapshot", "TraceRecorder", "render_field_map"]
@@ -34,19 +38,44 @@ class IterationSnapshot:
 
 @dataclass
 class TraceRecorder:
-    """Collects :class:`IterationSnapshot`s during a run.
+    """Collects :class:`IterationSnapshot`s (and phase events) during a run.
 
-    Usage::
+    Event-bus usage (preferred)::
 
         recorder = TraceRecorder(tracker, trajectory)
-        run_tracking(tracker, scenario, trajectory, rng=rng,
-                     on_iteration=recorder)
+        bus = EventBus()
+        recorder.attach(bus)
+        run_tracking(tracker, scenario, trajectory, rng=rng, bus=bus)
         print(render_field_map(scenario, recorder.snapshots[3]))
+        recorder.phase_events        # every completed phase, in order
+
+    The recorder also remains a plain callable for the legacy
+    ``on_iteration=recorder`` hook (no phase events on that path).
     """
 
     tracker: object
     trajectory: Trajectory
     snapshots: list[IterationSnapshot] = field(default_factory=list)
+    phase_events: list[PhaseEvent] = field(default_factory=list)
+
+    def attach(self, bus: EventBus) -> "TraceRecorder":
+        """Subscribe to ``bus``; returns self for chaining."""
+        bus.subscribe(self.handle)
+        return self
+
+    def handle(self, event) -> None:
+        """Bus handler: snapshots on IterationEvent, collects ended phases."""
+        if isinstance(event, IterationEvent):
+            self(event.iteration, event.context, event.estimate)
+        elif isinstance(event, PhaseEvent) and event.kind == "end":
+            self.phase_events.append(event)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Total recorded wall-clock per phase name."""
+        out: dict[str, float] = {}
+        for ev in self.phase_events:
+            out[ev.phase] = out.get(ev.phase, 0.0) + ev.seconds
+        return out
 
     def __call__(self, k: int, ctx: StepContext, estimate) -> None:
         holders = getattr(self.tracker, "holders", None)

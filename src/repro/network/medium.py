@@ -35,6 +35,7 @@ their inbox, which is what "completely distributed" means operationally.
 from __future__ import annotations
 
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -62,6 +63,14 @@ class CommAccounting:
     touch the transmission totals: the radio energy was spent whether or not
     the copy decoded, so cost figures are loss-invariant while loss studies
     read the dropped views.
+
+    When a phase scope is active (``with medium.phase("propagation"):`` — the
+    runtime's :class:`~repro.runtime.pipeline.PhasePipeline` opens one around
+    every phase body), each entry is *additionally* filed under
+    ``(iteration, category, phase)`` in ``by_phase_key`` /
+    ``dropped_by_phase_key``.  Traffic charged outside any scope lands on the
+    empty phase name ``""``, so the phase marginals always sum to the totals
+    — Table I's per-phase rows are read straight from these views.
     """
 
     sizes: DataSizes = field(default_factory=DataSizes)
@@ -73,6 +82,26 @@ class CommAccounting:
     dropped_by_key: dict[tuple[int, str], list] = field(
         default_factory=lambda: defaultdict(lambda: [0, 0])
     )
+    by_phase_key: dict[tuple[int, str, str], list] = field(
+        default_factory=lambda: defaultdict(lambda: [0, 0])
+    )
+    dropped_by_phase_key: dict[tuple[int, str, str], list] = field(
+        default_factory=lambda: defaultdict(lambda: [0, 0])
+    )
+    #: phase scope stack; the innermost name wins attribution, so a nested
+    #: pipeline (multi-target tracks inside a wrapper phase) files its traffic
+    #: under its own detailed phases
+    phase_stack: list[str] = field(default_factory=list)
+
+    @property
+    def current_phase(self) -> str:
+        return self.phase_stack[-1] if self.phase_stack else ""
+
+    def push_phase(self, name: str) -> None:
+        self.phase_stack.append(str(name))
+
+    def pop_phase(self) -> None:
+        self.phase_stack.pop()
 
     def record(self, iteration: int, category: str, n_bytes: int, n_messages: int = 1) -> None:
         if n_bytes < 0 or n_messages < 0:
@@ -80,6 +109,9 @@ class CommAccounting:
         self.total_bytes += n_bytes
         self.total_messages += n_messages
         entry = self.by_key[(iteration, category)]
+        entry[0] += n_bytes
+        entry[1] += n_messages
+        entry = self.by_phase_key[(iteration, category, self.current_phase)]
         entry[0] += n_bytes
         entry[1] += n_messages
 
@@ -92,6 +124,9 @@ class CommAccounting:
         self.total_dropped_bytes += n_bytes
         self.total_dropped_messages += n_messages
         entry = self.dropped_by_key[(iteration, category)]
+        entry[0] += n_bytes
+        entry[1] += n_messages
+        entry = self.dropped_by_phase_key[(iteration, category, self.current_phase)]
         entry[0] += n_bytes
         entry[1] += n_messages
 
@@ -139,6 +174,46 @@ class CommAccounting:
             out[cat] += b
         return dict(out)
 
+    # -- phase-attributed views -----------------------------------------
+
+    def bytes_by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, _cat, phase), (b, _m) in self.by_phase_key.items():
+            out[phase] += b
+        return dict(out)
+
+    def messages_by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, _cat, phase), (_b, m) in self.by_phase_key.items():
+            out[phase] += m
+        return dict(out)
+
+    def bytes_by_category_phase(self) -> dict[tuple[str, str], int]:
+        """(category, phase) -> bytes: Table I's per-phase rows, measured."""
+        out: dict[tuple[str, str], int] = defaultdict(int)
+        for (_it, cat, phase), (b, _m) in self.by_phase_key.items():
+            out[(cat, phase)] += b
+        return dict(out)
+
+    def bytes_by_phase_iteration(self) -> dict[tuple[int, str], int]:
+        """(iteration, phase) -> bytes, for per-iteration phase series."""
+        out: dict[tuple[int, str], int] = defaultdict(int)
+        for (it, _cat, phase), (b, _m) in self.by_phase_key.items():
+            out[(it, phase)] += b
+        return dict(out)
+
+    def dropped_bytes_by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, _cat, phase), (b, _m) in self.dropped_by_phase_key.items():
+            out[phase] += b
+        return dict(out)
+
+    def dropped_messages_by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for (_it, _cat, phase), (_b, m) in self.dropped_by_phase_key.items():
+            out[phase] += m
+        return dict(out)
+
     def merge(self, other: "CommAccounting") -> None:
         self.total_bytes += other.total_bytes
         self.total_messages += other.total_messages
@@ -150,6 +225,14 @@ class CommAccounting:
         self.total_dropped_messages += other.total_dropped_messages
         for key, (b, m) in other.dropped_by_key.items():
             entry = self.dropped_by_key[key]
+            entry[0] += b
+            entry[1] += m
+        for pkey, (b, m) in other.by_phase_key.items():
+            entry = self.by_phase_key[pkey]
+            entry[0] += b
+            entry[1] += m
+        for pkey, (b, m) in other.dropped_by_phase_key.items():
+            entry = self.dropped_by_phase_key[pkey]
             entry[0] += b
             entry[1] += m
 
@@ -238,6 +321,22 @@ class Medium:
     @property
     def n_nodes(self) -> int:
         return self.positions.shape[0]
+
+    @contextmanager
+    def phase(self, name: str):
+        """Scope every transmission charged inside to the named phase.
+
+        Nests: the innermost scope wins attribution (a multi-target wrapper
+        phase containing a sub-tracker's pipeline sees the sub-tracker's own
+        phase names in the ledger).  The scope changes *attribution only* —
+        totals, categories and delivery semantics are untouched, which is why
+        a phase-scoped run stays byte-identical to an unscoped one.
+        """
+        self.accounting.push_phase(name)
+        try:
+            yield self
+        finally:
+            self.accounting.pop_phase()
 
     def update_positions(self, positions: np.ndarray) -> None:
         """Replace the physical node positions (mobile-WSN support).

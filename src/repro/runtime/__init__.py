@@ -1,0 +1,25 @@
+"""Shared tracker runtime: phase pipeline, stats, events, and profiles.
+
+See DESIGN.md ("Runtime layering") for how the pieces compose: trackers
+declare :class:`Phase` tuples, the :class:`PhasePipeline` executes them under
+phase-scoped communication accounting, :class:`TrackerStats` collects the
+common counters, the :class:`EventBus` carries typed instrumentation events,
+and :class:`PhaseProfile` summarizes a run per phase (Table I, measured).
+"""
+
+from .events import EventBus, IterationEvent, PhaseEvent
+from .pipeline import IterationState, Phase, PhasedTracker, PhasePipeline
+from .profile import PhaseProfile
+from .stats import TrackerStats
+
+__all__ = [
+    "EventBus",
+    "IterationEvent",
+    "IterationState",
+    "Phase",
+    "PhaseEvent",
+    "PhasedTracker",
+    "PhasePipeline",
+    "PhaseProfile",
+    "TrackerStats",
+]

@@ -1,0 +1,78 @@
+"""Typed instrumentation events and the bus that carries them.
+
+The runtime replaces the runner's bare ``on_iteration`` callback with a small
+publish/subscribe seam: the :class:`~repro.runtime.pipeline.PhasePipeline`
+emits a :class:`PhaseEvent` pair (start/end) around every phase it executes,
+and the runner emits one :class:`IterationEvent` after each tracker step.
+Subscribers (trace recorders, benches, examples) observe the run without the
+trackers knowing they exist — instrumentation plugs in once at the bus
+instead of once per tracker.
+
+Events are plain frozen dataclasses: cheap to create, safe to retain, and
+trivially serializable by consumers that want to log them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["PhaseEvent", "IterationEvent", "EventBus"]
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """One phase execution boundary.
+
+    ``kind`` is ``"start"`` or ``"end"``; timing and communication deltas are
+    only populated on the ``"end"`` event (they are measured across the phase
+    body).  Byte/message deltas are read from the medium's ledger, so they
+    include everything the phase transmitted through any primitive
+    (broadcast, unicast, convergecast hops, out-of-band charges).
+    """
+
+    kind: str
+    tracker: str
+    iteration: int
+    phase: str
+    seconds: float = 0.0
+    bytes: int = 0
+    messages: int = 0
+    dropped_bytes: int = 0
+    dropped_messages: int = 0
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One completed tracker step, as observed by the runner."""
+
+    tracker: str
+    iteration: int
+    context: Any  # the StepContext handed to the tracker
+    estimate: Any  # np.ndarray | None
+    estimate_iteration: int | None
+
+
+@dataclass
+class EventBus:
+    """Synchronous fan-out of runtime events to subscribers.
+
+    Handlers receive every event; they filter by type themselves (the event
+    space is small and a missed filter is a bug worth seeing).  A handler
+    exception propagates — instrumentation errors must not be silently eaten
+    during a reproducibility run.
+    """
+
+    handlers: list[Callable[[Any], None]] = field(default_factory=list)
+
+    def subscribe(self, handler: Callable[[Any], None]) -> Callable[[Any], None]:
+        """Register ``handler`` for all events; returns it (decorator-friendly)."""
+        self.handlers.append(handler)
+        return handler
+
+    def unsubscribe(self, handler: Callable[[Any], None]) -> None:
+        self.handlers.remove(handler)
+
+    def emit(self, event: Any) -> None:
+        for handler in self.handlers:
+            handler(event)

@@ -1,0 +1,101 @@
+"""Per-phase cost summaries: the measured counterpart of Table I's rows.
+
+A :class:`PhaseProfile` collapses one tracker run into per-phase wall-clock
+and communication totals, read from the two ledgers the runtime maintains
+(``TrackerStats.phase_seconds`` and the medium's phase-attributed
+:class:`~repro.network.medium.CommAccounting`).  The phase bench serializes a
+profile set to ``BENCH_phases.json``; the report module renders the same rows
+as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseProfile"]
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """One tracker run's per-phase cost breakdown.
+
+    ``phases`` preserves the tracker's declared order; the per-phase dicts
+    may contain an extra ``""`` key for traffic charged outside any phase
+    scope (none, for pipeline-driven trackers).
+    """
+
+    tracker: str
+    phases: tuple[str, ...]
+    seconds: dict[str, float] = field(default_factory=dict)
+    calls: dict[str, int] = field(default_factory=dict)
+    bytes: dict[str, int] = field(default_factory=dict)
+    messages: dict[str, int] = field(default_factory=dict)
+    dropped_bytes: dict[str, int] = field(default_factory=dict)
+    dropped_messages: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_tracker(cls, tracker) -> "PhaseProfile":
+        """Read the profile off a tracker that ran through the pipeline.
+
+        Assumes the tracker's accounting ledger covers only its own run (true
+        for every single-tracker ``run_tracking``; the multi-target wrapper
+        shares one ledger across tracks, which is the combined traffic it
+        reports anyway).
+        """
+        accounting = tracker.accounting
+        return cls(
+            tracker=tracker.name,
+            phases=tuple(p.name for p in tracker.phases),
+            seconds=dict(tracker.stats.phase_seconds),
+            calls=dict(tracker.stats.phase_calls),
+            bytes=accounting.bytes_by_phase(),
+            messages=accounting.messages_by_phase(),
+            dropped_bytes=accounting.dropped_bytes_by_phase(),
+            dropped_messages=accounting.dropped_messages_by_phase(),
+        )
+
+    # -- views ----------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds.values()))
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(self.bytes.values()))
+
+    def phase_names(self) -> tuple[str, ...]:
+        """Declared phases plus any extra keys that saw time or traffic."""
+        extra = (
+            set(self.seconds) | set(self.bytes) | set(self.messages)
+        ) - set(self.phases)
+        return self.phases + tuple(sorted(extra))
+
+    def as_rows(self) -> list[list]:
+        """(phase, calls, seconds, bytes, messages, dropped msgs) table rows."""
+        rows = []
+        for name in self.phase_names():
+            rows.append(
+                [
+                    name or "(unscoped)",
+                    self.calls.get(name, 0),
+                    self.seconds.get(name, 0.0),
+                    self.bytes.get(name, 0),
+                    self.messages.get(name, 0),
+                    self.dropped_messages.get(name, 0),
+                ]
+            )
+        return rows
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (the BENCH_phases.json cell format)."""
+        return {
+            "tracker": self.tracker,
+            "phases": list(self.phases),
+            "seconds": dict(self.seconds),
+            "calls": dict(self.calls),
+            "bytes": dict(self.bytes),
+            "messages": dict(self.messages),
+            "dropped_bytes": dict(self.dropped_bytes),
+            "dropped_messages": dict(self.dropped_messages),
+        }

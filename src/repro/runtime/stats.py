@@ -1,0 +1,52 @@
+"""Shared per-run tracker statistics.
+
+Every tracker used to carry its own ad-hoc stats object (``CDPFStats``, a
+bare ``degraded_iterations`` int on SDPF, nothing on CPF/DPF).
+:class:`TrackerStats` folds the common counters into one base the whole
+experiment layer can rely on:
+
+* ``holders_per_iteration`` / ``creators_per_iteration`` — population series
+  (empty for sink/leader-based trackers that hold no field particles);
+* ``track_lost_iterations`` — iterations that ended with an empty population;
+* ``degraded_iterations`` — iterations where channel loss forced graceful
+  degradation (always 0 on a reliable medium);
+* ``phase_seconds`` / ``phase_calls`` — cumulative wall-clock and call count
+  per named phase, maintained by the :class:`~repro.runtime.pipeline.PhasePipeline`.
+
+Tracker-specific extensions subclass it (see ``repro.core.cdpf.CDPFStats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrackerStats"]
+
+
+@dataclass
+class TrackerStats:
+    """Per-run bookkeeping shared by every tracker."""
+
+    holders_per_iteration: list[int] = field(default_factory=list)
+    creators_per_iteration: list[int] = field(default_factory=list)
+    track_lost_iterations: int = 0
+    #: iterations where loss handling actually engaged (renormalization
+    #: against an incomplete overheard total, quorum fallback, ...)
+    degraded_iterations: int = 0
+    #: phase name -> cumulative wall-clock seconds across the run
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: phase name -> number of executions (phases skipped by an early
+    #: iteration exit are not counted)
+    phase_calls: dict[str, int] = field(default_factory=dict)
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Accumulate one phase execution (called by the pipeline)."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def record_population(self, n_holders: int, n_creators: int) -> None:
+        """End-of-iteration population bookkeeping (identical across trackers)."""
+        self.holders_per_iteration.append(n_holders)
+        self.creators_per_iteration.append(n_creators)
+        if n_holders == 0:
+            self.track_lost_iterations += 1

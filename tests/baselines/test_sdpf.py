@@ -5,6 +5,7 @@ import pytest
 
 from repro.baselines.sdpf import SDPFTracker
 from repro.experiments.runner import generate_step_context, run_tracking
+from repro.runtime import IterationState
 from repro.scenario import StepContext
 
 
@@ -110,9 +111,11 @@ class TestThinning:
         )
         rng = np.random.default_rng(21)
         tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
-        # capture the broadcast mass, then propagate
+        # capture the broadcast mass, then run the propagation phase alone
         broadcast_mass = sum(p.total for p in tr.holders.values())
-        tr._propagate(1)
+        tr._phase_propagation(
+            IterationState(generate_step_context(small_scenario, small_trajectory, 1, rng))
+        )
         recorded_mass = sum(p.total for p in tr.holders.values())
         # division + combination + weight-preserving thinning conserve mass
         # up to shares lost where a particle found no recorder

@@ -7,7 +7,9 @@ from repro.baselines.cpf import CPFTracker
 from repro.baselines.dpf_compression import DPFTracker
 from repro.baselines.sdpf import SDPFTracker
 from repro.core.cdpf import CDPFTracker
+from repro.core.multitarget import MultiTargetCDPF
 from repro.experiments.runner import generate_step_context, run_tracking
+from repro.runtime import Phase, PhasedTracker, PhasePipeline, TrackerStats
 from repro.scenario import StepContext
 
 FACTORIES = {
@@ -18,6 +20,13 @@ FACTORIES = {
         s, rng=np.random.default_rng(seed), neighborhood_estimation=True
     ),
     "DPF-gmm": lambda s, seed: DPFTracker(s, rng=np.random.default_rng(seed)),
+}
+
+# the multi-target wrapper joins the runtime-protocol contract (its step
+# returns a dict of per-track estimates, so it sits out the behavior tests)
+RUNTIME_FACTORIES = {
+    **FACTORIES,
+    "MT-CDPF": lambda s, seed: MultiTargetCDPF(s, rng=np.random.default_rng(seed)),
 }
 
 
@@ -86,3 +95,43 @@ class TestTrackerContracts:
         )
         assert np.isfinite(res.rmse)
         assert res.rmse < 10.0
+
+
+@pytest.mark.parametrize("name", list(RUNTIME_FACTORIES))
+class TestRuntimeProtocol:
+    """Every tracker (incl. the multi-target wrapper) speaks the runtime protocol."""
+
+    def test_satisfies_phased_tracker_protocol(self, name, small_scenario):
+        tracker = RUNTIME_FACTORIES[name](small_scenario, 1)
+        assert isinstance(tracker, PhasedTracker)
+        assert isinstance(tracker.name, str) and tracker.name
+        assert isinstance(tracker.phases, tuple) and tracker.phases
+        assert all(isinstance(p, Phase) for p in tracker.phases)
+        assert len({p.name for p in tracker.phases}) == len(tracker.phases)
+        assert isinstance(tracker.stats, TrackerStats)
+        assert isinstance(tracker.pipeline, PhasePipeline)
+        assert tracker.pipeline.tracker is tracker
+        assert tracker.pipeline.stats is tracker.stats
+
+    def test_step_fills_phase_stats_and_ledger(
+        self, name, small_scenario, small_trajectory
+    ):
+        """Stepping through the pipeline times phases and scopes all traffic."""
+        tracker = RUNTIME_FACTORIES[name](small_scenario, 1)
+        rng = np.random.default_rng(7)
+        for k in range(small_trajectory.n_iterations + 1):
+            tracker.step(generate_step_context(small_scenario, small_trajectory, k, rng))
+        # each pipeline times only its own declared phases (the MT wrapper's
+        # inner per-track pipelines record into the sub-trackers' stats)
+        declared = {p.name for p in tracker.phases}
+        assert set(tracker.stats.phase_calls) <= declared
+        assert tracker.stats.phase_calls, f"{name} never recorded a phase"
+        assert all(s >= 0.0 for s in tracker.stats.phase_seconds.values())
+        # every byte charged during the run landed inside some phase scope
+        by_phase = tracker.accounting.bytes_by_phase()
+        assert by_phase.get("", 0) == 0, f"{name} charged bytes outside any phase"
+        assert sum(by_phase.values()) == tracker.accounting.total_bytes
+
+    def test_degraded_iterations_counter_exists(self, name, small_scenario):
+        tracker = RUNTIME_FACTORIES[name](small_scenario, 1)
+        assert tracker.stats.degraded_iterations == 0

@@ -6,6 +6,7 @@ import pytest
 from repro.core.cdpf import CDPFTracker, bearing_log_kernel
 from repro.core.propagation import PropagationConfig
 from repro.experiments.runner import generate_step_context, run_tracking
+from repro.runtime import IterationState
 from repro.scenario import StepContext
 
 from ..conftest import make_small_scenario
@@ -89,7 +90,9 @@ class TestTracking:
         rng = np.random.default_rng(5)
         tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
         # run propagation + correction only, before the likelihood phase
-        tr._propagate_and_correct(1)
+        state = IterationState(generate_step_context(small_scenario, small_trajectory, 1, rng))
+        tr._phase_propagation(state)
+        tr._phase_correction(state)
         total = sum(p.weight for p in tr.holders.values())
         assert 0.0 < total <= 1.0 + 1e-9
 

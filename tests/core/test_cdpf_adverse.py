@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.cdpf import CDPFTracker, quantization_sigma
 from repro.experiments.runner import generate_step_context
+from repro.runtime import IterationState
 from repro.scenario import StepContext
 
 
@@ -109,7 +110,9 @@ class TestWeightConservation:
         rng = np.random.default_rng(13)
         tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
         broadcast_mass = sum(p.weight for p in tr.holders.values())
-        tr._propagate_and_correct(1)
+        state = IterationState(generate_step_context(small_scenario, small_trajectory, 1, rng))
+        tr._phase_propagation(state)
+        tr._phase_correction(state)
         recorded_mass = sum(p.weight for p in tr.holders.values())
         # post-correction weights are normalized by the broadcast total
         assert recorded_mass == pytest.approx(1.0, rel=1e-9)

@@ -1,0 +1,107 @@
+"""The golden differential protocol: fixed-seed runs pinning tracker behavior.
+
+The phase-pipeline refactor is behavior-preserving *by construction*; this
+module makes that claim falsifiable.  ``record_golden()`` was executed against
+the pre-refactor trackers (commit bb83820) and its output committed as
+``golden_runs.json``; the differential test replays the identical protocol on
+the current code and asserts bit-identical estimates and byte ledgers.
+
+Regenerate (only when a PR *intends* a behavior change, with justification):
+
+    PYTHONPATH=src:tests python -m runtime.golden_protocol
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+GOLDEN_PATH = Path(__file__).parent / "golden_runs.json"
+
+#: (tracker key, density) cells; density 10 keeps the runs fast while still
+#: exercising multi-holder propagation, and 20 is the paper's Fig. 4 setting.
+CELLS = (
+    ("CPF", 10.0),
+    ("SDPF", 10.0),
+    ("CDPF", 10.0),
+    ("CDPF-NE", 10.0),
+    ("DPF-gmm", 10.0),
+    ("CDPF", 20.0),
+)
+
+N_ITERATIONS = 10
+WORLD_SEED = 4500
+TRACKER_SEED = 11
+RUN_SEED = 8500
+
+
+def make_tracker(key: str, scenario, seed: int):
+    from repro.baselines.cpf import CPFTracker
+    from repro.baselines.dpf_compression import DPFTracker
+    from repro.baselines.sdpf import SDPFTracker
+    from repro.core.cdpf import CDPFTracker
+
+    rng = np.random.default_rng(seed)
+    if key == "CPF":
+        return CPFTracker(scenario, rng=rng)
+    if key == "SDPF":
+        return SDPFTracker(scenario, rng=rng)
+    if key == "CDPF":
+        return CDPFTracker(scenario, rng=rng)
+    if key == "CDPF-NE":
+        return CDPFTracker(scenario, rng=rng, neighborhood_estimation=True)
+    if key == "DPF-gmm":
+        return DPFTracker(scenario, rng=rng, compression="gmm")
+    raise KeyError(key)
+
+
+def run_cell(key: str, density: float):
+    """One seeded paper-scenario run; returns the pinned observables."""
+    from repro.experiments.runner import run_tracking
+    from repro.scenario import make_paper_scenario, make_trajectory
+
+    world_rng = np.random.default_rng(WORLD_SEED)
+    scenario = make_paper_scenario(density_per_100m2=density, rng=world_rng)
+    trajectory = make_trajectory(n_iterations=N_ITERATIONS, rng=world_rng)
+    tracker = make_tracker(key, scenario, TRACKER_SEED)
+    result = run_tracking(
+        tracker, scenario, trajectory, rng=np.random.default_rng(RUN_SEED)
+    )
+    return {
+        # json round-trips Python floats exactly (repr-based), so the
+        # differential really is bitwise on the estimate coordinates
+        "estimates": {
+            str(k): [float(v[0]), float(v[1])] for k, v in sorted(result.estimates.items())
+        },
+        "total_bytes": int(result.total_bytes),
+        "total_messages": int(result.total_messages),
+        "bytes_by_category": {
+            c: int(b) for c, b in sorted(result.bytes_by_category.items())
+        },
+        "messages_by_category": {
+            c: int(m)
+            for c, m in sorted(tracker.accounting.messages_by_category().items())
+        },
+    }
+
+
+def record_golden() -> dict:
+    runs = {
+        f"{key}@{density:g}": run_cell(key, density) for key, density in CELLS
+    }
+    return {
+        "protocol": {
+            "n_iterations": N_ITERATIONS,
+            "world_seed": WORLD_SEED,
+            "tracker_seed": TRACKER_SEED,
+            "run_seed": RUN_SEED,
+        },
+        "runs": runs,
+    }
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.write_text(json.dumps(record_golden(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,47 @@
+"""Golden differential tests: the refactor changed nothing observable.
+
+``golden_runs.json`` was recorded by running :mod:`runtime.golden_protocol`
+against the PRE-refactor trackers (commit bb83820, hand-rolled step loops).
+These tests replay the identical protocol through the phase pipeline and
+assert bit-identical estimates and byte ledgers — the refactor's
+behavior-preservation claim, made falsifiable.
+
+JSON stores Python floats via repr, which round-trips float64 exactly, so the
+estimate comparison below is genuinely bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from .golden_protocol import CELLS, GOLDEN_PATH, run_cell
+
+
+def golden_runs() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())["runs"]
+
+
+@pytest.mark.parametrize(
+    "key,density", CELLS, ids=[f"{k}@{d:g}" for k, d in CELLS]
+)
+def test_bit_identical_to_pre_refactor(key: str, density: float):
+    golden = golden_runs()[f"{key}@{density:g}"]
+    got = run_cell(key, density)
+
+    # estimates: same iterations, same float64 bits on every coordinate
+    assert got["estimates"] == golden["estimates"]
+    # communication: byte- and message-exact, per category and in total
+    assert got["total_bytes"] == golden["total_bytes"]
+    assert got["total_messages"] == golden["total_messages"]
+    assert got["bytes_by_category"] == golden["bytes_by_category"]
+    assert got["messages_by_category"] == golden["messages_by_category"]
+
+
+def test_golden_fixture_covers_all_four_algorithms():
+    """The fixture pins CPF, SDPF, CDPF, CDPF-NE (plus the DPF extension)."""
+    keys = {key for key, _ in CELLS}
+    assert {"CPF", "SDPF", "CDPF", "CDPF-NE"} <= keys
+    recorded = set(golden_runs())
+    assert recorded == {f"{k}@{d:g}" for k, d in CELLS}
