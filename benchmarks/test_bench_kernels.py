@@ -1,0 +1,231 @@
+"""Scalar-vs-kernel wall-clock bench for the four vectorized hot paths.
+
+Times each ``repro.kernels`` entry point against the scalar reference loop
+it replaced (the per-broadcast / per-copy / per-group composition the core
+modules used before the kernel layer) and emits
+``benchmarks/results/BENCH_kernels.json``.
+
+Two gates, both full-mode only (smoke runs record timings without judging
+them — CI containers are too noisy at tiny sizes):
+
+* **absolute** — the contribution and propagation kernels must be at least
+  3x faster than their scalar loops at density-40-scale workloads;
+* **regression** — every speedup must stay within 1.3x of the committed
+  baseline ``benchmarks/BENCH_kernels_baseline.json``.
+
+Scale knobs (environment variables):
+
+    REPRO_BENCH_SMOKE           1 = tiny sizes for CI smoke
+    REPRO_BENCH_KERNEL_REPEATS  best-of-N repetitions (default 5)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.contributions import estimated_contributions
+from repro.core.propagation import PropagationConfig, division_shares, select_recorders
+from repro.kernels.contributions import batch_contributions
+from repro.kernels.delivery import link_uniform_many
+from repro.kernels.likelihood import batch_likelihood
+from repro.kernels.propagation import batch_propagate
+from repro.models.measurement import BearingMeasurement
+from repro.network.links import _link_uniform
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE = Path(__file__).parent / "BENCH_kernels_baseline.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPEATS = int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", 2 if SMOKE else 5))
+
+#: Speedups may drop to baseline/1.3 before the regression gate trips.
+REGRESSION_FACTOR = 1.3
+#: Full-mode floor for the paths the issue names as hot.
+MIN_SPEEDUP = {"contributions": 3.0, "propagation": 3.0}
+
+
+def _sizes() -> dict:
+    """Density-40-scale workloads: one filter iteration's worth of work."""
+    if SMOKE:
+        return dict(n_groups=40, group_size=8, n_broadcasts=8, n_candidates=48,
+                    n_holders=24, n_sensors=6, n_copies=64)
+    return dict(n_groups=400, group_size=16, n_broadcasts=64, n_candidates=256,
+                n_holders=120, n_sensors=24, n_copies=512)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# hot path workloads: (scalar reference loop, kernel call) pairs
+# ---------------------------------------------------------------------------
+
+
+def _contributions_pair(rng, n_groups, group_size, **_):
+    sizes = rng.integers(max(1, group_size // 2), group_size * 2, size=n_groups)
+    groups = [rng.uniform(0.5, 30.0, size=s) for s in sizes]
+    flat = np.concatenate(groups)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    def scalar():
+        # the pre-kernel call shape: the validated public function, once per
+        # estimation area (CDPF-NE's per-holder-per-iteration loop)
+        return np.concatenate([estimated_contributions(g) for g in groups])
+
+    return scalar, lambda: batch_contributions(flat, offsets)
+
+
+def _propagation_pair(rng, n_broadcasts, n_candidates, **_):
+    ids = np.asarray(rng.permutation(10 * n_candidates)[:n_candidates], dtype=np.intp)
+    pos = rng.uniform(0.0, 100.0, size=(n_candidates, 2))
+    predicted = rng.uniform(30.0, 70.0, size=(n_broadcasts, 2))
+    weights = rng.uniform(0.1, 2.0, size=n_broadcasts)
+    radius, threshold, cap = 15.0, 0.3, 12
+
+    config = PropagationConfig(
+        predicted_area_radius=radius, record_threshold=threshold, max_recorders=cap
+    )
+
+    def scalar():
+        # the pre-kernel call shape: one validated select + divide per
+        # broadcast (the per-particle loop of the propagation phase)
+        out = []
+        for b in range(n_broadcasts):
+            rec_ids, probs = select_recorders(ids, pos, predicted[b], config)
+            if rec_ids.size == 0:
+                out.append((rec_ids, probs, np.zeros(0)))
+                continue
+            out.append((rec_ids, probs, division_shares(probs, weights[b])))
+        return out
+
+    def kernel():
+        out = batch_propagate(
+            predicted, weights, ids, pos,
+            area_radius=radius, record_threshold=threshold, max_recorders=cap,
+        )
+        return [(ids[sel], probs, shares) for sel, probs, shares in out]
+
+    return scalar, kernel
+
+
+def _likelihood_pair(rng, n_holders, n_sensors, **_):
+    holders = rng.uniform(0.0, 150.0, size=(n_holders, 2))
+    sensors = rng.uniform(0.0, 150.0, size=(n_sensors, 2))
+    zs = rng.uniform(-np.pi, np.pi, size=n_sensors)
+    lam = rng.uniform(0.05, 0.4, size=n_holders)
+    noise_std = 0.05
+    model = BearingMeasurement(noise_std=noise_std, reference="node")
+
+    def scalar():
+        out = np.empty((n_holders, n_sensors))
+        for i in range(n_holders):
+            h = 0.5 / np.sqrt(lam[i])
+            for j in range(n_sensors):
+                d = float(np.linalg.norm(holders[i] - sensors[j]))
+                sq = float(np.arctan(h / max(d, h))) if d > 0 else 0.0
+                sigma = float(np.hypot(noise_std, sq))
+                out[i, j] = model.log_kernel(
+                    holders[i][None, :], float(zs[j]), sensors[j], noise_std=sigma
+                )[0]
+        return out
+
+    return scalar, lambda: batch_likelihood(holders, lam, sensors, zs, noise_std)
+
+
+def _delivery_pair(rng, n_copies, **_):
+    receivers = rng.integers(0, 2000, size=n_copies)
+    nonces = rng.integers(0, 4, size=n_copies)
+    seed, sender, iteration = 11, 17, 3
+
+    def scalar():
+        return np.array(
+            [
+                _link_uniform(seed, 1, sender, int(r), iteration, int(nc))
+                for r, nc in zip(receivers, nonces)
+            ]
+        )
+
+    return scalar, lambda: link_uniform_many(
+        seed, 1, sender, receivers, iteration, nonces
+    )
+
+
+PATHS = {
+    "contributions": _contributions_pair,
+    "propagation": _propagation_pair,
+    "likelihood": _likelihood_pair,
+    "delivery": _delivery_pair,
+}
+
+
+def _check_equal(name, scalar_result, kernel_result):
+    """The bench doubles as a coarse equivalence check on real workloads."""
+    if name == "propagation":
+        for (s_sel, s_p, s_w), (k_sel, k_p, k_w) in zip(scalar_result, kernel_result):
+            assert np.array_equal(s_sel, k_sel)
+            assert np.array_equal(s_p, k_p)
+            assert np.array_equal(s_w, k_w)
+    else:
+        assert np.array_equal(scalar_result, kernel_result), name
+
+
+def test_bench_kernels(report_sink):
+    sizes = _sizes()
+    rng = np.random.default_rng(2024)
+    rows = {}
+    for name, make in PATHS.items():
+        scalar, kernel = make(rng, **sizes)
+        scalar_s, scalar_result = _best_of(scalar)
+        kernel_s, kernel_result = _best_of(kernel)
+        _check_equal(name, scalar_result, kernel_result)
+        rows[name] = {
+            "scalar_seconds": scalar_s,
+            "kernel_seconds": kernel_s,
+            "speedup": scalar_s / kernel_s,
+        }
+
+    payload = {"smoke": SMOKE, "repeats": REPEATS, "sizes": sizes, "paths": rows}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_kernels.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"BENCH_kernels ({'smoke' if SMOKE else 'full'} mode):"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:<14} scalar {row['scalar_seconds'] * 1e3:8.3f} ms   "
+            f"kernel {row['kernel_seconds'] * 1e3:8.3f} ms   "
+            f"speedup {row['speedup']:7.1f}x"
+        )
+    report_sink("\n".join(lines))
+    assert out.exists()
+
+    if SMOKE:
+        return  # timings recorded, but too noisy to judge at smoke sizes
+
+    for name, floor in MIN_SPEEDUP.items():
+        assert rows[name]["speedup"] >= floor, (
+            f"{name} kernel is only {rows[name]['speedup']:.2f}x the scalar "
+            f"path (needs >= {floor}x)"
+        )
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())["paths"]
+        for name, row in rows.items():
+            floor = baseline[name]["speedup"] / REGRESSION_FACTOR
+            assert row["speedup"] >= floor, (
+                f"{name} kernel speedup regressed: {row['speedup']:.2f}x vs "
+                f"baseline {baseline[name]['speedup']:.2f}x "
+                f"(allowed floor {floor:.2f}x)"
+            )

@@ -16,6 +16,7 @@ rates), and CDPF-NE degrading more than CDPF under unanticipated sleep
 import numpy as np
 
 from repro.core.cdpf import CDPFTracker
+from repro.experiments.options import RunOptions
 from repro.experiments.report import render_table
 from repro.experiments.runner import generate_step_context, run_tracking
 from repro.network.faults import FaultPlan
@@ -41,7 +42,7 @@ def run_with_failures(fail_fraction, ne=False, seed=0, density=20.0):
         scenario,
         trajectory,
         rng=np.random.default_rng(8500 + seed * 100),
-        fault_plan=plan,
+        options=RunOptions(fault_plan=plan),
     )
     return result.rmse, result.error.coverage, result.degraded_iterations, result.dropped_messages
 
@@ -97,7 +98,7 @@ def run_with_random_sleep(ne, seed=0, density=20.0, awake_fraction=0.7):
         scenario,
         trajectory,
         rng=np.random.default_rng(8600 + seed * 100),
-        fault_plan=plan,
+        options=RunOptions(fault_plan=plan),
     )
     return result.rmse, result.error.coverage
 

@@ -17,38 +17,30 @@ import sys
 import numpy as np
 
 from repro import (
-    CDPFTracker,
-    CPFTracker,
-    DPFTracker,
-    SDPFTracker,
+    RunOptions,
     make_paper_scenario,
+    make_tracker,
     make_trajectory,
     run_tracking,
 )
 from repro.experiments.report import render_table
 from repro.runtime import EventBus, IterationEvent, PhaseEvent
 
+NAMES = ("CPF", "DPF-gmm", "DPF-quantized", "SDPF", "CDPF", "CDPF-NE")
+
 
 def main(density: float = 20.0, n_seeds: int = 5) -> None:
-    factories = {
-        "CPF": lambda s, r: CPFTracker(s, rng=r),
-        "DPF-gmm": lambda s, r: DPFTracker(s, rng=r, compression="gmm"),
-        "DPF-quantized": lambda s, r: DPFTracker(s, rng=r, compression="quantized"),
-        "SDPF": lambda s, r: SDPFTracker(s, rng=r),
-        "CDPF": lambda s, r: CDPFTracker(s, rng=r),
-        "CDPF-NE": lambda s, r: CDPFTracker(s, rng=r, neighborhood_estimation=True),
-    }
-    agg = {name: {"rmse": [], "bytes": [], "msgs": []} for name in factories}
+    agg = {name: {"rmse": [], "bytes": [], "msgs": []} for name in NAMES}
     # per-tracker phase ledger, filled by listening on the run's event bus:
     # phase name -> [bytes, seconds, estimates-produced], accumulated live
-    phase_agg: dict[str, dict[str, list[float]]] = {name: {} for name in factories}
+    phase_agg: dict[str, dict[str, list[float]]] = {name: {} for name in NAMES}
 
     for seed in range(n_seeds):
         world_rng = np.random.default_rng(900 + seed)
         scenario = make_paper_scenario(density_per_100m2=density, rng=world_rng)
         trajectory = make_trajectory(n_iterations=10, rng=world_rng)
-        for name, make in factories.items():
-            tracker = make(scenario, np.random.default_rng(seed))
+        for name in NAMES:
+            tracker = make_tracker(name, scenario, rng=np.random.default_rng(seed))
 
             bus = EventBus()
 
@@ -62,7 +54,11 @@ def main(density: float = 20.0, n_seeds: int = 5) -> None:
                     phase_agg[name].setdefault("(estimates)", [0.0, 0.0, 0.0])[2] += 1
 
             result = run_tracking(
-                tracker, scenario, trajectory, rng=np.random.default_rng(7000 + seed), bus=bus
+                tracker,
+                scenario,
+                trajectory,
+                rng=np.random.default_rng(7000 + seed),
+                options=RunOptions(bus=bus),
             )
             agg[name]["rmse"].append(result.rmse)
             agg[name]["bytes"].append(result.total_bytes)

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import CDPFTracker, make_paper_scenario, make_trajectory, run_tracking
+from repro import RunOptions, make_paper_scenario, make_tracker, make_trajectory, run_tracking
 from repro.experiments.trace import TraceRecorder, render_field_map
+from repro.runtime import EventBus
 
 
 def main() -> None:
@@ -22,10 +23,11 @@ def main() -> None:
     scenario = make_paper_scenario(density_per_100m2=10.0, rng=rng)
     trajectory = make_trajectory(n_iterations=6, rng=rng)
 
-    tracker = CDPFTracker(scenario, rng=rng)
-    recorder = TraceRecorder(tracker, trajectory)
+    tracker = make_tracker("CDPF", scenario, rng=rng)
+    bus = EventBus()
+    recorder = TraceRecorder(tracker, trajectory).attach(bus)
     result = run_tracking(
-        tracker, scenario, trajectory, rng=rng, on_iteration=recorder
+        tracker, scenario, trajectory, rng=rng, options=RunOptions(bus=bus)
     )
 
     for snapshot in recorder.snapshots[1:5]:

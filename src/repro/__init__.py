@@ -9,19 +9,32 @@ paper's evaluation.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import CDPFTracker, make_paper_scenario, make_trajectory, run_tracking
+>>> from repro import make_paper_scenario, make_tracker, make_trajectory, run_tracking
 >>> rng = np.random.default_rng(7)
 >>> scenario = make_paper_scenario(density_per_100m2=20.0, rng=rng)
 >>> trajectory = make_trajectory(n_iterations=50, rng=rng)
->>> tracker = CDPFTracker(scenario, rng=rng)
+>>> tracker = make_tracker("CDPF", scenario, rng=rng)
 >>> result = run_tracking(tracker, scenario, trajectory, rng=rng)
 >>> result.rmse < 10.0
 True
+
+The stable public surface is exactly ``__all__`` below, snapshotted in
+``docs/api.txt`` and pinned by ``tests/test_public_api.py``: changing the
+exports without updating the snapshot fails CI.
 """
 
 from .baselines import CPFTracker, DPFTracker, SDPFTracker
 from .core import CDPFTracker, PropagationConfig
-from .experiments import JsonlStore, RunSummary, TrackingResult, density_sweep, run_tracking
+from .experiments import (
+    JsonlStore,
+    RunOptions,
+    RunSummary,
+    TrackingResult,
+    density_sweep,
+    iteration_subscriber,
+    run_tracking,
+)
+from .factory import make_tracker, register_tracker, tracker_factory, tracker_names
 from .filters import ParticleSet, SIRFilter
 from .models import BearingMeasurement, ConstantVelocityModel, random_turn_trajectory
 from .network import DataSizes, Medium, RadioModel, uniform_deployment
@@ -33,6 +46,8 @@ __version__ = "1.0.0"
 __all__ = [
     "CPFTracker", "DPFTracker", "SDPFTracker", "CDPFTracker", "PropagationConfig",
     "JsonlStore", "RunSummary", "TrackingResult", "density_sweep", "run_tracking",
+    "RunOptions", "iteration_subscriber",
+    "make_tracker", "register_tracker", "tracker_factory", "tracker_names",
     "ParticleSet", "SIRFilter",
     "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
     "DataSizes", "Medium", "RadioModel", "uniform_deployment",

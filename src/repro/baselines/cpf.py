@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..filters.sir import Observation, SIRFilter
+from ..kernels.likelihood import fused_bearing
 from ..models.measurement import BearingMeasurement
 from ..network.messages import MeasurementMessage
 from ..network.routing import RoutingError, greedy_path
@@ -41,9 +42,7 @@ def fuse_origin_bearings(
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
         raise ValueError("need at least one bearing to fuse")
-    mean = float(np.arctan2(np.mean(np.sin(values)), np.mean(np.cos(values))))
-    sigma_eff = float(np.sqrt(noise_std**2 / values.size + bias_std**2))
-    return mean, sigma_eff
+    return fused_bearing(values, noise_std, bias_std)
 
 
 class CPFTracker:

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..filters.gmm import GaussianMixture, fit_gmm
 from ..filters.sir import Observation, SIRFilter
+from ..kernels.likelihood import dequantize_bearings, quantize_bearings
 from ..models.constant_velocity import ConstantVelocityModel
 from ..models.measurement import BearingMeasurement
 from ..network.messages import FilterStateMessage, QuantizedMeasurementMessage
@@ -36,20 +37,12 @@ __all__ = ["DPFTracker", "quantize_bearing", "dequantize_bearing"]
 
 def quantize_bearing(z: float, bits: int) -> int:
     """Uniformly quantize a bearing in (-pi, pi] to a b-bit code."""
-    if bits <= 0:
-        raise ValueError(f"bits must be positive, got {bits}")
-    levels = 2**bits
-    frac = (z + np.pi) / (2 * np.pi)  # in [0, 1)
-    code = int(np.floor(frac * levels))
-    return min(max(code, 0), levels - 1)
+    return int(quantize_bearings(np.asarray([z]), bits)[0])
 
 
 def dequantize_bearing(code: int, bits: int) -> float:
     """Center of the code's quantization cell."""
-    levels = 2**bits
-    if not 0 <= code < levels:
-        raise ValueError(f"code {code} out of range for {bits} bits")
-    return (code + 0.5) / levels * 2 * np.pi - np.pi
+    return float(dequantize_bearings(np.asarray([code]), bits)[0])
 
 
 class DPFTracker:
@@ -157,9 +150,16 @@ class DPFTracker:
         """Quantized measurements routed to the leader (N * P * H of Table I)."""
         positions = self.scenario.deployment.positions
         observations: list[Observation] = []
-        for nid in sorted(int(d) for d in detectors):
-            code = quantize_bearing(float(ctx.measurements[nid]), self.bits)
-            z = dequantize_bearing(code, self.bits)
+        det_sorted = sorted(int(d) for d in detectors)
+        # quantizer round-trip batched over the whole detector set; the
+        # per-detector routing below keeps its scalar loop (path-dependent)
+        codes = quantize_bearings(
+            np.array([float(ctx.measurements[n]) for n in det_sorted]), self.bits
+        )
+        zs = dequantize_bearings(codes, self.bits)
+        for i, nid in enumerate(det_sorted):
+            code = int(codes[i])
+            z = float(zs[i])
             obs = Observation(self._meas_model, z, positions[nid])
             if nid == leader:
                 observations.append(obs)

@@ -28,12 +28,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.propagation import (
-    PropagationConfig,
-    division_shares,
-    implied_velocity,
-    select_recorders,
-)
+from ..core.propagation import PropagationConfig
+from ..kernels.propagation import batch_implied_velocities, batch_propagate
 from ..network.messages import (
     MeasurementMessage,
     ParticleMessage,
@@ -285,35 +281,43 @@ class SDPFTracker:
             if cand_all.size == 0:
                 continue
             cand_pos_all = positions[cand_all]
-            for j in range(msg.n_particles):
-                s_state = msg.states[j]
-                sender_pos, sender_vel = s_state[:2], s_state[2:]
-                pred = preds[j]
-                in_area = (
-                    np.sum((cand_pos_all - pred) ** 2, axis=1)
-                    <= cfg.predicted_area_radius**2
-                )
-                cand = cand_all[in_area]
-                if cand.size == 0:
+            # all of the message's particles against the shared candidate set
+            # in one batched selection; the per-particle in-area cut keeps the
+            # scalar path's squared-distance compare bitwise (Python ``** 2``
+            # on the radius, plain mul-add on the coordinate deltas)
+            pdx = cand_pos_all[None, :, 0] - preds[:, 0:1]
+            pdy = cand_pos_all[None, :, 1] - preds[:, 1:2]
+            in_area_masks = pdx * pdx + pdy * pdy <= cfg.predicted_area_radius**2
+            selected = batch_propagate(
+                preds,
+                msg.weights,
+                cand_all,
+                cand_pos_all,
+                area_radius=cfg.predicted_area_radius,
+                record_threshold=cfg.record_threshold,
+                max_recorders=cfg.max_recorders,
+                keep_masks=in_area_masks,
+            )
+            for j, (sel, _, rec_shares) in enumerate(selected):
+                if sel.size == 0:
                     continue
-                rec_ids, probs = select_recorders(cand, positions[cand], pred, cfg)
-                if rec_ids.size == 0:
-                    continue
+                rec_ids = cand_all[sel]
                 all_recorder_ids.update(rec_ids.tolist())
-                rec_shares = division_shares(probs, float(msg.weights[j]))
-                for rid, share in zip(rec_ids.tolist(), rec_shares.tolist()):
+                vels = batch_implied_velocities(
+                    msg.states[j, :2],
+                    positions[rec_ids],
+                    msg.states[j, 2:],
+                    dt,
+                    cfg.velocity_mode,
+                    cfg.velocity_alpha,
+                    track_velocity=self._velocity_estimate,
+                )
+                for i, (rid, share) in enumerate(
+                    zip(rec_ids.tolist(), rec_shares.tolist())
+                ):
                     if not self.medium.is_available(rid):
                         continue
-                    vel = implied_velocity(
-                        sender_pos,
-                        positions[rid],
-                        sender_vel,
-                        dt,
-                        cfg.velocity_mode,
-                        cfg.velocity_alpha,
-                        track_velocity=self._velocity_estimate,
-                    )
-                    shares_at.setdefault(rid, []).append((share, vel))
+                    shares_at.setdefault(rid, []).append((share, vels[i]))
 
         new_holders: dict[int, _NodeParticles] = {}
         for rid in sorted(shares_at):
@@ -373,6 +377,8 @@ class SDPFTracker:
         detectors = state.detectors
         positions = self.scenario.deployment.positions
         measurement = self.scenario.measurement
+        rows: list[int] = []
+        pair_lists: list[list[tuple[int, float]]] = []
         for r in sorted(self.holders):
             if r in state.created:
                 self.medium.collect(r)
@@ -382,30 +388,37 @@ class SDPFTracker:
             pairs = [(m.sender, m.value) for m in inbox] + own
             if not pairs:
                 continue
-            p_state = np.concatenate([positions[r], np.zeros(2)])[None, :]
-            # discretization-aware sigma inflation (see core.cdpf)
-            from ..core.cdpf import quantization_sigma
+            rows.append(r)
+            pair_lists.append(pairs)
+        if rows:
+            from ..kernels.likelihood import batch_likelihood
 
-            lam = (self.neighbors.degree(r) + 1) / (
-                np.pi * self.scenario.radio.comm_radius**2
+            # one (holders, measurements) log-kernel matrix with the
+            # discretization-aware sigma inflation (see core.cdpf); columns
+            # key on distinct (sender, value) pairs so delayed stale copies
+            # evaluate separately from this iteration's readings
+            col_of: dict[tuple[int, float], int] = {}
+            for pairs in pair_lists:
+                for pair in pairs:
+                    if pair not in col_of:
+                        col_of[pair] = len(col_of)
+            refs = np.vstack(
+                [measurement.reference_point(positions[s]) for s, _ in col_of]
             )
-            kernels = []
-            for sender, z in pairs:
-                ref = measurement.reference_point(positions[sender])
-                d_sr = float(np.linalg.norm(positions[r] - ref))
-                sq = quantization_sigma(lam, d_sr) if d_sr > 0 else 0.0
-                sigma_eff = float(np.hypot(measurement.noise_std, sq))
-                kernels.append(
-                    float(
-                        measurement.log_kernel(
-                            p_state, z, positions[sender], noise_std=sigma_eff
-                        )[0]
-                    )
-                )
-            # tempered fusion — same rationale as CDPF (see core.cdpf)
-            log_lik = float(np.mean(kernels))
-            p = self.holders[r]
-            p.weights = p.weights * float(np.exp(log_lik))
+            zs = np.array([z for _, z in col_of], dtype=np.float64)
+            lam_denom = np.pi * self.scenario.radio.comm_radius**2
+            lam = np.array(
+                [(self.neighbors.degree(r) + 1) / lam_denom for r in rows]
+            )
+            matrix = batch_likelihood(
+                positions[rows], lam, refs, zs, measurement.noise_std
+            )
+            for i, (r, pairs) in enumerate(zip(rows, pair_lists)):
+                cols = [col_of[pair] for pair in pairs]
+                # tempered fusion — same rationale as CDPF (see core.cdpf)
+                log_lik = float(matrix[i, cols].mean())
+                p = self.holders[r]
+                p.weights = p.weights * float(np.exp(log_lik))
         self.medium.clear_inboxes()
 
     # ------------------------------------------------------------------

@@ -35,19 +35,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..kernels.geometry import norm2d_many
+from ..kernels.likelihood import batch_likelihood
+from ..kernels.propagation import batch_implied_velocities, batch_propagate
 from ..models.measurement import wrap_angle
 from ..network.messages import MeasurementMessage, ParticleMessage
 from ..runtime import IterationState, Phase, PhasePipeline, TrackerStats
 from ..scenario import Scenario, StepContext
 from .contributions import estimated_contributions
-from .propagation import (
-    HeldParticle,
-    PropagationConfig,
-    combine_shares,
-    division_shares,
-    implied_velocity,
-    select_recorders,
-)
+from .propagation import HeldParticle, PropagationConfig, combine_shares
 
 __all__ = ["CDPFTracker", "CDPFStats", "bearing_log_kernel"]
 
@@ -370,48 +366,78 @@ class CDPFTracker:
                     predicted_area_radius=cfg.predicted_area_radius * cfg.area_scale_max,
                 )
                 self.stats.area_widenings += 1
-        for bi, msg in enumerate(broadcast):
-            s_state = msg.states[0]
-            sender_pos, sender_vel = s_state[:2], s_state[2:]
-            pred = consensus_pred if consensus_pred is not None else sender_pos + sender_vel * dt
-            cand = index.query_disk(pred, cfg.predicted_area_radius)
-            if cand.size == 0:
-                continue
-            d_sender = np.sqrt(np.sum((positions[cand] - sender_pos) ** 2, axis=1))
-            cand = cand[(d_sender <= comm_radius) & self._available_mask(cand)]
-            if cand.size == 0:
-                continue
-            lost = lost_sets[bi]
-            if lost:
-                # a candidate that lost this copy never heard the particle:
-                # it cannot record a share of it
-                keep = np.fromiter(
-                    (int(c) not in lost for c in cand), dtype=bool, count=cand.size
+        # One spatial query + one batched recorder selection for the whole
+        # round instead of per-broadcast scalar calls.  In track mode every
+        # broadcast shares the consensus predicted area, so the candidate set
+        # is queried once; otherwise the per-sender areas are unioned and each
+        # broadcast keeps only its own in-area candidates (``query_disk``'s
+        # ``d2 <= r*r`` test replicated bitwise — the sqrt'd probability cut
+        # alone is NOT equivalent at the disk boundary).  The availability
+        # hook is evaluated once over the shared candidate set; hooks are
+        # pure functions of the ids (all in-repo hooks are).
+        sender_pos_all = states[:, :2]
+        sender_vel_all = states[:, 2:]
+        if consensus_pred is not None:
+            preds = np.broadcast_to(consensus_pred, (len(broadcast), 2))
+            cand = index.query_disk(consensus_pred, cfg.predicted_area_radius)
+            in_area_masks = None
+        else:
+            preds = sender_pos_all + sender_vel_all * dt
+            cand = index.query_disk_many(preds, cfg.predicted_area_radius)
+        if cand.size:
+            cand_pos = positions[cand]
+            if consensus_pred is None:
+                pdx = cand_pos[None, :, 0] - preds[:, 0:1]
+                pdy = cand_pos[None, :, 1] - preds[:, 1:2]
+                in_area_masks = pdx * pdx + pdy * pdy <= (
+                    cfg.predicted_area_radius * cfg.predicted_area_radius
                 )
-                cand = cand[keep]
-                if cand.size == 0:
-                    continue
-            rec_ids, probs = select_recorders(cand, positions[cand], pred, cfg)
-            if rec_ids.size == 0:
+            sdx = cand_pos[None, :, 0] - sender_pos_all[:, 0:1]
+            sdy = cand_pos[None, :, 1] - sender_pos_all[:, 1:2]
+            keep_masks = np.sqrt(sdx * sdx + sdy * sdy) <= comm_radius
+            if in_area_masks is not None:
+                keep_masks &= in_area_masks
+            keep_masks &= self._available_mask(cand)[None, :]
+            for bi, lost in enumerate(lost_sets):
+                if lost:
+                    # a candidate that lost this copy never heard the
+                    # particle: it cannot record a share of it
+                    keep_masks[bi] &= np.fromiter(
+                        (int(c) not in lost for c in cand), dtype=bool, count=cand.size
+                    )
+            selected = batch_propagate(
+                preds,
+                w_eff,
+                cand,
+                cand_pos,
+                area_radius=cfg.predicted_area_radius,
+                record_threshold=cfg.record_threshold,
+                max_recorders=cfg.max_recorders,
+                keep_masks=keep_masks,
+            )
+        else:
+            selected = [(np.zeros(0, dtype=np.intp),) * 3] * len(broadcast)
+        for bi in range(len(broadcast)):
+            sel, _, rec_shares = selected[bi]
+            if sel.size == 0:
                 continue
+            rec_ids = cand[sel]
             all_recorder_ids.update(rec_ids.tolist())
-            w = float(w_eff[bi])
-            rec_shares = division_shares(probs, w)
-            for rid, share in zip(rec_ids.tolist(), rec_shares.tolist()):
+            vels = batch_implied_velocities(
+                sender_pos_all[bi],
+                positions[rec_ids],
+                sender_vel_all[bi],
+                dt,
+                cfg.velocity_mode,
+                cfg.velocity_alpha,
+                track_velocity=self._velocity_estimate,
+            )
+            for i, (rid, share) in enumerate(zip(rec_ids.tolist(), rec_shares.tolist())):
                 # anticipated recorders that are actually unavailable lose
                 # their share (weight leak — the §V-D uncertain-factor case)
                 if not self.medium.is_available(rid):
                     continue
-                vel = implied_velocity(
-                    sender_pos,
-                    positions[rid],
-                    sender_vel,
-                    dt,
-                    cfg.velocity_mode,
-                    cfg.velocity_alpha,
-                    track_velocity=self._velocity_estimate,
-                )
-                shares_at.setdefault(rid, []).append((share, vel))
+                shares_at.setdefault(rid, []).append((share, vels[i]))
 
         # Drop rule (the correction step's "resampling"): discard recorded
         # particles whose share is below drop_threshold times the largest
@@ -629,7 +655,13 @@ class CDPFTracker:
         for s in sharers:
             msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
             self.medium.broadcast(s, msg, k)
-        log_liks: dict[int, float] = {}
+        # Gather every holder's (sender, measurement) pairs, then evaluate the
+        # whole round as one (holders, measurements) log-kernel matrix.  The
+        # matrix columns are the distinct pairs actually sitting in inboxes —
+        # a delayed channel can deliver stale copies whose value differs from
+        # this iteration's reading, so columns key on the pair, not the sender.
+        rows: list[int] = []
+        pair_lists: list[list[tuple[int, float]]] = []
         for r in sorted(self.holders):
             if r in state.created:
                 self.medium.collect(r)  # drain; initialization weight stands
@@ -640,29 +672,34 @@ class CDPFTracker:
             pairs = [(m.sender, m.value) for m in inbox] + own
             if not pairs:
                 continue  # no information this iteration; weight unchanged
-            p_state = self.holders[r].state(positions[r])[None, :]
-            # discretization-aware sigma: local density from the node's degree
-            lam = (self.neighbors.degree(r) + 1) / (
-                np.pi * self.scenario.radio.comm_radius**2
+            rows.append(r)
+            pair_lists.append(pairs)
+        log_liks: dict[int, float] = {}
+        if rows:
+            col_of: dict[tuple[int, float], int] = {}
+            for pairs in pair_lists:
+                for pair in pairs:
+                    if pair not in col_of:
+                        col_of[pair] = len(col_of)
+            refs = np.vstack(
+                [measurement.reference_point(positions[s]) for s, _ in col_of]
             )
-            kernels = []
-            for sender, z in pairs:
-                ref = measurement.reference_point(positions[sender])
-                d_sr = float(np.linalg.norm(positions[r] - ref))
-                sq = quantization_sigma(lam, d_sr) if d_sr > 0 else 0.0
-                sigma_eff = float(np.hypot(measurement.noise_std, sq))
-                kernels.append(
-                    float(
-                        measurement.log_kernel(
-                            p_state, z, positions[sender], noise_std=sigma_eff
-                        )[0]
-                    )
-                )
+            zs = np.array([z for _, z in col_of], dtype=np.float64)
+            # discretization-aware sigma: local density from each node's degree
+            lam_denom = np.pi * self.scenario.radio.comm_radius**2
+            lam = np.array(
+                [(self.neighbors.degree(r) + 1) / lam_denom for r in rows]
+            )
+            matrix = batch_likelihood(
+                positions[rows], lam, refs, zs, measurement.noise_std
+            )
             # tempered fusion (mean log-kernel): the per-sensor bearings share
             # a common-mode error, so treating them as fully independent would
             # sharpen the joint likelihood far below the node-position
             # quantization scale and randomly annihilate every holder
-            log_liks[r] = float(np.mean(kernels))
+            for i, (r, pairs) in enumerate(zip(rows, pair_lists)):
+                cols = [col_of[pair] for pair in pairs]
+                log_liks[r] = float(matrix[i, cols].mean())
         state.log_liks = log_liks
         self.medium.clear_inboxes()
 
@@ -690,22 +727,37 @@ class CDPFTracker:
         dt = self.scenario.dynamics.dt
         r_s = self.scenario.sensing_radius
         predicted_now = self._estimate + self._velocity_estimate * dt
-        for r in sorted(self.holders):
-            if r in skip:
-                continue  # freshly created: initialization weight stands
-            d_own = float(np.linalg.norm(positions[r] - predicted_now))
+        holders = [r for r in sorted(self.holders) if r not in skip]
+        if not holders:
+            return
+        # Own distances batched in the scalar path's np.linalg.norm (FMA) form;
+        # neighborhood distances batched below in its plain sqrt-of-squares
+        # form — the two differ in the last bit and both are replicated.
+        own_diff = positions[holders] - predicted_now
+        d_own = norm2d_many(own_diff[:, 0], own_diff[:, 1])
+        groups: list[tuple[int, np.ndarray]] = []
+        for i, r in enumerate(holders):
             particle = self.holders[r]
-            if d_own > r_s:
+            if d_own[i] > r_s:
                 # outside the estimation area: zero contribution -> drop later
                 particle.weight = 0.0
                 continue
             neigh = self.neighbors.neighbors(r)
             avail = self._available_mask(neigh)
-            neigh = np.append(neigh[avail], r)  # self is always available
-            d_all = np.sqrt(np.sum((positions[neigh] - predicted_now) ** 2, axis=1))
+            groups.append((r, np.append(neigh[avail], r)))  # self is always available
+        if not groups:
+            return
+        flat_ids = np.concatenate([ids for _, ids in groups])
+        diff = positions[flat_ids] - predicted_now
+        d_flat = np.sqrt(diff[:, 0] * diff[:, 0] + diff[:, 1] * diff[:, 1])
+        offset = 0
+        for r, ids in groups:
+            d_all = d_flat[offset : offset + ids.size]
+            offset += ids.size
             in_area = d_all <= r_s
-            area_ids = neigh[in_area]
+            area_ids = ids[in_area]
             d_area = d_all[in_area]
             contributions = estimated_contributions(d_area)
             own_idx = int(np.nonzero(area_ids == r)[0][0])
+            particle = self.holders[r]
             particle.weight = particle.weight * float(contributions[own_idx])

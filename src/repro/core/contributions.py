@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.contributions import batch_contributions
+
 __all__ = [
     "estimated_contributions",
     "contribution_of",
@@ -55,8 +57,7 @@ def estimated_contributions(distances: np.ndarray, *, d_min: float = _D_MIN) -> 
         raise ValueError(f"distances must be a non-empty 1-D array, got shape {d.shape}")
     if (d < 0).any() or not np.isfinite(d).all():
         raise ValueError("distances must be finite and non-negative")
-    inv = 1.0 / np.maximum(d, d_min)
-    return inv / inv.sum()
+    return batch_contributions(d, d_min=d_min)
 
 
 def contribution_of(

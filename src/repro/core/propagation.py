@@ -27,7 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .contributions import linear_probability
+from ..kernels.propagation import batch_propagate
+from .contributions import linear_probability  # noqa: F401  (re-exported for tests)
 
 __all__ = [
     "HeldParticle",
@@ -206,18 +207,16 @@ def select_recorders(
     if ids.size == 0:
         return ids, np.zeros(0)
     pred = np.asarray(predicted_position, dtype=np.float64)
-    d = np.sqrt(np.sum((pos - pred) ** 2, axis=1))
-    p = linear_probability(d, config.predicted_area_radius)
-    keep = p > max(config.record_threshold, 0.0)
-    if config.record_threshold == 0.0:
-        keep = p > 0.0
-    ids, p = ids[keep], p[keep]
-    if config.max_recorders is not None and ids.size > config.max_recorders:
-        # Top-k by probability; ties broken by id for determinism.
-        order = np.lexsort((ids, -p))[: config.max_recorders]
-        ids, p = ids[order], p[order]
-    order = np.argsort(ids)
-    return ids[order], p[order]
+    ((sel, probs, _),) = batch_propagate(
+        pred[None, :],
+        np.ones(1),
+        ids,
+        pos,
+        area_radius=config.predicted_area_radius,
+        record_threshold=config.record_threshold,
+        max_recorders=config.max_recorders,
+    )
+    return ids[sel], probs
 
 
 def division_shares(probabilities: np.ndarray, weight: float) -> np.ndarray:

@@ -16,6 +16,7 @@ from .figures import (
     figure5_communication_cost,
     figure6_estimation_error,
 )
+from .options import RunOptions, iteration_subscriber
 from .report import format_number, render_ascii_chart, render_series, render_table
 from .summary import HeadlineClaims, extract_headline_claims
 from .trace import IterationSnapshot, TraceRecorder, render_field_map
@@ -27,6 +28,7 @@ __all__ = [
     "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
     "CellResult", "JsonlStore", "RunSummary", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
     "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
+    "RunOptions", "iteration_subscriber",
     "format_number", "render_ascii_chart", "render_series", "render_table",
     "HeadlineClaims", "extract_headline_claims",
     "IterationSnapshot", "TraceRecorder", "render_field_map",

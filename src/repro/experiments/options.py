@@ -1,0 +1,105 @@
+"""RunOptions: the consolidated knob surface of :func:`run_tracking`.
+
+``run_tracking`` started with one keyword (``rng``) and grew three more as
+subsystems landed — ``fault_plan`` (fault injection), ``on_iteration`` (the
+legacy per-step callback) and ``bus`` (the event bus).  Every new knob
+widened the signature of every wrapper that forwards to the runner.  This
+module freezes that growth: all run-shaping knobs live in one immutable
+:class:`RunOptions` value that callers build once and pass as ``options=``.
+
+The old keyword arguments still work through a deprecation shim in the
+runner (they warn once per process and are merged into a ``RunOptions``),
+so external callers keep running; in-repo code always passes ``options=``.
+
+For per-iteration observation, prefer subscribing to the event bus over the
+legacy callback::
+
+    bus = EventBus()
+    bus.subscribe(iteration_subscriber(lambda k, ctx, est: ...))
+    run_tracking(tracker, scenario, trajectory, rng=rng,
+                 options=RunOptions(bus=bus))
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..runtime import EventBus, IterationEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.faults import FaultPlan
+    from ..scenario import StepContext
+
+__all__ = ["RunOptions", "iteration_subscriber"]
+
+#: signature of the legacy per-iteration callback
+IterationCallback = Callable[[int, "StepContext", Any], None]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything that shapes a tracking run besides the world itself.
+
+    Parameters
+    ----------
+    fault_plan:
+        A :class:`~repro.network.faults.FaultPlan` replayed against the
+        tracker's medium at the start of each iteration (crash/sleep/wake
+        events); ``None`` runs fault-free.
+    bus:
+        An :class:`~repro.runtime.events.EventBus` attached for the run:
+        the pipeline emits per-phase events on it and the runner emits one
+        :class:`~repro.runtime.events.IterationEvent` per step.
+    on_iteration:
+        The legacy plain-callable hook ``(iteration, context, estimate)``.
+        Still honored, but new code should subscribe to ``bus`` via
+        :func:`iteration_subscriber` instead — the bus also carries phase
+        events and composes with other subscribers.
+    """
+
+    fault_plan: "FaultPlan | None" = None
+    bus: EventBus | None = None
+    on_iteration: IterationCallback | None = None
+
+
+def iteration_subscriber(callback: IterationCallback) -> Callable[[Any], None]:
+    """Adapt an ``(iteration, context, estimate)`` callback to a bus handler.
+
+    The returned handler ignores every event except
+    :class:`~repro.runtime.events.IterationEvent`, on which it invokes
+    ``callback`` with the legacy ``on_iteration`` argument shape — the
+    recommended migration path off the deprecated ``on_iteration`` kwarg.
+    """
+
+    def handler(event: Any) -> None:
+        if isinstance(event, IterationEvent):
+            callback(event.iteration, event.context, event.estimate)
+
+    return handler
+
+
+# -- deprecation shim state --------------------------------------------------
+
+_legacy_kwargs_warned = False
+
+
+def warn_legacy_run_kwargs(names: list[str]) -> None:
+    """Warn (once per process) that bare run_tracking kwargs are deprecated."""
+    global _legacy_kwargs_warned
+    if _legacy_kwargs_warned:
+        return
+    _legacy_kwargs_warned = True
+    warnings.warn(
+        f"passing {', '.join(names)} directly to run_tracking is deprecated; "
+        "pass options=RunOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_legacy_kwargs_warning() -> None:
+    """Re-arm the once-per-process deprecation warning (test helper)."""
+    global _legacy_kwargs_warned
+    _legacy_kwargs_warned = False

@@ -22,6 +22,7 @@ from ..models.trajectory import Trajectory
 from ..runtime import EventBus, IterationEvent, PhaseProfile
 from ..scenario import Scenario, StepContext, Tracker
 from .metrics import ErrorSummary, cost_series, summarize_errors
+from .options import RunOptions, warn_legacy_run_kwargs
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.faults import FaultPlan
@@ -164,6 +165,7 @@ def run_tracking(
     trajectory: Trajectory,
     *,
     rng: np.random.Generator,
+    options: RunOptions | None = None,
     fault_plan: "FaultPlan | None" = None,
     on_iteration: Callable[[int, StepContext, np.ndarray | None], None] | None = None,
     bus: EventBus | None = None,
@@ -174,18 +176,42 @@ def run_tracking(
     still executed — detectors simply become empty, exactly as in a real
     deployment.
 
-    ``fault_plan`` (a :class:`~repro.network.faults.FaultPlan`) is replayed
-    against the tracker's medium at the start of each iteration: crashed and
-    sleeping nodes stop sensing (their detections never happen) as well as
-    transmitting, so every fault benchmark injects failures through one
-    deterministic path instead of ad-hoc per-benchmark loops.
+    Run-shaping knobs travel in ``options`` (a :class:`~repro.experiments.
+    options.RunOptions`): ``options.fault_plan`` (a :class:`~repro.network.
+    faults.FaultPlan`) is replayed against the tracker's medium at the start
+    of each iteration — crashed and sleeping nodes stop sensing as well as
+    transmitting; ``options.bus`` attaches an :class:`~repro.runtime.events.
+    EventBus` on which the pipeline emits per-phase events and the runner one
+    :class:`~repro.runtime.events.IterationEvent` per step;
+    ``options.on_iteration`` is the legacy plain-callable hook (prefer a bus
+    subscriber via :func:`~repro.experiments.options.iteration_subscriber`).
 
-    ``bus`` attaches a :class:`~repro.runtime.events.EventBus` for the run:
-    the tracker's pipeline emits per-phase start/end events on it and the
-    runner emits one :class:`~repro.runtime.events.IterationEvent` per step.
-    ``on_iteration`` remains as the plain-callable hook; both may be used at
-    once.
+    The bare ``fault_plan`` / ``on_iteration`` / ``bus`` keywords are a
+    deprecated spelling of the same knobs: they still work (merged into a
+    ``RunOptions``, identical behavior) but warn once per process.
     """
+    legacy = [
+        name
+        for name, value in (
+            ("fault_plan", fault_plan),
+            ("on_iteration", on_iteration),
+            ("bus", bus),
+        )
+        if value is not None
+    ]
+    if legacy:
+        warn_legacy_run_kwargs(legacy)
+        if options is not None:
+            raise TypeError(
+                "pass run knobs either via options=RunOptions(...) or the "
+                f"deprecated bare kwargs ({', '.join(legacy)}), not both"
+            )
+        options = RunOptions(fault_plan=fault_plan, on_iteration=on_iteration, bus=bus)
+    if options is None:
+        options = RunOptions()
+    fault_plan = options.fault_plan
+    on_iteration = options.on_iteration
+    bus = options.bus
     n_iter = trajectory.n_iterations
     estimates: dict[int, np.ndarray] = {}
     detectors_per_iteration: list[int] = []

@@ -19,9 +19,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..baselines.cpf import CPFTracker
-from ..baselines.sdpf import SDPFTracker
-from ..core.cdpf import CDPFTracker
+from ..factory import tracker_factory
 from ..scenario import Scenario
 from .engine import JsonlStore, RunSummary, expand_tasks, run_sweep
 from .runner import TrackingResult
@@ -31,31 +29,14 @@ __all__ = ["SweepPoint", "SweepResult", "density_sweep", "default_tracker_factor
 TrackerFactory = Callable[[Scenario, np.random.Generator], object]
 
 
-# Module-level factories (not lambdas) so the default sweep pickles into
-# the engine's worker processes.
-def _make_cpf(s: Scenario, rng: np.random.Generator) -> CPFTracker:
-    return CPFTracker(s, rng=rng)
-
-
-def _make_sdpf(s: Scenario, rng: np.random.Generator) -> SDPFTracker:
-    return SDPFTracker(s, rng=rng)
-
-
-def _make_cdpf(s: Scenario, rng: np.random.Generator) -> CDPFTracker:
-    return CDPFTracker(s, rng=rng)
-
-
-def _make_cdpf_ne(s: Scenario, rng: np.random.Generator) -> CDPFTracker:
-    return CDPFTracker(s, rng=rng, neighborhood_estimation=True)
-
-
 def default_tracker_factories() -> dict[str, TrackerFactory]:
-    """The paper's four algorithms, in Figure 5/6 legend order."""
+    """The paper's four algorithms, in Figure 5/6 legend order.
+
+    Built from the :mod:`repro.factory` registry; each entry is picklable,
+    so the default sweep fans out into the engine's worker processes.
+    """
     return {
-        "CPF": _make_cpf,
-        "SDPF": _make_sdpf,
-        "CDPF": _make_cdpf,
-        "CDPF-NE": _make_cdpf_ne,
+        name: tracker_factory(name) for name in ("CPF", "SDPF", "CDPF", "CDPF-NE")
     }
 
 

@@ -45,12 +45,14 @@ class TraceRecorder:
         recorder = TraceRecorder(tracker, trajectory)
         bus = EventBus()
         recorder.attach(bus)
-        run_tracking(tracker, scenario, trajectory, rng=rng, bus=bus)
+        run_tracking(tracker, scenario, trajectory, rng=rng,
+                     options=RunOptions(bus=bus))
         print(render_field_map(scenario, recorder.snapshots[3]))
         recorder.phase_events        # every completed phase, in order
 
     The recorder also remains a plain callable for the legacy
-    ``on_iteration=recorder`` hook (no phase events on that path).
+    ``RunOptions(on_iteration=recorder)`` hook (no phase events on that
+    path).
     """
 
     tracker: object

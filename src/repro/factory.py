@@ -1,0 +1,150 @@
+"""Tracker factory registry: one construction path for every algorithm.
+
+Five call sites used to duplicate the constructor dance (which class, which
+keyword spelling, which defaults) for the paper's algorithms — the sweep
+engine, the bench conftest, and the examples each carried their own dict of
+lambdas.  The registry replaces them: :func:`make_tracker` builds any
+registered algorithm by name, and :func:`tracker_factory` hands back a
+*picklable* ``(scenario, rng) -> tracker`` callable for process-parallel
+sweeps (a lambda would not survive the trip into a worker process).
+
+>>> tracker = make_tracker("CDPF-NE", scenario, rng=rng)
+>>> factories = {name: tracker_factory(name) for name in tracker_names()}
+
+Extra keyword arguments pass straight through to the tracker constructor::
+
+    make_tracker("DPF-gmm", scenario, rng=rng, quantization_bits=12)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scenario import Scenario
+
+__all__ = ["make_tracker", "register_tracker", "tracker_factory", "tracker_names"]
+
+#: algorithm name -> constructor ``(scenario, *, rng, **kwargs) -> tracker``
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register_tracker(name: str):
+    """Register a tracker constructor under ``name`` (decorator).
+
+    The constructor must accept ``(scenario, *, rng, **kwargs)``.  Names are
+    unique; re-registering an existing name raises (shadowing an algorithm
+    silently would corrupt sweep results).
+    """
+
+    def deco(builder: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"tracker {name!r} is already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return deco
+
+
+def tracker_names() -> tuple[str, ...]:
+    """Registered algorithm names, in registration (= Figure 5/6 legend) order."""
+    return tuple(_REGISTRY)
+
+
+def make_tracker(
+    name: str, scenario: "Scenario", *, rng: np.random.Generator, **kwargs
+):
+    """Construct the named algorithm's tracker for ``scenario``.
+
+    ``kwargs`` forward to the underlying constructor (particle counts,
+    compression settings, an explicit ``medium``, ...).
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "<none>"
+        raise ValueError(f"unknown tracker {name!r}; registered: {known}") from None
+    return builder(scenario, rng=rng, **kwargs)
+
+
+class _NamedFactory:
+    """Picklable ``(scenario, rng) -> tracker`` closure over a registry name.
+
+    Instances pickle by name (the registry is module state, rebuilt on
+    import in every worker), which is what lets the sweep engine ship
+    factories into a ``ProcessPoolExecutor``.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __call__(self, scenario: "Scenario", rng: np.random.Generator):
+        return make_tracker(self.name, scenario, rng=rng)
+
+    def __getstate__(self) -> str:
+        return self.name
+
+    def __setstate__(self, state: str) -> None:
+        self.name = state
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"tracker_factory({self.name!r})"
+
+
+def tracker_factory(name: str) -> Callable:
+    """A picklable factory for sweep engines: ``factory(scenario, rng)``."""
+    if name not in _REGISTRY:
+        known = ", ".join(_REGISTRY) or "<none>"
+        raise ValueError(f"unknown tracker {name!r}; registered: {known}")
+    return _NamedFactory(name)
+
+
+# -- the paper's algorithms --------------------------------------------------
+# Registered lazily via builder functions (importing the tracker modules at
+# module scope would cycle: they import repro.* subpackages themselves).
+
+
+@register_tracker("CPF")
+def _build_cpf(scenario, *, rng, **kwargs):
+    from .baselines.cpf import CPFTracker
+
+    return CPFTracker(scenario, rng=rng, **kwargs)
+
+
+@register_tracker("SDPF")
+def _build_sdpf(scenario, *, rng, **kwargs):
+    from .baselines.sdpf import SDPFTracker
+
+    return SDPFTracker(scenario, rng=rng, **kwargs)
+
+
+@register_tracker("CDPF")
+def _build_cdpf(scenario, *, rng, **kwargs):
+    from .core.cdpf import CDPFTracker
+
+    return CDPFTracker(scenario, rng=rng, **kwargs)
+
+
+@register_tracker("CDPF-NE")
+def _build_cdpf_ne(scenario, *, rng, **kwargs):
+    from .core.cdpf import CDPFTracker
+
+    return CDPFTracker(scenario, rng=rng, neighborhood_estimation=True, **kwargs)
+
+
+@register_tracker("DPF-gmm")
+def _build_dpf_gmm(scenario, *, rng, **kwargs):
+    from .baselines.dpf_compression import DPFTracker
+
+    return DPFTracker(scenario, rng=rng, compression="gmm", **kwargs)
+
+
+@register_tracker("DPF-quantized")
+def _build_dpf_quantized(scenario, *, rng, **kwargs):
+    from .baselines.dpf_compression import DPFTracker
+
+    return DPFTracker(scenario, rng=rng, compression="quantized", **kwargs)

@@ -24,7 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ..kernels.likelihood import batch_bearing_log_likelihood
 from ..models.base import TransitionModel
+from ..models.measurement import BearingMeasurement
 from .particles import ParticleSet, normalize_log_weights
 from .resampling import get_resampler
 
@@ -41,9 +43,27 @@ class Observation:
 
 
 def joint_log_likelihood(states: np.ndarray, observations: Sequence[Observation]) -> np.ndarray:
-    """Sum of per-sensor log-likelihoods (conditional independence across sensors)."""
-    n = np.atleast_2d(states).shape[0]
+    """Sum of per-sensor log-likelihoods (conditional independence across sensors).
+
+    All-bearing observation batches (the common CPF/DPF case) evaluate as one
+    ``(n_obs, n_particles)`` kernel matrix whose rows accumulate in the same
+    sequential order as the scalar loop — bit-identical, one pass.
+    """
+    states_2d = np.atleast_2d(states)
+    n = states_2d.shape[0]
     total = np.zeros(n)
+    if len(observations) > 1 and all(
+        type(obs.model) is BearingMeasurement for obs in observations
+    ):
+        refs = np.vstack(
+            [obs.model.reference_point(obs.sensor_position) for obs in observations]
+        )
+        zs = np.array([obs.z for obs in observations], dtype=np.float64)
+        sigmas = np.array([obs.model.noise_std for obs in observations])
+        matrix = batch_bearing_log_likelihood(states_2d[:, :2], zs, refs, sigmas)
+        for row in matrix:
+            total += row
+        return total
     for obs in observations:
         total += obs.model.log_likelihood(states, obs.z, obs.sensor_position)
     return total

@@ -1,0 +1,55 @@
+"""Vectorized geometry helpers that stay bitwise-faithful to the scalar code.
+
+The scalar hot paths compute point distances two different ways and the
+difference is *visible in the last bit*:
+
+* ``np.linalg.norm(a - b)`` on a 2-vector goes through BLAS ``ddot``, which
+  contracts the product sum with an FMA: ``fma(d1, d1, fl(d0 * d0))`` —
+  one rounding fewer than plain multiply-add;
+* ``np.sqrt(np.sum(d ** 2, axis=1))`` is the plain two-rounding form.
+
+Batched rewrites must reproduce whichever form the code they replace used,
+or fixed-seed runs drift in the last bit and the golden differential suite
+fails.  ``fma_many`` emulates a correctly-rounded FMA with error-free
+transformations (Dekker two-product + two-sum) in pure elementwise numpy —
+verified bit-exact against BLAS ``ddot`` — so :func:`norm2d_many` gives the
+``np.linalg.norm`` bits at any batch shape, portably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fma_many", "norm2d_many"]
+
+_SPLIT = 134217729.0  # 2^27 + 1, Veltkamp splitting constant for float64
+
+
+def fma_many(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Correctly rounded ``a * b + c``, elementwise (emulated FMA)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    p = a * b
+    t = a * _SPLIT
+    a_hi = t - (t - a)
+    a_lo = a - a_hi
+    t = b * _SPLIT
+    b_hi = t - (t - b)
+    b_lo = b - b_hi
+    # a * b == p + e exactly (Dekker two-product)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    s = p + c
+    # p + c == s + err_s exactly (Knuth two-sum)
+    bb = s - p
+    err_s = (p - (s - bb)) + (c - bb)
+    return s + (err_s + e)
+
+
+def norm2d_many(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Euclidean length of (dx, dy), matching ``np.linalg.norm`` bitwise.
+
+    ``np.linalg.norm`` on a 2-vector evaluates ``sqrt(ddot(d, d))`` =
+    ``sqrt(fma(dy, dy, dx * dx))``; this reproduces that contraction for
+    arbitrary batch shapes.
+    """
+    return np.sqrt(fma_many(dy, dy, dx * dx))

@@ -47,6 +47,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..kernels.delivery import (
+    OUTCOME_DELAY,
+    OUTCOME_DELIVER,
+    OUTCOME_DROP,
+    link_uniform_many,
+)
+
 __all__ = [
     "LinkOutcome",
     "LinkModel",
@@ -75,6 +82,14 @@ def _link_uniform(seed: int, *key: int) -> float:
     return float(np.random.default_rng(ss).random())
 
 
+#: LinkOutcome -> the int8 code of the batched classify path.
+_OUTCOME_CODE = {
+    LinkOutcome.DELIVER: OUTCOME_DELIVER,
+    LinkOutcome.DROP: OUTCOME_DROP,
+    LinkOutcome.DELAY: OUTCOME_DELAY,
+}
+
+
 class LinkModel:
     """Base class: always deliver.  Subclasses override :meth:`classify`.
 
@@ -93,6 +108,28 @@ class LinkModel:
         nonce: int = 0,
     ) -> LinkOutcome:
         return LinkOutcome.DELIVER
+
+    def classify_many(
+        self,
+        sender: int,
+        receivers: np.ndarray,
+        distances: np.ndarray,
+        iteration: int,
+        nonces: np.ndarray,
+    ) -> np.ndarray:
+        """Fate codes (``kernels.delivery.OUTCOME_*``) for one batch of copies.
+
+        The base implementation loops over :meth:`classify`, so any subclass
+        that only overrides the scalar method stays correct; the in-repo
+        models override this with vectorized draws that are bit-exact to the
+        scalar path.
+        """
+        out = np.empty(len(receivers), dtype=np.int8)
+        for i, (r, d, nc) in enumerate(zip(receivers, distances, nonces)):
+            out[i] = _OUTCOME_CODE[
+                self.classify(sender, int(r), float(d), iteration, int(nc))
+            ]
+        return out
 
     def delivery_probability(self, distance: float) -> float:
         """Marginal delivery probability at the given distance (for docs/tests)."""
@@ -120,6 +157,15 @@ class IIDLossLink(LinkModel):
             return LinkOutcome.DROP
         u = _link_uniform(self.seed, 1, sender, receiver, iteration, nonce)
         return LinkOutcome.DROP if u < self.p_loss else LinkOutcome.DELIVER
+
+    def classify_many(self, sender, receivers, distances, iteration, nonces):
+        n = len(receivers)
+        if self.p_loss <= 0.0:
+            return np.zeros(n, dtype=np.int8)  # no draws: zero-loss is transparent
+        if self.p_loss >= 1.0:
+            return np.full(n, OUTCOME_DROP, dtype=np.int8)
+        u = link_uniform_many(self.seed, 1, sender, receivers, iteration, nonces)
+        return np.where(u < self.p_loss, OUTCOME_DROP, OUTCOME_DELIVER).astype(np.int8)
 
     def delivery_probability(self, distance: float) -> float:
         return 1.0 - self.p_loss
@@ -168,6 +214,37 @@ class DistanceFadingLink(LinkModel):
             return LinkOutcome.DELIVER
         u = _link_uniform(self.seed, 2, sender, receiver, iteration, nonce)
         return LinkOutcome.DELIVER if u < p else LinkOutcome.DROP
+
+    def classify_many(self, sender, receivers, distances, iteration, nonces):
+        receivers = np.asarray(receivers)
+        distances = np.asarray(distances, dtype=np.float64)
+        n = receivers.shape[0]
+        span = self.comm_radius - self.inner_radius
+        p = np.ones(n)
+        outer = distances > self.inner_radius
+        if span <= 0.0:
+            p[outer] = self.edge_probability
+        else:
+            far = outer & (distances >= self.comm_radius)
+            p[far] = self.edge_probability
+            ramp = outer & ~far
+            if ramp.any():
+                x = (distances[ramp] - self.inner_radius) / span
+                # per-element Python pow on purpose: np.power's SIMD path is
+                # not bitwise equal to the scalar ``x ** gamma`` it replaces
+                g = self.gamma
+                p[ramp] = 1.0 - (1.0 - self.edge_probability) * np.array(
+                    [xi**g for xi in x.tolist()]
+                )
+        out = np.zeros(n, dtype=np.int8)
+        drawn = p < 1.0
+        if drawn.any():
+            u = link_uniform_many(
+                self.seed, 2, sender, receivers[drawn], iteration,
+                np.asarray(nonces)[drawn],
+            )
+            out[drawn] = np.where(u < p[drawn], OUTCOME_DELIVER, OUTCOME_DROP)
+        return out
 
 
 @dataclass
@@ -226,6 +303,40 @@ class GilbertElliottLink(LinkModel):
         u = _link_uniform(self.seed, 4, sender, receiver, iteration, nonce)
         return LinkOutcome.DROP if u < p else LinkOutcome.DELIVER
 
+    def classify_many(self, sender, receivers, distances, iteration, nonces):
+        receivers = np.asarray(receivers)
+        n = receivers.shape[0]
+        # advance every directed link's chain to ``iteration`` in lockstep;
+        # the per-step draws are keyed on (link, step), so batching them
+        # changes nothing about the paths the scalar replay would take
+        bad = np.zeros(n, dtype=bool)
+        at = np.full(n, -1, dtype=np.int64)
+        for i, r in enumerate(receivers):
+            b, a = self._state.get((sender, int(r)), (False, -1))
+            if a > iteration:
+                b, a = False, -1
+            bad[i], at[i] = b, a
+        start = int(at.min()) + 1 if n else iteration + 1
+        for k in range(start, iteration + 1):
+            step = at < k
+            if not step.any():
+                continue
+            u = link_uniform_many(self.seed, 3, sender, receivers[step], k, 0)
+            b = bad[step]
+            bad[step] = np.where(b, u >= self.p_bad_to_good, u < self.p_good_to_bad)
+        for i, r in enumerate(receivers):
+            self._state[(sender, int(r))] = (bool(bad[i]), iteration)
+        p = np.where(bad, self.loss_bad, self.loss_good)
+        out = np.where(p >= 1.0, OUTCOME_DROP, OUTCOME_DELIVER).astype(np.int8)
+        drawn = (p > 0.0) & (p < 1.0)
+        if drawn.any():
+            u = link_uniform_many(
+                self.seed, 4, sender, receivers[drawn], iteration,
+                np.asarray(nonces)[drawn],
+            )
+            out[drawn] = np.where(u < p[drawn], OUTCOME_DROP, OUTCOME_DELIVER)
+        return out
+
     def delivery_probability(self, distance: float) -> float:
         denom = self.p_good_to_bad + self.p_bad_to_good
         pi_bad = self.p_good_to_bad / denom if denom > 0 else 0.0
@@ -257,3 +368,19 @@ class DelayingLink(LinkModel):
             return outcome
         u = _link_uniform(self.seed, 5, sender, receiver, iteration, nonce)
         return LinkOutcome.DELAY if u < self.p_delay else LinkOutcome.DELIVER
+
+    def classify_many(self, sender, receivers, distances, iteration, nonces):
+        receivers = np.asarray(receivers)
+        distances = np.asarray(distances, dtype=np.float64)
+        nonces = np.asarray(nonces)
+        out = self.inner.classify_many(sender, receivers, distances, iteration, nonces)
+        if self.p_delay <= 0.0:
+            return out
+        m = out == OUTCOME_DELIVER
+        if m.any():
+            u = link_uniform_many(
+                self.seed, 5, sender, receivers[m], iteration, nonces[m]
+            )
+            out = out.copy()
+            out[m] = np.where(u < self.p_delay, OUTCOME_DELAY, OUTCOME_DELIVER)
+        return out

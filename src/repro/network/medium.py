@@ -40,6 +40,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..kernels.delivery import (
+    OUTCOME_DELAY,
+    OUTCOME_DELIVER,
+    OUTCOME_DROP,
+    batch_deliver,
+)
+from ..kernels.geometry import norm2d_many
 from .links import LinkModel, LinkOutcome
 from .messages import DataSizes, Message
 from .radio import RadioModel
@@ -308,6 +315,11 @@ class Medium:
         self._inboxes: dict[int, list[Message]] = defaultdict(list)
         self._asleep: set[int] = set()
         self._failed: set[int] = set()
+        #: cached boolean availability over node ids; every mutation of the
+        #: asleep/failed sets goes through the three mutators below, which
+        #: rebuild it — broadcast fan-out filters receivers with one gather
+        #: instead of a per-copy set lookup
+        self._available: np.ndarray = np.ones(self.positions.shape[0], dtype=bool)
         #: fault-plan hooks: an extra link model (loss bursts) and a boolean
         #: side-of-partition mask (region partitions); both None when healthy
         self._link_override: LinkModel | None = None
@@ -358,13 +370,23 @@ class Medium:
     def set_asleep(self, node_ids) -> None:
         """Replace the sleeping set: sleeping nodes neither hear nor transmit."""
         self._asleep = set(int(i) for i in node_ids)
+        self._rebuild_available()
 
     def wake(self, node_ids) -> None:
         self._asleep -= set(int(i) for i in node_ids)
+        self._rebuild_available()
 
     def fail_nodes(self, node_ids) -> None:
         """Permanently remove nodes (crash faults for the robustness ablation)."""
         self._failed |= set(int(i) for i in node_ids)
+        self._rebuild_available()
+
+    def _rebuild_available(self) -> None:
+        mask = np.ones(self.n_nodes, dtype=bool)
+        off = [i for i in self._asleep | self._failed if 0 <= i < self.n_nodes]
+        if off:
+            mask[off] = False
+        self._available = mask
 
     def is_available(self, node_id: int) -> bool:
         return node_id not in self._asleep and node_id not in self._failed
@@ -475,41 +497,65 @@ class Medium:
         if not self._check_sender(sender):
             return _failed_send(self.accounting, iteration, message, n_bytes)
         in_range = self._index.query_disk(self.positions[sender], self.radio.comm_radius)
-        offered = [i for i in in_range if i != sender and self.is_available(int(i))]
+        offered = in_range[(in_range != sender) & self._available[in_range]]
         if not self.is_unreliable:
-            receivers = np.array(offered, dtype=np.intp)
-            for r in receivers:
-                self._inboxes[int(r)].append(message)
+            receivers = offered.astype(np.intp, copy=False)
+            for r in receivers.tolist():
+                self._inboxes[r].append(message)
             if count_cost:
                 self.accounting.record(iteration, message.category, n_bytes, 1)
             return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
 
-        delivered: list[int] = []
-        dropped: list[int] = []
-        delayed: list[int] = []
-        for r in offered:
-            r = int(r)
-            outcome = self._copy_outcome(sender, r, iteration)
-            if outcome is LinkOutcome.DELIVER:
-                self._inboxes[r].append(message)
-                delivered.append(r)
-            elif outcome is LinkOutcome.DELAY:
-                self._delayed.append((iteration + 1, r, message))
-                delayed.append(r)
-            else:
-                dropped.append(r)
+        # vectorized fan-out: one classify_many pass over every in-range copy,
+        # replicating _copy_outcome's semantics — partition crossings drop
+        # BEFORE any nonce is consumed, and the no-model case consumes none
+        codes = np.full(offered.size, OUTCOME_DELIVER, dtype=np.int8)
+        if self._partition is not None:
+            crossed = self._partition[offered] != self._partition[sender]
+            codes[crossed] = OUTCOME_DROP
+            open_idx = np.flatnonzero(~crossed)
+        else:
+            open_idx = np.arange(offered.size)
+        if open_idx.size and not (self.link_model is None and self._link_override is None):
+            recv = offered[open_idx]
+            recv_list = recv.tolist()
+            nonces = np.empty(recv.size, dtype=np.int64)
+            for i, r in enumerate(recv_list):
+                key = (sender, r, iteration)
+                nonce = self._link_nonce.get(key, 0)
+                self._link_nonce[key] = nonce + 1
+                nonces[i] = nonce
+            dx = self.positions[sender, 0] - self.positions[recv, 0]
+            dy = self.positions[sender, 1] - self.positions[recv, 1]
+            distances = norm2d_many(dx, dy)
+            codes[open_idx] = batch_deliver(
+                self.link_model,
+                self._link_override,
+                sender,
+                recv,
+                distances,
+                iteration,
+                nonces,
+            )
+        delivered = offered[codes == OUTCOME_DELIVER].astype(np.intp, copy=False)
+        delayed = offered[codes == OUTCOME_DELAY].astype(np.intp, copy=False)
+        dropped = offered[codes == OUTCOME_DROP].astype(np.intp, copy=False)
+        for r in delivered.tolist():
+            self._inboxes[r].append(message)
+        for r in delayed.tolist():
+            self._delayed.append((iteration + 1, r, message))
         if count_cost:
             self.accounting.record(iteration, message.category, n_bytes, 1)
-        if dropped:
+        if dropped.size:
             self.accounting.record_dropped(
-                iteration, message.category, n_bytes * len(dropped), len(dropped)
+                iteration, message.category, n_bytes * dropped.size, dropped.size
             )
         return Delivery(
-            receivers=np.array(delivered, dtype=np.intp),
+            receivers=delivered,
             n_bytes=n_bytes,
             n_messages=1,
-            dropped=np.array(dropped, dtype=np.intp),
-            delayed=np.array(delayed, dtype=np.intp),
+            dropped=dropped,
+            delayed=delayed,
         )
 
     def unicast(
@@ -676,11 +722,9 @@ class Medium:
         the field links are lossy (it is infrastructure, not a field radio).
         """
         self.flush_delayed(iteration)
-        receivers = np.array(
-            [i for i in range(self.n_nodes) if self.is_available(i)], dtype=np.intp
-        )
-        for r in receivers:
-            self._inboxes[int(r)].append(message)
+        receivers = np.flatnonzero(self._available).astype(np.intp, copy=False)
+        for r in receivers.tolist():
+            self._inboxes[r].append(message)
         n_bytes = message.size_bytes(self.sizes)
         self.accounting.record(iteration, message.category, n_bytes, 1)
         return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)

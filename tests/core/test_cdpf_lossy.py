@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.core.cdpf import CDPFTracker
+from repro.experiments.options import RunOptions
 from repro.experiments.runner import run_tracking
 from repro.network.faults import FaultPlan, LossBurst
 from repro.network.links import IIDLossLink
@@ -36,7 +37,7 @@ def run_paper(link_model=None, *, ne=False, seed=0, density=10.0, fault_plan=Non
         scenario,
         trajectory,
         rng=np.random.default_rng(8500 + seed),
-        fault_plan=fault_plan,
+        options=RunOptions(fault_plan=fault_plan),
     )
     return result, tracker
 

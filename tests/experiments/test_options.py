@@ -1,0 +1,136 @@
+"""RunOptions, the factory registry, and the deprecation shims."""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RunOptions, iteration_subscriber, make_tracker, tracker_factory, tracker_names
+from repro.experiments import options as options_mod
+from repro.experiments.runner import run_tracking
+from repro.runtime import EventBus, PhaseEvent
+
+
+@pytest.fixture
+def armed_warning():
+    """Re-arm the once-per-process legacy-kwarg warning around each test."""
+    options_mod.reset_legacy_kwargs_warning()
+    yield
+    options_mod.reset_legacy_kwargs_warning()
+
+
+def _run(small_scenario, small_trajectory, **kwargs):
+    tracker = make_tracker("CDPF", small_scenario, rng=np.random.default_rng(1))
+    return run_tracking(
+        tracker,
+        small_scenario,
+        small_trajectory,
+        rng=np.random.default_rng(7),
+        **kwargs,
+    )
+
+
+class TestDeprecationShim:
+    def test_legacy_kwargs_warn_once(self, small_scenario, small_trajectory, armed_warning):
+        seen = []
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            _run(small_scenario, small_trajectory,
+                 on_iteration=lambda k, ctx, est: seen.append(k))
+        assert seen  # the hook still fires
+        # second legacy call: no second warning
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _run(small_scenario, small_trajectory,
+                 on_iteration=lambda k, ctx, est: None)
+
+    def test_legacy_and_options_are_exclusive(self, small_scenario, small_trajectory, armed_warning):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                _run(
+                    small_scenario,
+                    small_trajectory,
+                    options=RunOptions(),
+                    fault_plan=object(),
+                )
+
+    def test_legacy_shape_produces_identical_result(
+        self, small_scenario, small_trajectory, armed_warning
+    ):
+        """Old kwarg spelling and RunOptions produce the same TrackingResult."""
+        from repro.network.faults import FaultPlan, SleepWindow
+
+        plan = FaultPlan(events=(SleepWindow(start=1, end=2, seed=3),))
+        with pytest.warns(DeprecationWarning):
+            old = _run(small_scenario, small_trajectory, fault_plan=plan)
+        new = _run(small_scenario, small_trajectory, options=RunOptions(fault_plan=plan))
+        assert set(old.estimates) == set(new.estimates)
+        for k in old.estimates:
+            assert np.array_equal(old.estimates[k], new.estimates[k]), k
+        assert old.total_bytes == new.total_bytes
+        assert old.total_messages == new.total_messages
+        assert old.bytes_by_category == new.bytes_by_category
+
+    def test_options_path_never_warns(self, small_scenario, small_trajectory, armed_warning):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _run(small_scenario, small_trajectory, options=RunOptions())
+
+
+class TestIterationSubscriber:
+    def test_equivalent_to_legacy_hook(self, small_scenario, small_trajectory):
+        via_bus: list[int] = []
+        bus = EventBus()
+        bus.subscribe(iteration_subscriber(lambda k, ctx, est: via_bus.append(k)))
+        _run(small_scenario, small_trajectory, options=RunOptions(bus=bus))
+        assert via_bus == list(range(small_trajectory.n_iterations + 1))
+
+    def test_ignores_phase_events(self):
+        calls = []
+        handler = iteration_subscriber(lambda k, ctx, est: calls.append(k))
+        handler(PhaseEvent(kind="end", tracker="x", iteration=0, phase="p"))
+        assert calls == []
+
+
+class TestFactoryRegistry:
+    def test_names_cover_the_papers_algorithms(self):
+        names = tracker_names()
+        for expected in ("CPF", "SDPF", "CDPF", "CDPF-NE", "DPF-gmm", "DPF-quantized"):
+            assert expected in names
+
+    def test_make_tracker_matches_direct_construction(self, small_scenario, small_trajectory):
+        from repro.core.cdpf import CDPFTracker
+
+        a = make_tracker("CDPF-NE", small_scenario, rng=np.random.default_rng(3))
+        b = CDPFTracker(
+            small_scenario, rng=np.random.default_rng(3), neighborhood_estimation=True
+        )
+        ra = run_tracking(a, small_scenario, small_trajectory, rng=np.random.default_rng(7))
+        rb = run_tracking(b, small_scenario, small_trajectory, rng=np.random.default_rng(7))
+        assert set(ra.estimates) == set(rb.estimates)
+        for k in ra.estimates:
+            assert np.array_equal(ra.estimates[k], rb.estimates[k]), k
+        assert ra.total_bytes == rb.total_bytes
+
+    def test_kwargs_forward_to_constructor(self, small_scenario):
+        tracker = make_tracker(
+            "DPF-quantized", small_scenario, rng=np.random.default_rng(0),
+            quantization_bits=12,
+        )
+        assert tracker.bits == 12
+
+    def test_unknown_name_raises(self, small_scenario):
+        with pytest.raises(ValueError, match="unknown tracker"):
+            make_tracker("nope", small_scenario, rng=np.random.default_rng(0))
+
+    def test_factory_is_picklable(self, small_scenario):
+        factory = tracker_factory("SDPF")
+        clone = pickle.loads(pickle.dumps(factory))
+        tracker = clone(small_scenario, np.random.default_rng(0))
+        assert tracker.name == "SDPF"
+
+    def test_duplicate_registration_rejected(self):
+        from repro.factory import register_tracker
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_tracker("CDPF")(lambda s, *, rng, **kw: None)

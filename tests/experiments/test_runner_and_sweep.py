@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.cdpf import CDPFTracker
+from repro.experiments.options import RunOptions
 from repro.experiments.report import format_number, render_series, render_table
 from repro.experiments.runner import generate_step_context, run_tracking
 from repro.experiments.summary import extract_headline_claims
@@ -72,7 +73,7 @@ class TestRunTracking:
             small_scenario,
             small_trajectory,
             rng=np.random.default_rng(7),
-            on_iteration=lambda k, ctx, est: seen.append(k),
+            options=RunOptions(on_iteration=lambda k, ctx, est: seen.append(k)),
         )
         assert seen == list(range(small_trajectory.n_iterations + 1))
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.cdpf import CDPFTracker
+from repro.experiments.options import RunOptions
 from repro.experiments.runner import run_tracking
 from repro.experiments.trace import IterationSnapshot, TraceRecorder, render_field_map
 
@@ -17,7 +18,7 @@ def traced_run(small_scenario, small_trajectory):
         small_scenario,
         small_trajectory,
         rng=np.random.default_rng(7),
-        on_iteration=recorder,
+        options=RunOptions(on_iteration=recorder),
     )
     return recorder, result
 
@@ -60,7 +61,7 @@ class TestTraceRecorder:
             small_scenario,
             small_trajectory,
             rng=np.random.default_rng(7),
-            on_iteration=recorder,
+            options=RunOptions(on_iteration=recorder),
         )
         assert all(s.holders.size == 0 for s in recorder.snapshots)
 

@@ -1,0 +1,172 @@
+"""Batched likelihood kernels against the scalar measurement-model chains."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dpf_compression import dequantize_bearing, quantize_bearing
+from repro.core.cdpf import quantization_sigma
+from repro.kernels.likelihood import (
+    batch_bearing_log_likelihood,
+    batch_likelihood,
+    dequantize_bearings,
+    fused_bearing,
+    quantize_bearings,
+    wrap_angle_many,
+)
+from repro.models.measurement import BearingMeasurement, wrap_angle
+
+
+class TestWrapAngleMany:
+    def test_matches_model_wrap_angle(self):
+        rng = np.random.default_rng(1)
+        theta = rng.uniform(-12.0, 12.0, size=500)
+        assert np.array_equal(wrap_angle_many(theta), wrap_angle(theta))
+
+    def test_half_open_convention(self):
+        """(-pi, pi]: exact -pi maps to +pi, exactly as the scalar does."""
+        edges = np.array([-np.pi, np.pi, 3 * np.pi, -3 * np.pi, 0.0])
+        got = wrap_angle_many(edges)
+        assert np.array_equal(got, wrap_angle(edges))
+        assert got[0] == np.pi
+
+
+class TestBatchLikelihood:
+    def _scalar_entry(self, holder, lam_i, sensor, z, noise_std):
+        """The pre-kernel chain: norm -> quantization_sigma -> log_kernel."""
+        d = float(np.linalg.norm(holder - sensor))
+        sigma_quant = quantization_sigma(lam_i, d) if d > 0 else 0.0
+        sigma_eff = float(np.hypot(noise_std, sigma_quant))
+        return BearingMeasurement(noise_std=noise_std, reference="node").log_kernel(
+            holder[None, :], z, sensor, noise_std=sigma_eff
+        )[0]
+
+    def test_matches_scalar_chain_bitwise(self):
+        rng = np.random.default_rng(2)
+        n, m = 14, 9
+        holders = rng.uniform(0.0, 150.0, size=(n, 2))
+        sensors = rng.uniform(0.0, 150.0, size=(m, 2))
+        zs = rng.uniform(-np.pi, np.pi, size=m)
+        lam = rng.uniform(0.01, 0.5, size=n)
+        noise_std = 0.05
+        got = batch_likelihood(holders, lam, sensors, zs, noise_std)
+        assert got.shape == (n, m)
+        for i in range(n):
+            for j in range(m):
+                expected = self._scalar_entry(
+                    holders[i], lam[i], sensors[j], zs[j], noise_std
+                )
+                assert got[i, j] == expected, (i, j)
+
+    def test_coincident_holder_and_sensor_is_flat(self):
+        """The undefined-bearing guard: log-kernel 0.0 at the sensor itself."""
+        p = np.array([[10.0, 20.0]])
+        out = batch_likelihood(
+            p, np.array([0.1]), p, np.array([0.3]), noise_std=0.05
+        )
+        assert out[0, 0] == 0.0
+
+    def test_kernels_never_exceed_one(self):
+        rng = np.random.default_rng(3)
+        out = batch_likelihood(
+            rng.uniform(0, 100, (20, 2)),
+            rng.uniform(0.05, 0.3, 20),
+            rng.uniform(0, 100, (6, 2)),
+            rng.uniform(-np.pi, np.pi, 6),
+            noise_std=0.05,
+        )
+        assert (out <= 0.0).all()
+
+
+class TestBatchBearingLogLikelihood:
+    def test_rows_match_measurement_model(self):
+        rng = np.random.default_rng(4)
+        n_obs, n_particles = 7, 40
+        positions = rng.uniform(0.0, 150.0, size=(n_particles, 2))
+        refs = rng.uniform(0.0, 150.0, size=(n_obs, 2))
+        zs = rng.uniform(-np.pi, np.pi, size=n_obs)
+        sigmas = rng.uniform(0.02, 0.2, size=n_obs)
+        got = batch_bearing_log_likelihood(positions, zs, refs, sigmas)
+        assert got.shape == (n_obs, n_particles)
+        for i in range(n_obs):
+            expected = BearingMeasurement(
+                noise_std=float(sigmas[i]), reference="node"
+            ).log_likelihood(positions, float(zs[i]), refs[i])
+            assert np.array_equal(got[i], expected), i
+
+    def test_sequential_row_sum_matches_accumulation(self):
+        """The SIR update folds rows in order; the matrix must support that."""
+        rng = np.random.default_rng(5)
+        positions = rng.uniform(0, 100, (15, 2))
+        refs = rng.uniform(0, 100, (4, 2))
+        zs = rng.uniform(-np.pi, np.pi, 4)
+        sigmas = np.full(4, 0.05)
+        matrix = batch_bearing_log_likelihood(positions, zs, refs, sigmas)
+        acc = np.zeros(15)
+        for i in range(4):
+            acc = acc + BearingMeasurement(noise_std=0.05, reference="node").log_likelihood(
+                positions, float(zs[i]), refs[i]
+            )
+        folded = np.zeros(15)
+        for i in range(4):
+            folded = folded + matrix[i]
+        assert np.array_equal(folded, acc)
+
+
+class TestQuantization:
+    def test_matches_scalar_wrappers(self):
+        rng = np.random.default_rng(6)
+        zs = rng.uniform(-np.pi, np.pi, size=200)
+        for bits in (4, 8, 12):
+            codes = quantize_bearings(zs, bits)
+            assert np.array_equal(
+                codes, np.array([quantize_bearing(float(z), bits) for z in zs])
+            )
+            back = dequantize_bearings(codes, bits)
+            assert np.array_equal(
+                back,
+                np.array([dequantize_bearing(int(c), bits) for c in codes]),
+            )
+
+    def test_round_trip_error_bound(self):
+        rng = np.random.default_rng(7)
+        zs = rng.uniform(-np.pi, np.pi, size=500)
+        bits = 8
+        err = np.abs(dequantize_bearings(quantize_bearings(zs, bits), bits) - zs)
+        assert (err <= np.pi / 2**bits + 1e-12).all()
+
+    def test_pi_clips_to_top_code(self):
+        assert quantize_bearings(np.array([np.pi]), 4)[0] == 2**4 - 1
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError, match="bits must be positive"):
+            quantize_bearings(np.zeros(1), 0)
+        with pytest.raises(ValueError, match="codes out of range"):
+            dequantize_bearings(np.array([16]), 4)
+        with pytest.raises(ValueError, match="codes out of range"):
+            dequantize_bearings(np.array([-1]), 4)
+
+
+class TestFusedBearing:
+    def test_matches_direct_formula(self):
+        rng = np.random.default_rng(8)
+        values = rng.uniform(-np.pi, np.pi, size=11)
+        mean, sigma = fused_bearing(values, noise_std=0.05, bias_std=0.02)
+        expected_mean = float(
+            np.arctan2(np.mean(np.sin(values)), np.mean(np.cos(values)))
+        )
+        expected_sigma = float(np.sqrt(0.05**2 / values.size + 0.02**2))
+        assert mean == expected_mean
+        assert sigma == expected_sigma
+
+    def test_circular_mean_handles_wraparound(self):
+        """Bearings straddling +/-pi average to ~pi, not ~0."""
+        mean, _ = fused_bearing(
+            np.array([np.pi - 0.1, -np.pi + 0.1]), noise_std=0.05, bias_std=0.0
+        )
+        assert abs(wrap_angle(np.array([mean - np.pi]))[0]) < 1e-9
+
+    def test_noise_averages_down_bias_does_not(self):
+        _, lone = fused_bearing(np.array([0.1]), noise_std=0.1, bias_std=0.05)
+        _, many = fused_bearing(np.full(100, 0.1), noise_std=0.1, bias_std=0.05)
+        assert many < lone
+        assert many >= 0.05  # the bias floor survives any M

@@ -1,11 +1,36 @@
 """Public API surface: imports, re-exports, and the README quickstart."""
 
 import importlib
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 import repro
+
+API_SNAPSHOT = Path(__file__).resolve().parent.parent / "docs" / "api.txt"
+
+
+class TestApiSnapshot:
+    """The stable surface is pinned: exports == docs/api.txt, line for line."""
+
+    def test_exports_match_snapshot(self):
+        snapshot = [
+            line for line in API_SNAPSHOT.read_text().splitlines() if line.strip()
+        ]
+        current = sorted(repro.__all__)
+        assert current == snapshot, (
+            "repro.__all__ diverged from docs/api.txt — if the change is "
+            "intentional, regenerate the snapshot:\n"
+            "  PYTHONPATH=src python -c \"import repro; "
+            "print('\\n'.join(sorted(repro.__all__)))\" > docs/api.txt"
+        )
+
+    def test_snapshot_is_sorted_and_unique(self):
+        snapshot = [
+            line for line in API_SNAPSHOT.read_text().splitlines() if line.strip()
+        ]
+        assert snapshot == sorted(set(snapshot))
 
 
 class TestImports:
@@ -44,12 +69,12 @@ class TestImports:
 class TestReadmeQuickstart:
     def test_quickstart_flow(self):
         """The README's quickstart snippet, executed at reduced scale."""
-        from repro import CDPFTracker, make_paper_scenario, make_trajectory, run_tracking
+        from repro import make_paper_scenario, make_tracker, make_trajectory, run_tracking
 
         rng = np.random.default_rng(7)
         scenario = make_paper_scenario(density_per_100m2=10.0, rng=rng)
         trajectory = make_trajectory(n_iterations=5, rng=rng)
-        tracker = CDPFTracker(scenario, rng=rng)
+        tracker = make_tracker("CDPF", scenario, rng=rng)
         result = run_tracking(tracker, scenario, trajectory, rng=rng)
         assert np.isfinite(result.rmse)
         assert result.total_bytes > 0
