@@ -1,0 +1,233 @@
+"""Per-message vs round-batched wall-clock bench for the communication plane.
+
+Times the batched comm plane (``TransmissionBatch`` enqueue+flush over the
+shared ``NeighborhoodCache``, struct-of-arrays ledger appends, round-log
+inboxes) against the per-message composition it replaced — one
+``GridIndex.query_disk`` + one Python inbox append per receiver + one
+dict-of-lists ledger mutation per message — and emits
+``benchmarks/results/BENCH_comms.json``.
+
+The scalar reference is reconstructed inline (the pre-batch medium no longer
+exists) from exactly the calls the old ``Medium.broadcast`` made per message;
+the timed section double-checks that both sides produce identical delivered
+receiver sets and identical ``(iteration, category) -> [bytes, messages]``
+ledgers, so the speedup is measured on equivalent work.
+
+Two gates, both full-mode only (smoke runs record timings without judging
+them — CI containers are too noisy at tiny sizes):
+
+* **absolute** — the round-level broadcast fan-out must be at least 3x the
+  per-message path at paper-density workloads (>200 one-hop neighbors);
+* **regression** — every speedup must stay within 1.3x of the committed
+  baseline ``benchmarks/BENCH_comms_baseline.json``.
+
+Scale knobs (environment variables):
+
+    REPRO_BENCH_SMOKE          1 = tiny sizes for CI smoke
+    REPRO_BENCH_COMMS_REPEATS  best-of-N repetitions (default 5)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.medium import CommAccounting, Medium
+from repro.network.messages import DataSizes, ParticleMessage
+from repro.network.radio import RadioModel
+from repro.network.spatial import GridIndex
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE = Path(__file__).parent / "BENCH_comms_baseline.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPEATS = int(os.environ.get("REPRO_BENCH_COMMS_REPEATS", 2 if SMOKE else 5))
+
+#: Speedups may drop to baseline/1.3 before the regression gate trips.
+REGRESSION_FACTOR = 1.3
+#: Full-mode floor for the path the issue names as hot.
+MIN_SPEEDUP = {"broadcast_fanout": 3.0}
+
+
+def _sizes() -> dict:
+    """Paper-density workloads: one propagation phase's worth of broadcasts."""
+    if SMOKE:
+        return dict(n_nodes=300, n_broadcasts=16, n_ledger_entries=512,
+                    width=200.0, comm_radius=30.0)
+    return dict(n_nodes=3000, n_broadcasts=96, n_ledger_entries=20000,
+                width=200.0, comm_radius=30.0)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# hot path workloads: (per-message reference loop, batched call) pairs
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_fanout_pair(rng, n_nodes, n_broadcasts, width, comm_radius, **_):
+    """One reliable propagation round: every sender broadcasts one particle."""
+    positions = rng.uniform(0.0, width, size=(n_nodes, 2))
+    senders = np.sort(rng.permutation(n_nodes)[:n_broadcasts])
+    radio = RadioModel(comm_radius=comm_radius)
+    sizes = DataSizes()
+    messages = [
+        ParticleMessage(
+            sender=int(s), iteration=0,
+            states=np.zeros((1, 4)), weights=np.ones(1),
+        )
+        for s in senders
+    ]
+    n_bytes = messages[0].size_bytes(sizes)
+    index = GridIndex(positions, comm_radius)  # legacy side's prebuilt index
+    medium = Medium(positions, radio, sizes)
+
+    def scalar():
+        # the pre-batch Medium.broadcast body, once per message: one disk
+        # query, one Python inbox append per receiver, one dict-ledger record
+        inboxes: dict[int, list] = defaultdict(list)
+        by_key: dict[tuple, list] = defaultdict(lambda: [0, 0])
+        delivered = []
+        for s, msg in zip(senders.tolist(), messages):
+            in_range = index.query_disk(positions[s], comm_radius)
+            offered = in_range[in_range != s]
+            for r in offered.tolist():
+                inboxes[r].append(msg)
+            entry = by_key[(0, msg.category)]
+            entry[0] += n_bytes
+            entry[1] += 1
+            delivered.append(np.sort(offered))
+        return delivered, dict(by_key)
+
+    def batched():
+        medium.clear_inboxes()
+        medium.accounting = CommAccounting(sizes)
+        batch = medium.transmission_batch(0)
+        for s, msg in zip(senders.tolist(), messages):
+            batch.broadcast(s, msg)
+        deliveries = batch.flush()
+        return [d.receivers for d in deliveries], dict(medium.accounting.by_key)
+
+    return scalar, batched
+
+
+def _ledger_append_pair(rng, n_ledger_entries, **_):
+    """One sweep cell's accounting traffic, recorded entry by entry."""
+    iterations = rng.integers(0, 10, size=n_ledger_entries)
+    cats = np.array(["particle", "measurement", "weight", "control"])
+    cat_ids = rng.integers(0, len(cats), size=n_ledger_entries)
+    categories = [str(cats[i]) for i in cat_ids.tolist()]
+    n_bytes = rng.integers(4, 64, size=n_ledger_entries)
+
+    # appends are the hot side (once per message, millions per sweep); the
+    # dict views build once per report read and are checked for equivalence
+    # outside the timed section
+    def scalar():
+        # the pre-SoA CommAccounting.record body: one defaultdict mutation
+        # per entry on both the per-key and per-phase-key ledgers
+        by_key: dict[tuple, list] = defaultdict(lambda: [0, 0])
+        by_phase_key: dict[tuple, list] = defaultdict(lambda: [0, 0])
+        total_bytes = 0
+        total_messages = 0
+        for it, cat, b in zip(iterations.tolist(), categories, n_bytes.tolist()):
+            total_bytes += b
+            total_messages += 1
+            entry = by_key[(it, cat)]
+            entry[0] += b
+            entry[1] += 1
+            entry = by_phase_key[(it, cat, "")]
+            entry[0] += b
+            entry[1] += 1
+        return dict(by_key), total_bytes, total_messages
+
+    def batched():
+        acc = CommAccounting()
+        acc.record_rows(iterations, categories, n_bytes, 1)
+        return acc
+
+    return scalar, batched
+
+
+PATHS = {
+    "broadcast_fanout": _broadcast_fanout_pair,
+    "ledger_append": _ledger_append_pair,
+}
+
+
+def _check_equal(name, scalar_result, batched_result):
+    """The bench doubles as an equivalence check on real workloads."""
+    if name == "broadcast_fanout":
+        s_recv, s_ledger = scalar_result
+        b_recv, b_ledger = batched_result
+        assert len(s_recv) == len(b_recv)
+        for s, b in zip(s_recv, b_recv):
+            assert np.array_equal(s, b)
+        assert s_ledger == b_ledger
+    else:
+        s_ledger, s_bytes, s_msgs = scalar_result
+        acc = batched_result
+        assert s_ledger == dict(acc.by_key)
+        assert (s_bytes, s_msgs) == (acc.total_bytes, acc.total_messages)
+
+
+def test_bench_comms(report_sink):
+    sizes = _sizes()
+    rng = np.random.default_rng(2026)
+    rows = {}
+    for name, make in PATHS.items():
+        scalar, batched = make(rng, **sizes)
+        scalar_s, scalar_result = _best_of(scalar)
+        batched_s, batched_result = _best_of(batched)
+        _check_equal(name, scalar_result, batched_result)
+        rows[name] = {
+            "scalar_seconds": scalar_s,
+            "kernel_seconds": batched_s,
+            "speedup": scalar_s / batched_s,
+        }
+
+    payload = {"smoke": SMOKE, "repeats": REPEATS, "sizes": sizes, "paths": rows}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_comms.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"BENCH_comms ({'smoke' if SMOKE else 'full'} mode):"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:<18} per-msg {row['scalar_seconds'] * 1e3:8.3f} ms   "
+            f"batched {row['kernel_seconds'] * 1e3:8.3f} ms   "
+            f"speedup {row['speedup']:7.1f}x"
+        )
+    report_sink("\n".join(lines))
+    assert out.exists()
+
+    if SMOKE:
+        return  # timings recorded, but too noisy to judge at smoke sizes
+
+    for name, floor in MIN_SPEEDUP.items():
+        assert rows[name]["speedup"] >= floor, (
+            f"{name} batched path is only {rows[name]['speedup']:.2f}x the "
+            f"per-message path (needs >= {floor}x)"
+        )
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())["paths"]
+        for name, row in rows.items():
+            floor = baseline[name]["speedup"] / REGRESSION_FACTOR
+            assert row["speedup"] >= floor, (
+                f"{name} speedup regressed: {row['speedup']:.2f}x vs "
+                f"baseline {baseline[name]['speedup']:.2f}x "
+                f"(allowed floor {floor:.2f}x)"
+            )

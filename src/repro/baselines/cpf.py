@@ -144,41 +144,77 @@ class CPFTracker:
         """
         ctx = state.ctx
         positions = self.scenario.deployment.positions
+        arrived: dict[int, bool] = {}
+        if self.medium.is_unreliable:
+            # lossy channel: convergecast runs over the bounded ack/retransmit
+            # layer (hop-by-hop ARQ + route repair), every attempt charged to
+            # the ledger.  Routes resolve lazily inside send_many so each
+            # packet's route repair (blacklist growth) feeds the next route.
+            requests = [
+                (
+                    lambda nid=nid: self._try_route(nid),
+                    MeasurementMessage(sender=nid, iteration=ctx.iteration, value=z),
+                )
+                for nid, z in state.readings
+                if nid != self.sink
+            ]
+            results = self._arq().send_many(requests, ctx.iteration)
+            senders = [nid for nid, _z in state.readings if nid != self.sink]
+            for nid, delivery in zip(senders, results):
+                if delivery is None:
+                    continue  # disconnected detector: measurement lost
+                if delivery.receivers.size == 0:
+                    # timed out (or parked for next iteration): the sink
+                    # never fuses it this iteration; drop the cached path so
+                    # the next report re-routes around whatever died
+                    self._path_cache.pop(nid, None)
+                    arrived[nid] = False
+                else:
+                    arrived[nid] = True
+        else:
+            # reliable channel: every detector's path rides one batch flush.
+            # An asleep node anywhere on the transmitting prefix makes the
+            # path raise in the scalar walk; pre-filter those so one sleeping
+            # relay loses only its own packet, not the round.
+            batch = self.medium.transmission_batch(ctx.iteration)
+            entry_of: dict[int, int] = {}
+            for nid, z in state.readings:
+                if nid == self.sink:
+                    continue
+                path = self._try_route(nid)
+                if path is None:  # disconnected detector: measurement lost
+                    continue
+                if any(self.medium.is_asleep(n) for n in path[:-1]):
+                    continue  # a sleeping relay refuses to forward: lost
+                msg = MeasurementMessage(sender=nid, iteration=ctx.iteration, value=z)
+                entry_of[nid] = batch.unicast_path(path, msg)
+            flushed = batch.flush()
+            # a crashed relay silently eating the packet is the only loss
+            arrived = {
+                nid: not flushed[idx].dropped.size for nid, idx in entry_of.items()
+            }
+        # fuse in sorted-reading order (the circular mean in _fuse is order-
+        # sensitive, so successful reports keep their pre-batch positions)
         observations: list[Observation] = []
         for nid, z in state.readings:
-            msg = MeasurementMessage(sender=nid, iteration=ctx.iteration, value=z)
             if nid == self.sink:
                 # the sink's own measurement needs no transmission
                 observations.append(
                     Observation(self.scenario.measurement, z, positions[nid])
                 )
                 continue
-            try:
-                path = self._route(nid)
-            except RoutingError:
-                continue  # disconnected detector: its measurement is lost
-            if self.medium.is_unreliable:
-                # lossy channel: convergecast runs over the bounded
-                # ack/retransmit layer (hop-by-hop ARQ + route repair),
-                # every attempt charged to the ledger
-                delivery = self._arq().send_path(path, msg, ctx.iteration)
-                if delivery.receivers.size == 0:
-                    # timed out (or parked for next iteration): the sink
-                    # never fuses it this iteration; drop the cached path so
-                    # the next report re-routes around whatever died
-                    self._path_cache.pop(nid, None)
-                    continue
-            else:
-                try:
-                    delivery = self.medium.unicast_path(path, msg, ctx.iteration)
-                except RuntimeError:
-                    continue  # a relay (or the sender) is asleep: lost
-                if delivery.dropped.size:
-                    continue  # a crashed relay silently ate the packet
-            self.hop_counts.append(len(path) - 1)
+            if not arrived.get(nid, False):
+                continue
+            self.hop_counts.append(len(self._path_cache[nid]) - 1)
             observations.append(Observation(self.scenario.measurement, z, positions[nid]))
         self.medium.clear_inboxes()
         state.observations = self._fuse(observations)
+
+    def _try_route(self, source: int) -> list[int] | None:
+        try:
+            return self._route(source)
+        except RoutingError:
+            return None
 
     def _fuse(self, observations: list[Observation]) -> list[Observation]:
         """Collapse origin-referenced bearings into their sufficient statistic."""

@@ -232,18 +232,20 @@ class SDPFTracker:
         cfg = self.config
 
         broadcast: list[ParticleMessage] = []
-        lost_sets: list[set[int]] = []  # per-broadcast recipients that lost the copy
+        batch = self.medium.transmission_batch(k)
         for nid in sorted(self.holders):
             if not self.medium.is_available(nid):
                 continue  # sleeping/failed holder: its particles leak away
             p = self.holders[nid]
             states = np.hstack([np.tile(positions[nid], (p.n, 1)), p.velocities])
             msg = ParticleMessage(sender=nid, iteration=k, states=states, weights=p.weights)
-            delivery = self.medium.broadcast(nid, msg, k)
+            batch.broadcast(nid, msg)
             broadcast.append(msg)
-            lost_sets.append(
-                set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
-            )
+        # per-broadcast recipients that lost the copy, aligned with broadcast
+        lost_sets = [
+            set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
+            for delivery in batch.flush()
+        ]
         if not broadcast:
             self.holders = {}
             return
@@ -365,9 +367,11 @@ class SDPFTracker:
             for nid in self.holders
             if nid in state.detectors and self.medium.is_available(nid)
         )
+        batch = self.medium.transmission_batch(k)
         for s in sharers:
             msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
-            self.medium.broadcast(s, msg, k)
+            batch.broadcast(s, msg)
+        batch.flush()
 
     def _phase_likelihood(self, state: IterationState) -> None:
         """Step 3: every holder multiplies its weights by the joint likelihood."""
@@ -435,13 +439,15 @@ class SDPFTracker:
         #     the transceiver is simulated by the harness, so the reports are
         #     charged out of band rather than delivered to a field inbox.
         reported: list[tuple[int, np.ndarray]] = []
+        batch = self.medium.transmission_batch(k)
         for nid in sorted(self.holders):
             p = self.holders[nid]
             report = WeightReportMessage(sender=nid, iteration=k, weights=p.weights)
-            self.medium.charge_out_of_band(
-                k, report.category, report.size_bytes(self.medium.sizes), 1
+            batch.charge_out_of_band(
+                report.category, report.size_bytes(self.medium.sizes), 1
             )
             reported.append((nid, p.weights))
+        batch.flush()
         total = float(sum(w.sum() for _, w in reported))
         # (c) transceiver broadcasts the total (1 global message)
         self.medium.global_broadcast(

@@ -268,7 +268,7 @@ class CDPFTracker:
         # record is kept: a node that lost a copy can neither record a share
         # from it nor count its weight in the overheard total.
         broadcast: list[ParticleMessage] = []
-        lost_sets: list[set[int]] = []  # per-broadcast recipients that lost the copy
+        batch = self.medium.transmission_batch(k)
         for nid in sorted(self.holders):
             if not self.medium.is_available(nid):
                 continue
@@ -279,13 +279,14 @@ class CDPFTracker:
                 states=particle.state(positions[nid])[None, :],
                 weights=np.array([particle.weight]),
             )
-            delivery = self.medium.broadcast(nid, msg, k)
+            batch.broadcast(nid, msg)
             broadcast.append(msg)
-            lost_sets.append(
-                set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
-            )
         state.broadcast = broadcast
-        state.lost_sets = lost_sets
+        # per-broadcast recipients that lost the copy, aligned with broadcast
+        state.lost_sets = [
+            set(delivery.dropped.tolist()) | set(delivery.delayed.tolist())
+            for delivery in batch.flush()
+        ]
         if not broadcast:
             # the whole population became unavailable: the track is lost and
             # detection-driven creation must rebuild it
@@ -652,9 +653,11 @@ class CDPFTracker:
             for nid in self.holders
             if nid in detectors and self.medium.is_available(nid)
         )
+        batch = self.medium.transmission_batch(k)
         for s in sharers:
             msg = MeasurementMessage(sender=s, iteration=k, value=float(ctx.measurements[s]))
-            self.medium.broadcast(s, msg, k)
+            batch.broadcast(s, msg)
+        batch.flush()
         # Gather every holder's (sender, measurement) pairs, then evaluate the
         # whole round as one (holders, measurements) log-kernel matrix.  The
         # matrix columns are the distinct pairs actually sitting in inboxes —

@@ -174,7 +174,8 @@ def link_uniform_many(
     Equals ``[_link_uniform(seed, tag, sender, r, iteration, nc) for r, nc
     in zip(receivers, nonces)]`` — the draw depends only on the key, never
     on batch shape or call order.  ``nonces`` may be a scalar applied to
-    every receiver.
+    every receiver; ``sender`` may be a scalar or a per-copy array (a round
+    batching copies from many broadcasters into one call).
     """
     receivers = np.asarray(receivers, dtype=np.uint64)
     n = receivers.shape[0]
@@ -183,7 +184,7 @@ def link_uniform_many(
     # words 1..3 stay zero: SeedSequence pads the entropy to the pool size
     # before appending the spawn key
     words[:, 4] = np.uint64(tag)
-    words[:, 5] = np.uint64(sender)
+    words[:, 5] = np.asarray(sender, dtype=np.uint64)
     words[:, 6] = receivers
     words[:, 7] = np.uint64(iteration)
     words[:, 8] = np.asarray(nonces, dtype=np.uint64)
@@ -193,19 +194,20 @@ def link_uniform_many(
 def batch_deliver(
     link_model,
     link_override,
-    sender: int,
+    sender,
     receivers: np.ndarray,
     distances: np.ndarray,
     iteration: int,
     nonces: np.ndarray,
 ) -> np.ndarray:
-    """Fate codes for one broadcast's copies under base + override models.
+    """Fate codes for a round's copies under base + override models.
 
     Replicates the medium's per-copy composition: the base model classifies
     every copy; the override re-classifies only the copies the base
     delivered, with the *same* nonce (base and override share one nonce per
-    copy).  Returns an int8 array of ``OUTCOME_*`` codes aligned with
-    ``receivers``.
+    copy).  ``sender`` is a scalar for one broadcast's copies or a per-copy
+    array for a whole round.  Returns an int8 array of ``OUTCOME_*`` codes
+    aligned with ``receivers``.
     """
     n = receivers.shape[0]
     if link_model is not None:
@@ -216,7 +218,8 @@ def batch_deliver(
         m = out == OUTCOME_DELIVER
         if m.any():
             out = out.copy()
+            sender_m = sender[m] if np.ndim(sender) else sender
             out[m] = link_override.classify_many(
-                sender, receivers[m], distances[m], iteration, nonces[m]
+                sender_m, receivers[m], distances[m], iteration, nonces[m]
             )
     return out

@@ -111,7 +111,7 @@ class LinkModel:
 
     def classify_many(
         self,
-        sender: int,
+        sender,
         receivers: np.ndarray,
         distances: np.ndarray,
         iteration: int,
@@ -119,15 +119,18 @@ class LinkModel:
     ) -> np.ndarray:
         """Fate codes (``kernels.delivery.OUTCOME_*``) for one batch of copies.
 
-        The base implementation loops over :meth:`classify`, so any subclass
-        that only overrides the scalar method stays correct; the in-repo
-        models override this with vectorized draws that are bit-exact to the
-        scalar path.
+        ``sender`` is a scalar (one broadcast's copies) or a per-copy array
+        (a batched round mixing copies from many broadcasters).  The base
+        implementation loops over :meth:`classify`, so any subclass that
+        only overrides the scalar method stays correct; the in-repo models
+        override this with vectorized draws that are bit-exact to the scalar
+        path.
         """
+        senders = np.broadcast_to(np.asarray(sender), np.shape(receivers))
         out = np.empty(len(receivers), dtype=np.int8)
-        for i, (r, d, nc) in enumerate(zip(receivers, distances, nonces)):
+        for i, (s, r, d, nc) in enumerate(zip(senders, receivers, distances, nonces)):
             out[i] = _OUTCOME_CODE[
-                self.classify(sender, int(r), float(d), iteration, int(nc))
+                self.classify(int(s), int(r), float(d), iteration, int(nc))
             ]
         return out
 
@@ -239,8 +242,9 @@ class DistanceFadingLink(LinkModel):
         out = np.zeros(n, dtype=np.int8)
         drawn = p < 1.0
         if drawn.any():
+            senders = np.broadcast_to(np.asarray(sender), receivers.shape)
             u = link_uniform_many(
-                self.seed, 2, sender, receivers[drawn], iteration,
+                self.seed, 2, senders[drawn], receivers[drawn], iteration,
                 np.asarray(nonces)[drawn],
             )
             out[drawn] = np.where(u < p[drawn], OUTCOME_DELIVER, OUTCOME_DROP)
@@ -306,13 +310,15 @@ class GilbertElliottLink(LinkModel):
     def classify_many(self, sender, receivers, distances, iteration, nonces):
         receivers = np.asarray(receivers)
         n = receivers.shape[0]
+        senders = np.broadcast_to(np.asarray(sender), receivers.shape)
         # advance every directed link's chain to ``iteration`` in lockstep;
         # the per-step draws are keyed on (link, step), so batching them
-        # changes nothing about the paths the scalar replay would take
+        # changes nothing about the paths the scalar replay would take —
+        # duplicate links in one round redo identical draws and agree
         bad = np.zeros(n, dtype=bool)
         at = np.full(n, -1, dtype=np.int64)
-        for i, r in enumerate(receivers):
-            b, a = self._state.get((sender, int(r)), (False, -1))
+        for i, (s, r) in enumerate(zip(senders, receivers)):
+            b, a = self._state.get((int(s), int(r)), (False, -1))
             if a > iteration:
                 b, a = False, -1
             bad[i], at[i] = b, a
@@ -321,17 +327,17 @@ class GilbertElliottLink(LinkModel):
             step = at < k
             if not step.any():
                 continue
-            u = link_uniform_many(self.seed, 3, sender, receivers[step], k, 0)
+            u = link_uniform_many(self.seed, 3, senders[step], receivers[step], k, 0)
             b = bad[step]
             bad[step] = np.where(b, u >= self.p_bad_to_good, u < self.p_good_to_bad)
-        for i, r in enumerate(receivers):
-            self._state[(sender, int(r))] = (bool(bad[i]), iteration)
+        for i, (s, r) in enumerate(zip(senders, receivers)):
+            self._state[(int(s), int(r))] = (bool(bad[i]), iteration)
         p = np.where(bad, self.loss_bad, self.loss_good)
         out = np.where(p >= 1.0, OUTCOME_DROP, OUTCOME_DELIVER).astype(np.int8)
         drawn = (p > 0.0) & (p < 1.0)
         if drawn.any():
             u = link_uniform_many(
-                self.seed, 4, sender, receivers[drawn], iteration,
+                self.seed, 4, senders[drawn], receivers[drawn], iteration,
                 np.asarray(nonces)[drawn],
             )
             out[drawn] = np.where(u < p[drawn], OUTCOME_DROP, OUTCOME_DELIVER)
@@ -378,8 +384,9 @@ class DelayingLink(LinkModel):
             return out
         m = out == OUTCOME_DELIVER
         if m.any():
+            senders = np.broadcast_to(np.asarray(sender), receivers.shape)
             u = link_uniform_many(
-                self.seed, 5, sender, receivers[m], iteration, nonces[m]
+                self.seed, 5, senders[m], receivers[m], iteration, nonces[m]
             )
             out = out.copy()
             out[m] = np.where(u < self.p_delay, OUTCOME_DELAY, OUTCOME_DELIVER)

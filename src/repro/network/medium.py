@@ -13,6 +13,25 @@ Semantics follow the paper's round-based simulation:
   down by iteration and by message category, so each figure's cost series is
   read straight from the ledger.
 
+The plane is organized around **rounds, not messages**: senders enqueue their
+transmissions into a :class:`TransmissionBatch` and one ``flush()`` resolves
+the whole round — receiver sets come from one
+:meth:`~repro.network.spatial.GridIndex.query_disk_many` gather over a shared
+:class:`~repro.network.neighborhood.NeighborhoodCache` (with per-sender
+results cached until availability or positions change), loss/delay outcomes
+come from one :func:`~repro.kernels.delivery.batch_deliver` kernel call over
+every open copy in the round, and the ledger takes one append per message.
+The per-message ``broadcast`` / ``unicast`` / ``unicast_path`` entry points
+are thin wrappers over a one-element batch, so the two call shapes are the
+same code path and stay bit-identical by construction.
+
+Inboxes are likewise round-structured: a delivery appends one ``(receivers,
+message)`` entry to a shared log instead of one list append per receiver, and
+``collect`` materializes a node's inbox lazily by scanning the log from the
+node's cursor.  At paper densities a broadcast reaches >1000 receivers of
+which only the recorder set ever reads its inbox, so the log turns the
+dominant O(copies) Python cost into O(messages).
+
 Unreliable channels (paper §VIII-1's future-work evaluation) are opt-in: a
 :class:`~repro.network.links.LinkModel` decides per (message, receiver)
 whether the copy is delivered, dropped, or delayed one iteration.  Drops are
@@ -49,15 +68,70 @@ from ..kernels.delivery import (
 from ..kernels.geometry import norm2d_many
 from .links import LinkModel, LinkOutcome
 from .messages import DataSizes, Message
+from .neighborhood import NeighborhoodCache
 from .radio import RadioModel
-from .spatial import GridIndex
 
-__all__ = ["CommAccounting", "Medium", "Delivery"]
+__all__ = ["CommAccounting", "Medium", "Delivery", "TransmissionBatch"]
 
 _EMPTY_IDS = np.array([], dtype=np.intp)
 
 
-@dataclass
+class _AppendLog:
+    """Growable struct-of-arrays ledger log.
+
+    Five int64 columns — iteration, category id, phase id, bytes, messages —
+    stored as one ``(5, capacity)`` block with amortized-doubling growth, so
+    a batched flush appends a whole round with one slice assignment and the
+    dict ledgers of the old implementation are materialized lazily instead of
+    mutated per message.
+    """
+
+    __slots__ = ("_buf", "n")
+
+    def __init__(self) -> None:
+        self._buf = np.zeros((5, 16), dtype=np.int64)
+        self.n = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.n + extra
+        cap = self._buf.shape[1]
+        if need <= cap:
+            return
+        while cap < need:
+            cap *= 2
+        grown = np.zeros((5, cap), dtype=np.int64)
+        grown[:, : self.n] = self._buf[:, : self.n]
+        self._buf = grown
+
+    def append(self, iteration: int, cat_id: int, phase_id: int, n_bytes: int, n_messages: int) -> None:
+        self._reserve(1)
+        col = self.n
+        buf = self._buf
+        buf[0, col] = iteration
+        buf[1, col] = cat_id
+        buf[2, col] = phase_id
+        buf[3, col] = n_bytes
+        buf[4, col] = n_messages
+        self.n = col + 1
+
+    def extend(self, iterations, cat_ids, phase_ids, n_bytes, n_messages) -> None:
+        k = len(n_bytes)
+        if k == 0:
+            return
+        self._reserve(k)
+        sl = slice(self.n, self.n + k)
+        buf = self._buf
+        buf[0, sl] = iterations
+        buf[1, sl] = cat_ids
+        buf[2, sl] = phase_ids
+        buf[3, sl] = n_bytes
+        buf[4, sl] = n_messages
+        self.n += k
+
+    def rows(self) -> np.ndarray:
+        return self._buf[:, : self.n]
+
+
 class CommAccounting:
     """Ledger of transmissions: bytes and message counts, total and per key.
 
@@ -78,27 +152,35 @@ class CommAccounting:
     ``dropped_by_phase_key``.  Traffic charged outside any scope lands on the
     empty phase name ``""``, so the phase marginals always sum to the totals
     — Table I's per-phase rows are read straight from these views.
+
+    Storage is struct-of-arrays: every entry appends one row of int64
+    columns (iteration / category id / phase id / bytes / messages) to an
+    append-only log, and the legacy dict ledgers — ``by_key``,
+    ``dropped_by_key``, ``by_phase_key``, ``dropped_by_phase_key`` — are
+    **lazily materialized views** over those rows, cached until the next
+    append.  Totals stay plain integer attributes (the phase pipeline reads
+    them before/after every phase body, so they must be O(1)).
     """
 
-    sizes: DataSizes = field(default_factory=DataSizes)
-    total_bytes: int = 0
-    total_messages: int = 0
-    by_key: dict[tuple[int, str], list] = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
-    total_dropped_bytes: int = 0
-    total_dropped_messages: int = 0
-    dropped_by_key: dict[tuple[int, str], list] = field(
-        default_factory=lambda: defaultdict(lambda: [0, 0])
-    )
-    by_phase_key: dict[tuple[int, str, str], list] = field(
-        default_factory=lambda: defaultdict(lambda: [0, 0])
-    )
-    dropped_by_phase_key: dict[tuple[int, str, str], list] = field(
-        default_factory=lambda: defaultdict(lambda: [0, 0])
-    )
-    #: phase scope stack; the innermost name wins attribution, so a nested
-    #: pipeline (multi-target tracks inside a wrapper phase) files its traffic
-    #: under its own detailed phases
-    phase_stack: list[str] = field(default_factory=list)
+    def __init__(self, sizes: DataSizes | None = None) -> None:
+        self.sizes = sizes if sizes is not None else DataSizes()
+        self.total_bytes = 0
+        self.total_messages = 0
+        self.total_dropped_bytes = 0
+        self.total_dropped_messages = 0
+        #: phase scope stack; the innermost name wins attribution, so a nested
+        #: pipeline (multi-target tracks inside a wrapper phase) files its
+        #: traffic under its own detailed phases
+        self.phase_stack: list[str] = []
+        self._charged = _AppendLog()
+        self._dropped = _AppendLog()
+        self._cat_ids: dict[str, int] = {}
+        self._cats: list[str] = []
+        self._phase_ids: dict[str, int] = {"": 0}
+        self._phases: list[str] = [""]
+        self._view_cache: dict[str, tuple[int, dict]] = {}
+
+    # -- phase scopes ----------------------------------------------------
 
     @property
     def current_phase(self) -> str:
@@ -110,17 +192,34 @@ class CommAccounting:
     def pop_phase(self) -> None:
         self.phase_stack.pop()
 
+    # -- interning -------------------------------------------------------
+
+    def _cat_id(self, category: str) -> int:
+        cid = self._cat_ids.get(category)
+        if cid is None:
+            cid = len(self._cats)
+            self._cat_ids[category] = cid
+            self._cats.append(category)
+        return cid
+
+    def _phase_id(self, phase: str) -> int:
+        pid = self._phase_ids.get(phase)
+        if pid is None:
+            pid = len(self._phases)
+            self._phase_ids[phase] = pid
+            self._phases.append(phase)
+        return pid
+
+    # -- recording -------------------------------------------------------
+
     def record(self, iteration: int, category: str, n_bytes: int, n_messages: int = 1) -> None:
         if n_bytes < 0 or n_messages < 0:
             raise ValueError("accounting entries must be non-negative")
         self.total_bytes += n_bytes
         self.total_messages += n_messages
-        entry = self.by_key[(iteration, category)]
-        entry[0] += n_bytes
-        entry[1] += n_messages
-        entry = self.by_phase_key[(iteration, category, self.current_phase)]
-        entry[0] += n_bytes
-        entry[1] += n_messages
+        self._charged.append(
+            iteration, self._cat_id(category), self._phase_id(self.current_phase), n_bytes, n_messages
+        )
 
     def record_dropped(
         self, iteration: int, category: str, n_bytes: int, n_messages: int = 1
@@ -130,12 +229,102 @@ class CommAccounting:
             raise ValueError("accounting entries must be non-negative")
         self.total_dropped_bytes += n_bytes
         self.total_dropped_messages += n_messages
-        entry = self.dropped_by_key[(iteration, category)]
-        entry[0] += n_bytes
-        entry[1] += n_messages
-        entry = self.dropped_by_phase_key[(iteration, category, self.current_phase)]
-        entry[0] += n_bytes
-        entry[1] += n_messages
+        self._dropped.append(
+            iteration, self._cat_id(category), self._phase_id(self.current_phase), n_bytes, n_messages
+        )
+
+    def _rows_for(self, iteration, categories, n_bytes, n_messages):
+        n_bytes = np.asarray(n_bytes, dtype=np.int64)
+        n_messages = np.asarray(n_messages, dtype=np.int64)
+        if n_messages.ndim == 0:
+            n_messages = np.full(n_bytes.shape, int(n_messages), dtype=np.int64)
+        if (n_bytes < 0).any() or (n_messages < 0).any():
+            raise ValueError("accounting entries must be non-negative")
+        k = n_bytes.shape[0]
+        iterations = np.asarray(iteration, dtype=np.int64)
+        if iterations.ndim == 0:
+            iterations = np.full(k, int(iterations), dtype=np.int64)
+        cat_ids = np.fromiter((self._cat_id(c) for c in categories), dtype=np.int64, count=k)
+        phase_ids = np.full(k, self._phase_id(self.current_phase), dtype=np.int64)
+        return iterations, cat_ids, phase_ids, n_bytes, n_messages
+
+    def record_rows(self, iteration, categories, n_bytes, n_messages=1) -> None:
+        """Batched :meth:`record`: one row per message, one slice append.
+
+        ``iteration`` and ``n_messages`` may be scalars (applied to every
+        row) or per-row sequences; ``categories`` is one string per row.
+        """
+        rows = self._rows_for(iteration, categories, n_bytes, n_messages)
+        self._charged.extend(*rows)
+        self.total_bytes += int(rows[3].sum())
+        self.total_messages += int(rows[4].sum())
+
+    def record_dropped_rows(self, iteration, categories, n_bytes, n_messages=1) -> None:
+        """Batched :meth:`record_dropped`, same row semantics as :meth:`record_rows`."""
+        rows = self._rows_for(iteration, categories, n_bytes, n_messages)
+        self._dropped.extend(*rows)
+        self.total_dropped_bytes += int(rows[3].sum())
+        self.total_dropped_messages += int(rows[4].sum())
+
+    # -- lazily materialized dict views ----------------------------------
+
+    def _build_view(self, log: _AppendLog, with_phase: bool) -> dict:
+        rows = log.rows()
+        out: dict = {}
+        if rows.shape[1] == 0:
+            return out
+        its = rows[0].tolist()
+        cids = rows[1].tolist()
+        bs = rows[3].tolist()
+        ms = rows[4].tolist()
+        cats = self._cats
+        if with_phase:
+            phases = self._phases
+            pids = rows[2].tolist()
+            for it, c, p, b, m in zip(its, cids, pids, bs, ms):
+                key = (it, cats[c], phases[p])
+                entry = out.get(key)
+                if entry is None:
+                    out[key] = [b, m]
+                else:
+                    entry[0] += b
+                    entry[1] += m
+        else:
+            for it, c, b, m in zip(its, cids, bs, ms):
+                key = (it, cats[c])
+                entry = out.get(key)
+                if entry is None:
+                    out[key] = [b, m]
+                else:
+                    entry[0] += b
+                    entry[1] += m
+        return out
+
+    def _view(self, name: str, log: _AppendLog, with_phase: bool) -> dict:
+        cached = self._view_cache.get(name)
+        if cached is not None and cached[0] == log.n:
+            return cached[1]
+        view = self._build_view(log, with_phase)
+        self._view_cache[name] = (log.n, view)
+        return view
+
+    @property
+    def by_key(self) -> dict[tuple[int, str], list]:
+        """(iteration, category) -> [bytes, messages], materialized lazily."""
+        return self._view("by_key", self._charged, False)
+
+    @property
+    def dropped_by_key(self) -> dict[tuple[int, str], list]:
+        return self._view("dropped_by_key", self._dropped, False)
+
+    @property
+    def by_phase_key(self) -> dict[tuple[int, str, str], list]:
+        """(iteration, category, phase) -> [bytes, messages], materialized lazily."""
+        return self._view("by_phase_key", self._charged, True)
+
+    @property
+    def dropped_by_phase_key(self) -> dict[tuple[int, str, str], list]:
+        return self._view("dropped_by_phase_key", self._dropped, True)
 
     # -- aggregated views ------------------------------------------------
 
@@ -222,26 +411,21 @@ class CommAccounting:
         return dict(out)
 
     def merge(self, other: "CommAccounting") -> None:
+        for mine, theirs in ((self._charged, other._charged), (self._dropped, other._dropped)):
+            rows = theirs.rows()
+            if rows.shape[1] == 0:
+                continue
+            cat_map = np.fromiter(
+                (self._cat_id(c) for c in other._cats), dtype=np.int64, count=len(other._cats)
+            )
+            phase_map = np.fromiter(
+                (self._phase_id(p) for p in other._phases), dtype=np.int64, count=len(other._phases)
+            )
+            mine.extend(rows[0], cat_map[rows[1]], phase_map[rows[2]], rows[3], rows[4])
         self.total_bytes += other.total_bytes
         self.total_messages += other.total_messages
-        for key, (b, m) in other.by_key.items():
-            entry = self.by_key[key]
-            entry[0] += b
-            entry[1] += m
         self.total_dropped_bytes += other.total_dropped_bytes
         self.total_dropped_messages += other.total_dropped_messages
-        for key, (b, m) in other.dropped_by_key.items():
-            entry = self.dropped_by_key[key]
-            entry[0] += b
-            entry[1] += m
-        for pkey, (b, m) in other.by_phase_key.items():
-            entry = self.by_phase_key[pkey]
-            entry[0] += b
-            entry[1] += m
-        for pkey, (b, m) in other.dropped_by_phase_key.items():
-            entry = self.dropped_by_phase_key[pkey]
-            entry[0] += b
-            entry[1] += m
 
 
 @dataclass(frozen=True)
@@ -273,6 +457,106 @@ def _failed_send(
     return Delivery(receivers=_EMPTY_IDS, n_bytes=0, n_messages=0)
 
 
+class TransmissionBatch:
+    """One communication round: enqueue transmissions, flush them together.
+
+    A phase enqueues every send it wants to make — broadcasts, unicasts,
+    multi-hop paths, out-of-band charges — and a single :meth:`flush`
+    resolves them **in enqueue order** (ordering is what keeps the per-link
+    nonces, and therefore every loss draw, identical to sending the same
+    messages one by one).  Consecutive broadcasts are resolved as one
+    vectorized round: receiver sets from the shared neighborhood cache (one
+    ``query_disk_many`` gather for the cache misses), one ``batch_deliver``
+    kernel call over every open copy, one availability mask, and batched
+    ledger appends.  Unicast and path entries run the scalar hop machinery
+    (they are data-dependent: ARQ and routing decide the next send from the
+    previous outcome).
+
+    ``flush`` returns one :class:`Delivery` per enqueued transmission, in
+    enqueue order (out-of-band charges produce no delivery).  A batch is
+    single-use: flushing twice raises.
+    """
+
+    def __init__(self, medium: "Medium", iteration: int) -> None:
+        self.medium = medium
+        self.iteration = int(iteration)
+        self._entries: list[tuple] = []
+        self._charges: list[tuple[str, int, int]] = []
+        self._flushed = False
+
+    def broadcast(self, sender: int, message: Message, *, count_cost: bool = True) -> int:
+        """Enqueue a one-hop broadcast; returns the entry's index in the flush."""
+        self._entries.append(("broadcast", int(sender), message, count_cost))
+        return len(self._entries) - 1
+
+    def unicast(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        *,
+        count_cost: bool = True,
+        deliver_to_inbox: bool = True,
+    ) -> int:
+        self._entries.append(
+            ("unicast", int(sender), int(receiver), message, count_cost, deliver_to_inbox)
+        )
+        return len(self._entries) - 1
+
+    def unicast_path(self, path: list[int], message: Message, *, count_cost: bool = True) -> int:
+        self._entries.append(("path", list(path), message, count_cost))
+        return len(self._entries) - 1
+
+    def charge_out_of_band(self, category: str, n_bytes: int, n_messages: int) -> None:
+        """Enqueue an accounting-only charge (no inbox delivery, no Delivery)."""
+        self._charges.append((category, int(n_bytes), int(n_messages)))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def flush(self) -> list[Delivery]:
+        if self._flushed:
+            raise RuntimeError("TransmissionBatch already flushed")
+        self._flushed = True
+        medium = self.medium
+        iteration = self.iteration
+        medium.flush_delayed(iteration)
+        entries = self._entries
+        deliveries: list[Delivery] = [None] * len(entries)  # type: ignore[list-item]
+        i = 0
+        n = len(entries)
+        while i < n:
+            if entries[i][0] == "broadcast":
+                j = i
+                while j < n and entries[j][0] == "broadcast":
+                    j += 1
+                deliveries[i:j] = medium._flush_broadcasts(
+                    [e[1:] for e in entries[i:j]], iteration
+                )
+                i = j
+            elif entries[i][0] == "unicast":
+                _, sender, receiver, message, count_cost, to_inbox = entries[i]
+                deliveries[i] = medium._unicast_inner(
+                    sender, receiver, message, iteration,
+                    count_cost=count_cost, deliver_to_inbox=to_inbox,
+                )
+                i += 1
+            else:
+                _, path, message, count_cost = entries[i]
+                deliveries[i] = medium._unicast_path_inner(
+                    path, message, iteration, count_cost=count_cost
+                )
+                i += 1
+        if self._charges:
+            medium.accounting.record_rows(
+                iteration,
+                [c for c, _b, _m in self._charges],
+                [b for _c, b, _m in self._charges],
+                [m for _c, _b, m in self._charges],
+            )
+        return deliveries
+
+
 class Medium:
     """Round-based wireless medium over a static deployment.
 
@@ -289,13 +573,12 @@ class Medium:
     link_model:
         Optional :class:`~repro.network.links.LinkModel` deciding per-copy
         delivery.  ``None`` (default) is the paper's reliable medium.
-
-    Notes
-    -----
-    A separate :class:`GridIndex` with ``cell_size = comm_radius`` is built
-    here because broadcast queries use the communication radius while sensing
-    queries use the (smaller) sensing radius; each index is sized for its
-    query.
+    neighborhood:
+        Optional shared :class:`~repro.network.neighborhood.NeighborhoodCache`
+        (normally handed over by :meth:`repro.scenario.Scenario.make_medium`,
+        which shares one cache between the medium and the topology layer so
+        the comm-radius grid index is built exactly once per deployment).
+        Built privately if omitted.
     """
 
     def __init__(
@@ -305,14 +588,22 @@ class Medium:
         sizes: DataSizes | None = None,
         accounting: CommAccounting | None = None,
         link_model: LinkModel | None = None,
+        *,
+        neighborhood: NeighborhoodCache | None = None,
     ) -> None:
         self.positions = np.asarray(positions, dtype=np.float64)
         self.radio = radio
         self.sizes = sizes if sizes is not None else DataSizes()
         self.accounting = accounting if accounting is not None else CommAccounting(self.sizes)
         self.link_model = link_model
-        self._index = GridIndex(self.positions, radio.comm_radius)
-        self._inboxes: dict[int, list[Message]] = defaultdict(list)
+        if neighborhood is not None and neighborhood.radius == float(radio.comm_radius):
+            self._neighborhood = neighborhood
+        else:
+            self._neighborhood = NeighborhoodCache(self.positions, radio.comm_radius)
+        #: round-structured inbox log: one (sorted receiver ids, message)
+        #: entry per delivery; per-node cursors materialize inboxes lazily
+        self._inbox_log: list[tuple[np.ndarray, Message]] = []
+        self._inbox_cursor: dict[int, int] = {}
         self._asleep: set[int] = set()
         self._failed: set[int] = set()
         #: cached boolean availability over node ids; every mutation of the
@@ -320,6 +611,11 @@ class Medium:
         #: rebuild it — broadcast fan-out filters receivers with one gather
         #: instead of a per-copy set lookup
         self._available: np.ndarray = np.ones(self.positions.shape[0], dtype=bool)
+        self._all_available = True
+        #: per-sender offered-receiver overlay (in-range ∩ available, sorted);
+        #: derived from the geometric neighborhood cache and invalidated by
+        #: ``_rebuild_available`` (faults) and ``update_positions`` (mobility)
+        self._offered: dict[int, np.ndarray] = {}
         #: fault-plan hooks: an extra link model (loss bursts) and a boolean
         #: side-of-partition mask (region partitions); both None when healthy
         self._link_override: LinkModel | None = None
@@ -333,6 +629,11 @@ class Medium:
     @property
     def n_nodes(self) -> int:
         return self.positions.shape[0]
+
+    @property
+    def _index(self):
+        """The shared comm-radius grid index (owned by the neighborhood cache)."""
+        return self._neighborhood.index
 
     @contextmanager
     def phase(self, name: str):
@@ -353,9 +654,11 @@ class Medium:
     def update_positions(self, positions: np.ndarray) -> None:
         """Replace the physical node positions (mobile-WSN support).
 
-        Rebuilds the delivery index; node count must not change.  Believed
-        positions held by node programs are *not* touched — the gap between
-        the two is exactly the §V-D mobility uncertainty.
+        Rebinds to a fresh neighborhood cache; node count must not change.
+        Believed positions held by node programs are *not* touched — the gap
+        between the two is exactly the §V-D mobility uncertainty, which is
+        also why a previously *shared* cache is detached rather than rebound
+        (the topology layer must keep serving the believed geometry).
         """
         positions = np.asarray(positions, dtype=np.float64)
         if positions.shape != self.positions.shape:
@@ -363,7 +666,8 @@ class Medium:
                 f"position shape {positions.shape} != {self.positions.shape}"
             )
         self.positions = positions
-        self._index = GridIndex(positions, self.radio.comm_radius)
+        self._neighborhood = NeighborhoodCache(positions, self.radio.comm_radius)
+        self._offered.clear()
 
     # -- node availability -------------------------------------------------
 
@@ -387,9 +691,18 @@ class Medium:
         if off:
             mask[off] = False
         self._available = mask
+        self._all_available = not off
+        # availability feeds the offered-receiver overlay; geometric neighbor
+        # lists in the shared cache stay valid (positions did not move)
+        self._offered.clear()
 
     def is_available(self, node_id: int) -> bool:
         return node_id not in self._asleep and node_id not in self._failed
+
+    def is_asleep(self, node_id: int) -> bool:
+        """True iff the node is sleeping (it would *raise* on transmit, unlike
+        a crashed node whose sends are silently dropped)."""
+        return node_id in self._asleep
 
     # -- fault-plan hooks ----------------------------------------------------
 
@@ -446,6 +759,37 @@ class Medium:
             outcome = self._link_override.classify(sender, receiver, distance, iteration, nonce)
         return outcome
 
+    def _assign_nonces(
+        self, senders: np.ndarray, receivers: np.ndarray, iteration: int
+    ) -> np.ndarray:
+        """Per-copy link nonces for a round, identical to sequential sends.
+
+        The scalar path increments ``_link_nonce[(sender, receiver,
+        iteration)]`` once per copy in send order; here the same counters are
+        advanced for a whole round at once: occurrence ranks within the round
+        come from one stable sort, and the dict is touched only once per
+        *distinct* link.
+        """
+        n = receivers.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_nodes = np.int64(self.n_nodes)
+        keys = senders.astype(np.int64) * n_nodes + receivers.astype(np.int64)
+        uniq, inv, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        order = np.argsort(inv, kind="stable")
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        ranks = np.empty(n, dtype=np.int64)
+        ranks[order] = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+        base = np.empty(uniq.size, dtype=np.int64)
+        nonce_get = self._link_nonce.get
+        nn = int(n_nodes)
+        for i, (k, c) in enumerate(zip(uniq.tolist(), counts.tolist())):
+            key = (k // nn, k % nn, iteration)
+            b = nonce_get(key, 0)
+            base[i] = b
+            self._link_nonce[key] = b + c
+        return base[inv] + ranks
+
     def flush_delayed(self, iteration: int) -> None:
         """Deliver parked copies whose iteration has arrived (to awake nodes)."""
         if not self._delayed:
@@ -454,7 +798,7 @@ class Medium:
         for due, node, message in self._delayed:
             if due <= iteration:
                 if self.is_available(node):
-                    self._inboxes[node].append(message)
+                    self._inbox_log.append((np.array([node], dtype=np.intp), message))
                 # a copy due while its target is unavailable is simply lost;
                 # it was already counted in the Delivery's delayed record
             else:
@@ -462,6 +806,10 @@ class Medium:
         self._delayed = still_parked
 
     # -- transmission primitives --------------------------------------------
+
+    def transmission_batch(self, iteration: int) -> TransmissionBatch:
+        """Open a :class:`TransmissionBatch` for one round at ``iteration``."""
+        return TransmissionBatch(self, iteration)
 
     def _check_sender(self, sender: int) -> bool:
         """Validate the sender; returns False when the send must be silently
@@ -473,6 +821,145 @@ class Medium:
         if sender in self._asleep:
             raise RuntimeError(f"node {sender} is asleep and cannot transmit")
         return True
+
+    def _offered_misses(self, senders) -> None:
+        """Fill the offered-receiver overlay for every sender missing from it.
+
+        One ``query_disk_many`` gather over all miss centers, one ``(senders,
+        union)`` squared-distance mask (bitwise the ``query_disk`` compare),
+        one availability mask — then per-sender slices of the sorted union.
+        """
+        miss = [s for s in senders if s not in self._offered]
+        if not miss:
+            return
+        radius = self.radio.comm_radius
+        centers = self.positions[miss]
+        union = self._neighborhood.index.query_disk_many(centers, radius)
+        if union.size == 0:
+            for s in miss:
+                self._offered[s] = _EMPTY_IDS
+            return
+        upos = self.positions[union]
+        avail = self._available[union]
+        dx = upos[None, :, 0] - centers[:, 0:1]
+        dy = upos[None, :, 1] - centers[:, 1:2]
+        keep = (dx * dx + dy * dy <= radius * radius) & avail[None, :]
+        for row, s in enumerate(miss):
+            offered = union[keep[row]]
+            self._offered[s] = offered[offered != s].astype(np.intp, copy=False)
+
+    def _flush_broadcasts(self, entries, iteration: int) -> list[Delivery]:
+        """Resolve a run of enqueued broadcasts as one vectorized round.
+
+        ``entries`` is a list of ``(sender, message, count_cost)`` in enqueue
+        order.  Loss draws are keyed per (link, nonce) and nonces follow
+        enqueue order, so the outcomes are bit-identical to sending the same
+        broadcasts one at a time.
+        """
+        acc = self.accounting
+        results: list[Delivery] = [None] * len(entries)  # type: ignore[list-item]
+        live: list[tuple[int, int, Message, bool, int]] = []
+        for idx, (sender, message, count_cost) in enumerate(entries):
+            n_bytes = message.size_bytes(self.sizes)
+            if not self._check_sender(sender):
+                results[idx] = _failed_send(acc, iteration, message, n_bytes)
+                continue
+            live.append((idx, sender, message, count_cost, n_bytes))
+        if not live:
+            return results
+        self._offered_misses([s for _i, s, _msg, _cc, _b in live])
+
+        charge_cats: list[str] = []
+        charge_bytes: list[int] = []
+
+        if not self.is_unreliable:
+            for idx, sender, message, count_cost, n_bytes in live:
+                offered = self._offered[sender]
+                if offered.size:
+                    self._inbox_log.append((offered, message))
+                if count_cost:
+                    charge_cats.append(message.category)
+                    charge_bytes.append(n_bytes)
+                results[idx] = Delivery(receivers=offered, n_bytes=n_bytes, n_messages=1)
+            if charge_cats:
+                acc.record_rows(iteration, charge_cats, charge_bytes, 1)
+            return results
+
+        # lossy round: partition crossings drop BEFORE any nonce is consumed,
+        # the no-model case consumes none, and every surviving copy goes
+        # through ONE batch_deliver call across all broadcasts in the run
+        part = self._partition
+        has_model = not (self.link_model is None and self._link_override is None)
+        per_entry: list[tuple[int, int, Message, bool, int, np.ndarray, np.ndarray]] = []
+        open_recv: list[np.ndarray] = []
+        open_send: list[np.ndarray] = []
+        open_slices: list[tuple[int, np.ndarray, int, int]] = []
+        total_open = 0
+        for idx, sender, message, count_cost, n_bytes in live:
+            offered = self._offered[sender]
+            codes = np.full(offered.size, OUTCOME_DELIVER, dtype=np.int8)
+            if part is not None and offered.size:
+                crossed = part[offered] != part[sender]
+                codes[crossed] = OUTCOME_DROP
+                open_idx = np.flatnonzero(~crossed)
+            else:
+                open_idx = np.arange(offered.size)
+            if has_model and open_idx.size:
+                recv = offered[open_idx]
+                open_recv.append(recv.astype(np.int64, copy=False))
+                open_send.append(np.full(recv.size, sender, dtype=np.int64))
+                open_slices.append((len(per_entry), open_idx, total_open, recv.size))
+                total_open += recv.size
+            per_entry.append((idx, sender, message, count_cost, n_bytes, offered, codes))
+        if total_open:
+            recvs = np.concatenate(open_recv)
+            sends = np.concatenate(open_send)
+            nonces = self._assign_nonces(sends, recvs, iteration)
+            dx = self.positions[sends, 0] - self.positions[recvs, 0]
+            dy = self.positions[sends, 1] - self.positions[recvs, 1]
+            distances = norm2d_many(dx, dy)
+            all_codes = batch_deliver(
+                self.link_model,
+                self._link_override,
+                sends,
+                recvs,
+                distances,
+                iteration,
+                nonces,
+            )
+            for pos, open_idx, start, size in open_slices:
+                per_entry[pos][6][open_idx] = all_codes[start : start + size]
+
+        dropped_cats: list[str] = []
+        dropped_bytes: list[int] = []
+        dropped_msgs: list[int] = []
+        for idx, sender, message, count_cost, n_bytes, offered, codes in per_entry:
+            delivered = offered[codes == OUTCOME_DELIVER].astype(np.intp, copy=False)
+            delayed = offered[codes == OUTCOME_DELAY].astype(np.intp, copy=False)
+            dropped = offered[codes == OUTCOME_DROP].astype(np.intp, copy=False)
+            if delivered.size:
+                self._inbox_log.append((delivered, message))
+            for r in delayed.tolist():
+                self._delayed.append((iteration + 1, r, message))
+            if count_cost:
+                charge_cats.append(message.category)
+                charge_bytes.append(n_bytes)
+            if dropped.size:
+                dropped_cats.append(message.category)
+                dropped_bytes.append(n_bytes * dropped.size)
+                dropped_msgs.append(dropped.size)
+            results[idx] = Delivery(
+                receivers=delivered,
+                n_bytes=n_bytes,
+                n_messages=1,
+                dropped=dropped,
+                delayed=delayed,
+            )
+        if charge_cats:
+            acc.record_rows(iteration, charge_cats, charge_bytes, 1)
+        if dropped_cats:
+            acc.record_dropped_rows(iteration, dropped_cats, dropped_bytes, dropped_msgs)
+        return results
 
     def broadcast(
         self,
@@ -491,72 +978,12 @@ class Medium:
         overhearing-based aggregation is free.  Under an unreliable channel
         each in-range copy is individually dropped/delayed per the link model;
         the transmission still costs one message.
-        """
-        self.flush_delayed(iteration)
-        n_bytes = message.size_bytes(self.sizes)
-        if not self._check_sender(sender):
-            return _failed_send(self.accounting, iteration, message, n_bytes)
-        in_range = self._index.query_disk(self.positions[sender], self.radio.comm_radius)
-        offered = in_range[(in_range != sender) & self._available[in_range]]
-        if not self.is_unreliable:
-            receivers = offered.astype(np.intp, copy=False)
-            for r in receivers.tolist():
-                self._inboxes[r].append(message)
-            if count_cost:
-                self.accounting.record(iteration, message.category, n_bytes, 1)
-            return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
 
-        # vectorized fan-out: one classify_many pass over every in-range copy,
-        # replicating _copy_outcome's semantics — partition crossings drop
-        # BEFORE any nonce is consumed, and the no-model case consumes none
-        codes = np.full(offered.size, OUTCOME_DELIVER, dtype=np.int8)
-        if self._partition is not None:
-            crossed = self._partition[offered] != self._partition[sender]
-            codes[crossed] = OUTCOME_DROP
-            open_idx = np.flatnonzero(~crossed)
-        else:
-            open_idx = np.arange(offered.size)
-        if open_idx.size and not (self.link_model is None and self._link_override is None):
-            recv = offered[open_idx]
-            recv_list = recv.tolist()
-            nonces = np.empty(recv.size, dtype=np.int64)
-            for i, r in enumerate(recv_list):
-                key = (sender, r, iteration)
-                nonce = self._link_nonce.get(key, 0)
-                self._link_nonce[key] = nonce + 1
-                nonces[i] = nonce
-            dx = self.positions[sender, 0] - self.positions[recv, 0]
-            dy = self.positions[sender, 1] - self.positions[recv, 1]
-            distances = norm2d_many(dx, dy)
-            codes[open_idx] = batch_deliver(
-                self.link_model,
-                self._link_override,
-                sender,
-                recv,
-                distances,
-                iteration,
-                nonces,
-            )
-        delivered = offered[codes == OUTCOME_DELIVER].astype(np.intp, copy=False)
-        delayed = offered[codes == OUTCOME_DELAY].astype(np.intp, copy=False)
-        dropped = offered[codes == OUTCOME_DROP].astype(np.intp, copy=False)
-        for r in delivered.tolist():
-            self._inboxes[r].append(message)
-        for r in delayed.tolist():
-            self._delayed.append((iteration + 1, r, message))
-        if count_cost:
-            self.accounting.record(iteration, message.category, n_bytes, 1)
-        if dropped.size:
-            self.accounting.record_dropped(
-                iteration, message.category, n_bytes * dropped.size, dropped.size
-            )
-        return Delivery(
-            receivers=delivered,
-            n_bytes=n_bytes,
-            n_messages=1,
-            dropped=dropped,
-            delayed=delayed,
-        )
+        This is a thin wrapper over a one-element :class:`TransmissionBatch`.
+        """
+        batch = TransmissionBatch(self, iteration)
+        batch.broadcast(sender, message, count_cost=count_cost)
+        return batch.flush()[0]
 
     def unicast(
         self,
@@ -573,8 +1000,25 @@ class Medium:
         ``deliver_to_inbox=False`` evaluates link success and charges the
         transmission without filing the message (relay hops of a reliability
         layer, where intermediate nodes forward rather than consume).
+
+        This is a thin wrapper over a one-element :class:`TransmissionBatch`.
         """
-        self.flush_delayed(iteration)
+        batch = TransmissionBatch(self, iteration)
+        batch.unicast(
+            sender, receiver, message, count_cost=count_cost, deliver_to_inbox=deliver_to_inbox
+        )
+        return batch.flush()[0]
+
+    def _unicast_inner(
+        self,
+        sender: int,
+        receiver: int,
+        message: Message,
+        iteration: int,
+        *,
+        count_cost: bool,
+        deliver_to_inbox: bool,
+    ) -> Delivery:
         n_bytes = message.size_bytes(self.sizes)
         if not self._check_sender(sender):
             return _failed_send(self.accounting, iteration, message, n_bytes)
@@ -612,7 +1056,7 @@ class Medium:
                 delayed=np.array([receiver], dtype=np.intp),
             )
         if deliver_to_inbox:
-            self._inboxes[receiver].append(message)
+            self._inbox_log.append((np.array([receiver], dtype=np.intp), message))
         return Delivery(
             receivers=np.array([receiver], dtype=np.intp), n_bytes=n_bytes, n_messages=1
         )
@@ -638,8 +1082,21 @@ class Medium:
         packet the same way.  Relay-hop DELAY outcomes count as immediate
         forwarding (stop-and-wait at the MAC, invisible at filter timescale);
         only a final-hop delay parks the message for the next iteration.
+
+        This is a thin wrapper over a one-element :class:`TransmissionBatch`.
         """
-        self.flush_delayed(iteration)
+        batch = TransmissionBatch(self, iteration)
+        batch.unicast_path(path, message, count_cost=count_cost)
+        return batch.flush()[0]
+
+    def _unicast_path_inner(
+        self,
+        path: list[int],
+        message: Message,
+        iteration: int,
+        *,
+        count_cost: bool,
+    ) -> Delivery:
         if len(path) < 2:
             raise ValueError("a path needs at least a sender and a receiver")
         n_bytes_each = message.size_bytes(self.sizes)
@@ -706,7 +1163,7 @@ class Medium:
             )
         delivered = self.is_available(dest)
         if delivered:
-            self._inboxes[dest].append(message)
+            self._inbox_log.append((np.array([dest], dtype=np.intp), message))
         recv = np.array([dest] if delivered else [], dtype=np.intp)
         return Delivery(
             receivers=recv, n_bytes=n_bytes_each * hops_attempted, n_messages=hops_attempted
@@ -723,8 +1180,8 @@ class Medium:
         """
         self.flush_delayed(iteration)
         receivers = np.flatnonzero(self._available).astype(np.intp, copy=False)
-        for r in receivers.tolist():
-            self._inboxes[r].append(message)
+        if receivers.size:
+            self._inbox_log.append((receivers, message))
         n_bytes = message.size_bytes(self.sizes)
         self.accounting.record(iteration, message.category, n_bytes, 1)
         return Delivery(receivers=receivers, n_bytes=n_bytes, n_messages=1)
@@ -737,18 +1194,55 @@ class Medium:
     # -- inboxes ------------------------------------------------------------
 
     def collect(self, node_id: int) -> list[Message]:
-        """Drain and return the node's inbox (messages in arrival order)."""
-        msgs = self._inboxes.get(node_id, [])
-        if msgs:
-            self._inboxes[node_id] = []
-        return msgs
+        """Drain and return the node's inbox (messages in arrival order).
+
+        Materialized lazily from the round log: scans entries past the
+        node's cursor and advances the cursor to the log head.
+        """
+        log = self._inbox_log
+        start = self._inbox_cursor.get(node_id, 0)
+        end = len(log)
+        if start >= end:
+            return []
+        out: list[Message] = []
+        for i in range(start, end):
+            receivers, message = log[i]
+            if receivers.size == 1:
+                if receivers[0] == node_id:
+                    out.append(message)
+                continue
+            pos = np.searchsorted(receivers, node_id)
+            if pos < receivers.size and receivers[pos] == node_id:
+                out.append(message)
+        self._inbox_cursor[node_id] = end
+        return out
 
     def peek(self, node_id: int) -> list[Message]:
-        return list(self._inboxes.get(node_id, ()))
+        """The node's pending messages, without draining them."""
+        log = self._inbox_log
+        start = self._inbox_cursor.get(node_id, 0)
+        out: list[Message] = []
+        for i in range(start, len(log)):
+            receivers, message = log[i]
+            pos = np.searchsorted(receivers, node_id)
+            if pos < receivers.size and receivers[pos] == node_id:
+                out.append(message)
+        return out
 
     def pending_nodes(self) -> list[int]:
-        """Ids of nodes with a non-empty inbox."""
-        return [i for i, msgs in self._inboxes.items() if msgs]
+        """Sorted ids of nodes with a non-empty inbox.
+
+        O(total pending copies) — a diagnostic view for the consistency
+        checker and the tests, not a hot path.
+        """
+        cursor = self._inbox_cursor
+        pending: set[int] = set()
+        for i, (receivers, _message) in enumerate(self._inbox_log):
+            for r in receivers.tolist():
+                if r not in pending and cursor.get(r, 0) <= i:
+                    pending.add(r)
+        return sorted(pending)
 
     def clear_inboxes(self) -> None:
-        self._inboxes.clear()
+        self._inbox_log.clear()
+        self._inbox_cursor.clear()

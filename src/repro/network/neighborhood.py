@@ -1,0 +1,99 @@
+"""Shared per-deployment neighborhood cache: one grid index, one neighbor table.
+
+Before this module the comm-radius :class:`~repro.network.spatial.GridIndex`
+was built twice per scenario — once by :class:`~repro.network.medium.Medium`
+for broadcast fan-out and once by
+:class:`~repro.network.topology.NeighborTables` for the CDPF-NE knowledge
+prerequisite — and every broadcast re-ran a disk query whose answer never
+changes on a static deployment.  :class:`NeighborhoodCache` owns both
+artifacts exactly once:
+
+* the comm-radius grid index, built lazily on first query;
+* per-node sorted one-hop neighbor lists (excluding the node itself),
+  computed on first access and cached read-only.
+
+The cache is *geometric only*: availability (sleep/crash), partitions and
+link-loss state live in the medium and are applied on top of the cached
+neighbor lists at delivery time.  The cache therefore only invalidates on
+**mobility** (positions replaced), while the medium's availability-filtered
+overlay additionally invalidates on fault mutations via
+``Medium._rebuild_available``.
+
+``epoch`` increments on every invalidation so consumers holding derived
+overlays (the medium's offered-receiver cache) can cheaply detect staleness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spatial import GridIndex
+
+__all__ = ["NeighborhoodCache"]
+
+
+class NeighborhoodCache:
+    """Lazily built, shared neighborhood structures over one set of positions.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` node coordinates.  Not copied; treat as immutable — call
+        :meth:`rebind` to move nodes.
+    radius:
+        The communication radius; both the grid cell size and the neighbor
+        cut-off.
+    """
+
+    def __init__(self, positions: np.ndarray, radius: float) -> None:
+        if radius <= 0.0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        self.positions = np.asarray(positions, dtype=np.float64)
+        self.radius = float(radius)
+        self.epoch = 0
+        self._index: GridIndex | None = None
+        self._neighbors: dict[int, np.ndarray] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def index(self) -> GridIndex:
+        """The comm-radius grid index, built once per (positions, radius)."""
+        if self._index is None:
+            self._index = GridIndex(self.positions, self.radius)
+        return self._index
+
+    def neighbors(self, node_id: int) -> np.ndarray:
+        """Sorted ids within ``radius`` of the node, excluding the node itself.
+
+        The membership test is :meth:`GridIndex.query_disk`'s, so the set is
+        bit-identical to what a per-message disk query would return; only the
+        order is canonical (sorted) instead of grid-cell order.
+        """
+        cached = self._neighbors.get(node_id)
+        if cached is not None:
+            return cached
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node id {node_id} out of range [0, {self.n_nodes})")
+        hits = self.index.query_disk(self.positions[node_id], self.radius)
+        result = np.sort(hits[hits != node_id])
+        result.setflags(write=False)
+        self._neighbors[node_id] = result
+        return result
+
+    def rebind(self, positions: np.ndarray) -> None:
+        """Replace the positions (mobility): drops the index and every list."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.shape != self.positions.shape:
+            raise ValueError(
+                f"position shape {positions.shape} != {self.positions.shape}"
+            )
+        self.positions = positions
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        self._index = None
+        self._neighbors.clear()
+        self.epoch += 1

@@ -97,6 +97,32 @@ class ReliableUnicast:
 
     # ------------------------------------------------------------------
 
+    def send_many(self, requests, iteration: int) -> list[Delivery | None]:
+        """Send a round of path transmissions; returns one result per request.
+
+        ``requests`` is a sequence of ``(path, message)`` pairs where ``path``
+        is either the hop list itself or a zero-arg callable resolving to one
+        (or to ``None`` for "unroutable, skip").  Callables are invoked
+        immediately before their packet is sent, so route state accumulated by
+        earlier packets in the round — the timeout blacklist grown by route
+        repair — feeds later routes exactly as in a sequential send loop.
+
+        ARQ is stop-and-wait: each packet's hop outcomes decide its next
+        transmission, so the packets themselves run sequentially (the batched
+        fan-out lives a layer down, in the medium's broadcast rounds); this
+        is the enqueue+flush *shape* for callers, not a vectorized kernel.
+        Returns ``None`` for requests whose path resolved to ``None``.
+        """
+        out: list[Delivery | None] = []
+        for path, message in requests:
+            if callable(path):
+                path = path()
+            if path is None:
+                out.append(None)
+                continue
+            out.append(self.send_path(path, message, iteration))
+        return out
+
     def send_path(self, path: list[int], message: Message, iteration: int) -> Delivery:
         """Send ``message`` along ``path`` with per-hop ARQ; returns the
         aggregate delivery (receivers == [dest] on success)."""

@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from .messages import DataSizes
+from .neighborhood import NeighborhoodCache
 from .radio import RadioModel
-from .spatial import GridIndex
 
 __all__ = ["NeighborTables", "knowledge_exchange_cost"]
 
@@ -26,13 +26,25 @@ class NeighborTables:
     materializing all tables up front would cost tens of millions of entries
     while a tracking run only ever touches nodes near the trajectory.  Tables
     are therefore computed on first access and cached.
+
+    The lists live in a :class:`~repro.network.neighborhood.NeighborhoodCache`;
+    pass one in (``Scenario.make_neighbor_tables`` shares the medium's when
+    believed == physical geometry) or a private cache is built.
     """
 
-    def __init__(self, positions: np.ndarray, radio: RadioModel) -> None:
+    def __init__(
+        self,
+        positions: np.ndarray,
+        radio: RadioModel,
+        *,
+        neighborhood: NeighborhoodCache | None = None,
+    ) -> None:
         self.positions = np.asarray(positions, dtype=np.float64)
         self.radio = radio
-        self._index = GridIndex(self.positions, radio.comm_radius)
-        self._cache: dict[int, np.ndarray] = {}
+        if neighborhood is not None and neighborhood.radius == float(radio.comm_radius):
+            self._neighborhood = neighborhood
+        else:
+            self._neighborhood = NeighborhoodCache(self.positions, radio.comm_radius)
 
     @property
     def n_nodes(self) -> int:
@@ -40,16 +52,7 @@ class NeighborTables:
 
     def neighbors(self, node_id: int) -> np.ndarray:
         """Sorted ids of nodes within the communication radius (excluding self)."""
-        cached = self._cache.get(node_id)
-        if cached is not None:
-            return cached
-        if not 0 <= node_id < self.n_nodes:
-            raise ValueError(f"node id {node_id} out of range [0, {self.n_nodes})")
-        hits = self._index.query_disk(self.positions[node_id], self.radio.comm_radius)
-        result = np.sort(hits[hits != node_id])
-        result.setflags(write=False)
-        self._cache[node_id] = result
-        return result
+        return self._neighborhood.neighbors(node_id)
 
     def degree(self, node_id: int) -> int:
         return int(self.neighbors(node_id).shape[0])

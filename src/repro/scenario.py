@@ -23,6 +23,7 @@ from .network.deployment import Deployment
 from .network.links import LinkModel
 from .network.medium import CommAccounting, Medium
 from .network.messages import DataSizes
+from .network.neighborhood import NeighborhoodCache
 from .network.radio import RadioModel
 from .network.sensing import DetectionModel, InstantDetection
 from .network.topology import NeighborTables
@@ -106,14 +107,33 @@ class Scenario:
         """Where the nodes actually are (== ``deployment`` with perfect localization)."""
         return self.physical if self.physical is not None else self.deployment
 
+    def neighborhood_for(self, positions: np.ndarray) -> NeighborhoodCache:
+        """The scenario-owned comm-radius neighborhood cache for ``positions``.
+
+        One cache per distinct positions array: the medium (physical
+        geometry) and the neighbor tables (believed geometry) each get
+        theirs, and when believed == physical (the paper's assumption) they
+        share a single cache — the comm-radius grid index is built exactly
+        once per deployment instead of once per consumer.
+        """
+        caches = self.__dict__.setdefault("_neighborhoods", {})
+        cache = caches.get(id(positions))
+        if cache is not None and cache.positions is positions:
+            return cache
+        cache = NeighborhoodCache(positions, self.radio.comm_radius)
+        caches[id(positions)] = cache
+        return cache
+
     def make_medium(self, accounting: CommAccounting | None = None) -> Medium:
         # radio delivery follows PHYSICAL geometry
+        positions = self.physical_deployment.positions
         return Medium(
-            self.physical_deployment.positions,
+            positions,
             self.radio,
             self.sizes,
             accounting,
             link_model=self.link_model,
+            neighborhood=self.neighborhood_for(positions),
         )
 
     def with_localization_error(
@@ -142,7 +162,11 @@ class Scenario:
         return replace(self, deployment=believed_dep, physical=true)
 
     def make_neighbor_tables(self) -> NeighborTables:
-        return NeighborTables(self.deployment.positions, self.radio)
+        # node knowledge follows BELIEVED geometry
+        positions = self.deployment.positions
+        return NeighborTables(
+            positions, self.radio, neighborhood=self.neighborhood_for(positions)
+        )
 
     def sink_node(self) -> int:
         """Id of the deployed node closest to the nominal sink position."""

@@ -9,6 +9,31 @@ from repro.experiments.runner import generate_step_context
 from repro.network.messages import MeasurementMessage, ParticleMessage
 
 
+def capture_broadcasts(medium):
+    """Intercept every broadcast enqueued on the medium's batches.
+
+    Trackers send through ``medium.transmission_batch(...).broadcast(...)``;
+    wrapping the batch factory sees the exact wire messages regardless of how
+    the round is flushed.
+    """
+    captured = []
+    original = medium.transmission_batch
+
+    def spy_factory(iteration):
+        batch = original(iteration)
+        original_broadcast = batch.broadcast
+
+        def spy(sender, message, **kw):
+            captured.append(message)
+            return original_broadcast(sender, message, **kw)
+
+        batch.broadcast = spy
+        return batch
+
+    medium.transmission_batch = spy_factory
+    return captured
+
+
 class TestStepOrder:
     def test_correction_precedes_likelihood(self, small_scenario, small_trajectory):
         """The defining reorder: the estimate returned at k must NOT depend
@@ -66,14 +91,7 @@ class TestMessageContent:
         rng = np.random.default_rng(5)
         tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
 
-        captured = []
-        original = tr.medium.broadcast
-
-        def spy(sender, message, iteration, **kw):
-            captured.append(message)
-            return original(sender, message, iteration, **kw)
-
-        tr.medium.broadcast = spy
+        captured = capture_broadcasts(tr.medium)
         tr.step(generate_step_context(small_scenario, small_trajectory, 1, rng))
         particle_msgs = [m for m in captured if isinstance(m, ParticleMessage)]
         assert particle_msgs
@@ -86,14 +104,7 @@ class TestMessageContent:
         tr = CDPFTracker(small_scenario, rng=np.random.default_rng(1))
         rng = np.random.default_rng(7)
         tr.step(generate_step_context(small_scenario, small_trajectory, 0, rng))
-        captured = []
-        original = tr.medium.broadcast
-
-        def spy(sender, message, iteration, **kw):
-            captured.append(message)
-            return original(sender, message, iteration, **kw)
-
-        tr.medium.broadcast = spy
+        captured = capture_broadcasts(tr.medium)
         tr.step(generate_step_context(small_scenario, small_trajectory, 1, rng))
         meas = [m for m in captured if isinstance(m, MeasurementMessage)]
         assert meas

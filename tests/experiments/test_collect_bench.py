@@ -1,0 +1,91 @@
+"""benchmarks/collect_bench.py: BENCH_*.json snapshots -> one history series."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).parents[2] / "benchmarks" / "collect_bench.py"
+
+
+@pytest.fixture(scope="module")
+def collect_bench():
+    spec = importlib.util.spec_from_file_location("collect_bench", _MODULE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("collect_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_snapshots(results: Path, **payloads) -> None:
+    results.mkdir(parents=True, exist_ok=True)
+    for name, payload in payloads.items():
+        (results / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+class TestCollect:
+    def test_creates_history_with_one_series_per_bench(self, tmp_path, collect_bench):
+        results = tmp_path / "results"
+        _write_snapshots(results, comms={"paths": {"a": 1}}, kernels={"paths": {"b": 2}})
+        history_path = tmp_path / "BENCH_history.json"
+
+        history = collect_bench.collect(results, history_path, sha="abc123")
+
+        assert set(history["benches"]) == {"comms", "kernels"}
+        assert history["benches"]["comms"] == [
+            {"sha": "abc123", "payload": {"paths": {"a": 1}}}
+        ]
+        # written to disk, round-trips
+        assert json.loads(history_path.read_text()) == history
+
+    def test_distinct_shas_append_in_order(self, tmp_path, collect_bench):
+        results = tmp_path / "results"
+        history_path = tmp_path / "BENCH_history.json"
+        _write_snapshots(results, comms={"run": 1})
+        collect_bench.collect(results, history_path, sha="sha1")
+        _write_snapshots(results, comms={"run": 2})
+        collect_bench.collect(results, history_path, sha="sha2")
+
+        series = json.loads(history_path.read_text())["benches"]["comms"]
+        assert [p["sha"] for p in series] == ["sha1", "sha2"]
+        assert series[1]["payload"] == {"run": 2}
+
+    def test_same_sha_replaces_its_point(self, tmp_path, collect_bench):
+        results = tmp_path / "results"
+        history_path = tmp_path / "BENCH_history.json"
+        _write_snapshots(results, comms={"run": 1})
+        collect_bench.collect(results, history_path, sha="sha1")
+        _write_snapshots(results, comms={"run": 2})
+        collect_bench.collect(results, history_path, sha="sha1")
+
+        series = json.loads(history_path.read_text())["benches"]["comms"]
+        assert series == [{"sha": "sha1", "payload": {"run": 2}}]
+
+    def test_history_in_results_dir_is_not_self_ingested(self, tmp_path, collect_bench):
+        results = tmp_path / "results"
+        _write_snapshots(results, comms={"run": 1})
+        history_path = results / "BENCH_history.json"
+        collect_bench.collect(results, history_path, sha="sha1")
+        history = collect_bench.collect(results, history_path, sha="sha2")
+
+        assert set(history["benches"]) == {"comms"}
+
+    def test_corrupt_snapshot_fails_loudly(self, tmp_path, collect_bench):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_broken.json").write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            collect_bench.collect(results, tmp_path / "h.json", sha="sha1")
+
+    def test_main_cli(self, tmp_path, collect_bench, capsys):
+        results = tmp_path / "results"
+        _write_snapshots(results, comms={"run": 1})
+        history_path = tmp_path / "BENCH_history.json"
+        rc = collect_bench.main(
+            ["--sha", "deadbeef", "--results", str(results), "--history", str(history_path)]
+        )
+        assert rc == 0
+        assert "1 bench series" in capsys.readouterr().out
+        assert json.loads(history_path.read_text())["benches"]["comms"][0]["sha"] == "deadbeef"

@@ -144,6 +144,99 @@ class TestDroppedLedgerInvariants:
         assert lossy.accounting.total_messages == reliable.accounting.total_messages
         assert lossy.accounting.total_dropped_messages == d.dropped.size
 
+#: One accounting "op": (phase-path, charged?, iteration, category, bytes, messages).
+#: The phase path nests scopes (() = unscoped, ("a", "b") = a around b), so a
+#: single op list exercises nested scopes with charged and dropped entries
+#: interleaved in arbitrary order.
+phase_ops = st.lists(
+    st.tuples(
+        st.lists(st.sampled_from(["propagation", "correction", "wrap"]), max_size=2),
+        st.booleans(),
+        st.integers(0, 20),
+        st.sampled_from(["particle", "measurement", "control"]),
+        st.integers(0, 10_000),
+        st.integers(0, 50),
+    ),
+    max_size=60,
+)
+
+
+class TestPhaseMarginalInvariants:
+    """Satellite: phase marginals sum exactly to totals under nested scopes
+    and interleaved dropped entries; a plain-dict oracle replay pins the
+    struct-of-arrays ledgers to the pre-SoA defaultdict semantics."""
+
+    @staticmethod
+    def _replay(acc, ops):
+        """Run the ops through ``acc`` and through a plain-dict oracle."""
+        oracle_by_key = {}
+        oracle_by_phase = {}
+        oracle_dropped = {}
+        oracle_dropped_phase = {}
+        for phases, charged, it, cat, b, m in ops:
+            for p in phases:
+                acc.push_phase(p)
+            innermost = phases[-1] if phases else ""
+            if charged:
+                acc.record(it, cat, b, m)
+                key, pkey = (it, cat), (it, cat, innermost)
+                tgt, ptgt = oracle_by_key, oracle_by_phase
+            else:
+                acc.record_dropped(it, cat, b, m)
+                key, pkey = (it, cat), (it, cat, innermost)
+                tgt, ptgt = oracle_dropped, oracle_dropped_phase
+            tgt.setdefault(key, [0, 0])
+            tgt[key][0] += b
+            tgt[key][1] += m
+            ptgt.setdefault(pkey, [0, 0])
+            ptgt[pkey][0] += b
+            ptgt[pkey][1] += m
+            for _ in phases:
+                acc.pop_phase()
+        return oracle_by_key, oracle_by_phase, oracle_dropped, oracle_dropped_phase
+
+    @settings(max_examples=60, deadline=None)
+    @given(phase_ops)
+    def test_phase_marginals_sum_to_totals(self, ops):
+        acc = CommAccounting()
+        self._replay(acc, ops)
+        assert sum(acc.bytes_by_phase().values()) == acc.total_bytes
+        assert sum(acc.messages_by_phase().values()) == acc.total_messages
+        assert sum(acc.dropped_bytes_by_phase().values()) == acc.total_dropped_bytes
+        assert (
+            sum(acc.dropped_messages_by_phase().values())
+            == acc.total_dropped_messages
+        )
+        # the phase axis only refines by_key, never changes its totals
+        assert sum(b for b, _m in acc.by_phase_key.values()) == sum(
+            b for b, _m in acc.by_key.values()
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(phase_ops)
+    def test_soa_ledgers_match_plain_dict_oracle(self, ops):
+        acc = CommAccounting()
+        by_key, by_phase, dropped, dropped_phase = self._replay(acc, ops)
+        assert dict(acc.by_key) == by_key
+        assert dict(acc.by_phase_key) == by_phase
+        assert dict(acc.dropped_by_key) == dropped
+        assert dict(acc.dropped_by_phase_key) == dropped_phase
+
+    @settings(max_examples=30, deadline=None)
+    @given(phase_ops, phase_ops)
+    def test_merge_preserves_phase_attribution(self, ops_a, ops_b):
+        a, b = CommAccounting(), CommAccounting()
+        _, phase_a, _, _ = self._replay(a, ops_a)
+        _, phase_b, _, _ = self._replay(b, ops_b)
+        merged = dict(phase_a)
+        for k, (by, m) in phase_b.items():
+            entry = merged.setdefault(k, [0, 0])
+            merged[k] = [entry[0] + by, entry[1] + m]
+        a.merge(b)
+        assert dict(a.by_phase_key) == merged
+
+
+class TestDeterminism:
     @settings(max_examples=25, deadline=None)
     @given(st.integers(0, 10_000))
     def test_same_seed_reproduces_drop_pattern(self, seed):
