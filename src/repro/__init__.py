@@ -41,6 +41,16 @@ from .network import DataSizes, Medium, RadioModel, uniform_deployment
 from .runtime import EventBus, IterationEvent, Phase, PhaseEvent, PhasePipeline, PhaseProfile, TrackerStats
 from .scenario import Scenario, StepContext, make_paper_scenario, make_trajectory
 
+# .config imports large parts of the package above, so it comes last
+from .config import (
+    ConfigError,
+    ScenarioConfig,
+    load_config,
+    run_config,
+    run_fingerprint,
+    save_config,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -54,5 +64,7 @@ __all__ = [
     "EventBus", "IterationEvent", "Phase", "PhaseEvent", "PhasePipeline",
     "PhaseProfile", "TrackerStats",
     "Scenario", "StepContext", "make_paper_scenario", "make_trajectory",
+    "ConfigError", "ScenarioConfig", "load_config", "run_config",
+    "run_fingerprint", "save_config",
     "__version__",
 ]

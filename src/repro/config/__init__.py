@@ -1,0 +1,68 @@
+"""Declarative scenario configuration: schema, compiler, and TOML persistence.
+
+One :class:`ScenarioConfig` value names a complete tracking run — every axis
+of the simulator's supported cross-product (deployment x sensing x
+measurement x dynamics x link model x fault plan x tracker) — as plain,
+seed-rooted data.  :func:`run_config` compiles and executes it;
+:func:`load_config` / :func:`save_config` move it through TOML, which is the
+format of the fuzzing harness's golden corpus (``tests/fuzz/corpus/``).
+
+See ``docs/scenarios.md`` for the schema reference and annotated examples.
+"""
+
+from .compile import (
+    CompiledRun,
+    build_deployment,
+    build_fault_plan,
+    build_link_model,
+    build_run_options,
+    build_scenario,
+    build_tracker,
+    build_trajectory,
+    compile_config,
+    run_config,
+    run_fingerprint,
+)
+from .schema import (
+    ConfigError,
+    DeploymentConfig,
+    DynamicsConfig,
+    LinkConfig,
+    MeasurementConfig,
+    RadioConfig,
+    ScenarioConfig,
+    SensingConfig,
+    SizesConfig,
+    TrackerConfig,
+    TrajectoryConfig,
+)
+from .toml_io import dumps_config, load_config, loads_config, save_config
+
+__all__ = [
+    "CompiledRun",
+    "ConfigError",
+    "DeploymentConfig",
+    "DynamicsConfig",
+    "LinkConfig",
+    "MeasurementConfig",
+    "RadioConfig",
+    "ScenarioConfig",
+    "SensingConfig",
+    "SizesConfig",
+    "TrackerConfig",
+    "TrajectoryConfig",
+    "build_deployment",
+    "build_fault_plan",
+    "build_link_model",
+    "build_run_options",
+    "build_scenario",
+    "build_tracker",
+    "build_trajectory",
+    "compile_config",
+    "dumps_config",
+    "load_config",
+    "loads_config",
+    "run_config",
+    "run_fingerprint",
+    "save_config",
+]

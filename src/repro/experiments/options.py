@@ -8,8 +8,9 @@ module freezes that growth: all run-shaping knobs live in one immutable
 :class:`RunOptions` value that callers build once and pass as ``options=``.
 
 The old keyword arguments still work through a deprecation shim in the
-runner (they warn once per process and are merged into a ``RunOptions``),
-so external callers keep running; in-repo code always passes ``options=``.
+runner (they warn once per named option per process and are merged into a
+``RunOptions``), so external callers keep running; in-repo code always
+passes ``options=``.
 
 For per-iteration observation, prefer subscribing to the event bus over the
 legacy callback::
@@ -82,17 +83,22 @@ def iteration_subscriber(callback: IterationCallback) -> Callable[[Any], None]:
 
 # -- deprecation shim state --------------------------------------------------
 
-_legacy_kwargs_warned = False
+#: legacy option names already warned about this process.  Warning is
+#: once *per named option*, not once globally: a caller who migrated
+#: ``on_iteration`` but still passes ``fault_plan`` bare gets told about
+#: ``fault_plan`` the first time it appears.
+_warned_legacy_kwargs: set[str] = set()
 
 
 def warn_legacy_run_kwargs(names: list[str]) -> None:
-    """Warn (once per process) that bare run_tracking kwargs are deprecated."""
-    global _legacy_kwargs_warned
-    if _legacy_kwargs_warned:
+    """Warn (once per named option per process) that bare run_tracking kwargs
+    are deprecated."""
+    fresh = [name for name in names if name not in _warned_legacy_kwargs]
+    if not fresh:
         return
-    _legacy_kwargs_warned = True
+    _warned_legacy_kwargs.update(fresh)
     warnings.warn(
-        f"passing {', '.join(names)} directly to run_tracking is deprecated; "
+        f"passing {', '.join(fresh)} directly to run_tracking is deprecated; "
         "pass options=RunOptions(...) instead",
         DeprecationWarning,
         stacklevel=3,
@@ -100,6 +106,5 @@ def warn_legacy_run_kwargs(names: list[str]) -> None:
 
 
 def reset_legacy_kwargs_warning() -> None:
-    """Re-arm the once-per-process deprecation warning (test helper)."""
-    global _legacy_kwargs_warned
-    _legacy_kwargs_warned = False
+    """Re-arm the once-per-option deprecation warnings (test helper)."""
+    _warned_legacy_kwargs.clear()

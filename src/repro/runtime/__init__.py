@@ -8,12 +8,21 @@ and :class:`PhaseProfile` summarizes a run per phase (Table I, measured).
 """
 
 from .events import EventBus, IterationEvent, PhaseEvent
+from .invariants import (
+    InvariantMonitor,
+    InvariantViolation,
+    check_ledger_conservation,
+    check_reliable_run_clean,
+    check_result_consistency,
+)
 from .pipeline import IterationState, Phase, PhasedTracker, PhasePipeline
 from .profile import PhaseProfile
 from .stats import TrackerStats
 
 __all__ = [
     "EventBus",
+    "InvariantMonitor",
+    "InvariantViolation",
     "IterationEvent",
     "IterationState",
     "Phase",
@@ -22,4 +31,7 @@ __all__ = [
     "PhasePipeline",
     "PhaseProfile",
     "TrackerStats",
+    "check_ledger_conservation",
+    "check_reliable_run_clean",
+    "check_result_consistency",
 ]

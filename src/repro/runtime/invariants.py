@@ -1,0 +1,260 @@
+"""Global run invariants: the oracles the scenario fuzzer checks on every run.
+
+The simulator's correctness claims are *cross-configuration*: whatever the
+deployment, mobility, sensing, link model, fault plan, sleep schedule, and
+tracker, certain properties must hold on every run.  This module states them
+once, as plain functions over the artifacts a run produces, so the fuzz
+suite (``tests/fuzz/``), the golden-corpus replay, and ad-hoc debugging all
+check the identical predicates:
+
+:func:`check_ledger_conservation`
+    The struct-of-arrays accounting log, its lazily materialized legacy dict
+    views (``by_key`` / ``by_phase_key``), and the O(1) running totals must
+    all agree — for the charged ledger and the dropped ledger alike.  This
+    is the oracle that catches a batched append drifting from the totals.
+:func:`check_result_consistency`
+    A :class:`~repro.experiments.runner.TrackingResult` must be internally
+    consistent: finite estimates inside (an expanded) field, per-iteration
+    cost series summing to the totals, degraded-iteration counts in range,
+    and a phase profile that attributes every byte to a declared phase.
+:func:`check_reliable_run_clean`
+    On a fully reliable configuration (no link model, no faults) nothing may
+    land in the dropped ledgers and no iteration may degrade.
+
+:class:`InvariantMonitor` is the *live* counterpart: an
+:class:`~repro.runtime.events.EventBus` subscriber that validates the event
+stream while the run executes — iteration events arriving in order, phase
+start/end events properly nested, per-phase byte deltas non-negative.
+
+All violations raise :class:`InvariantViolation` (an ``AssertionError``
+subclass, so plain ``pytest`` reporting applies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import IterationEvent, PhaseEvent
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantMonitor",
+    "check_ledger_conservation",
+    "check_result_consistency",
+    "check_reliable_run_clean",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A global run invariant does not hold."""
+
+
+def _ensure(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+# -- ledger conservation ------------------------------------------------------
+
+
+def _check_one_ledger(name: str, rows: np.ndarray, view: dict, phase_view: dict,
+                      total_bytes: int, total_messages: int) -> None:
+    _ensure((rows[3] >= 0).all() and (rows[4] >= 0).all(),
+            f"{name} ledger: negative bytes/message entry in the SoA log")
+    row_bytes = int(rows[3].sum())
+    row_messages = int(rows[4].sum())
+    _ensure(row_bytes == total_bytes,
+            f"{name} ledger: SoA log bytes {row_bytes} != running total {total_bytes}")
+    _ensure(row_messages == total_messages,
+            f"{name} ledger: SoA log messages {row_messages} != running total {total_messages}")
+    view_bytes = sum(b for b, _m in view.values())
+    view_messages = sum(m for _b, m in view.values())
+    _ensure(view_bytes == total_bytes,
+            f"{name} ledger: by_key bytes {view_bytes} != total {total_bytes}")
+    _ensure(view_messages == total_messages,
+            f"{name} ledger: by_key messages {view_messages} != total {total_messages}")
+    phase_bytes = sum(b for b, _m in phase_view.values())
+    phase_messages = sum(m for _b, m in phase_view.values())
+    _ensure(phase_bytes == total_bytes,
+            f"{name} ledger: by_phase_key bytes {phase_bytes} != total {total_bytes}")
+    _ensure(phase_messages == total_messages,
+            f"{name} ledger: by_phase_key messages {phase_messages} != total {total_messages}")
+    # the phase marginal must refine the (iteration, category) marginal
+    collapsed: dict = {}
+    for (it, cat, _phase), (b, m) in phase_view.items():
+        entry = collapsed.setdefault((it, cat), [0, 0])
+        entry[0] += b
+        entry[1] += m
+    _ensure(
+        {k: tuple(v) for k, v in collapsed.items()}
+        == {k: tuple(v) for k, v in view.items()},
+        f"{name} ledger: phase marginals do not collapse onto by_key",
+    )
+
+
+def check_ledger_conservation(accounting) -> None:
+    """SoA log == legacy dict views == running totals, on both ledgers.
+
+    ``accounting`` is a :class:`~repro.network.medium.CommAccounting`.
+    """
+    _check_one_ledger(
+        "charged",
+        accounting._charged.rows(),
+        accounting.by_key,
+        accounting.by_phase_key,
+        accounting.total_bytes,
+        accounting.total_messages,
+    )
+    _check_one_ledger(
+        "dropped",
+        accounting._dropped.rows(),
+        accounting.dropped_by_key,
+        accounting.dropped_by_phase_key,
+        accounting.total_dropped_bytes,
+        accounting.total_dropped_messages,
+    )
+
+
+# -- result consistency -------------------------------------------------------
+
+
+def check_result_consistency(result, scenario=None, *, margin: float | None = None) -> None:
+    """Internal consistency of one :class:`TrackingResult`.
+
+    With ``scenario`` given, estimates must additionally sit inside the
+    deployment field expanded by ``margin`` on every side (default: the
+    larger field dimension — generous enough for a degraded filter, tight
+    enough to catch a divergent one).
+    """
+    n_iter = result.n_iterations
+    for k, est in result.estimates.items():
+        _ensure(0 <= k <= n_iter,
+                f"estimate filed under iteration {k} outside [0, {n_iter}]")
+        arr = np.asarray(est, dtype=np.float64)
+        _ensure(arr.shape == (2,), f"estimate at iteration {k} has shape {arr.shape}")
+        _ensure(bool(np.isfinite(arr).all()),
+                f"estimate at iteration {k} is not finite: {arr}")
+        if scenario is not None:
+            dep = scenario.deployment
+            m = float(margin) if margin is not None else max(dep.width, dep.height)
+            _ensure(
+                -m <= arr[0] <= dep.width + m and -m <= arr[1] <= dep.height + m,
+                f"estimate at iteration {k} escaped the field "
+                f"(+/- {m} m margin): {arr}",
+            )
+    series_b = np.asarray(result.bytes_per_iteration)
+    series_m = np.asarray(result.messages_per_iteration)
+    _ensure((series_b >= 0).all() and (series_m >= 0).all(),
+            "negative per-iteration cost entries")
+    _ensure(int(series_b.sum()) == result.total_bytes,
+            f"bytes_per_iteration sums to {int(series_b.sum())}, "
+            f"total_bytes is {result.total_bytes}")
+    _ensure(int(series_m.sum()) == result.total_messages,
+            f"messages_per_iteration sums to {int(series_m.sum())}, "
+            f"total_messages is {result.total_messages}")
+    cat_bytes = sum(result.bytes_by_category.values())
+    _ensure(cat_bytes == result.total_bytes,
+            f"bytes_by_category sums to {cat_bytes}, total_bytes is {result.total_bytes}")
+    dropped_cat = sum(result.dropped_bytes_by_category.values())
+    _ensure(dropped_cat == result.dropped_bytes,
+            f"dropped_bytes_by_category sums to {dropped_cat}, "
+            f"dropped_bytes is {result.dropped_bytes}")
+    _ensure(0 <= result.degraded_iterations <= n_iter + 1,
+            f"degraded_iterations {result.degraded_iterations} outside [0, {n_iter + 1}]")
+    profile = result.phase_profile
+    if profile is not None:
+        declared = set(profile.phases)
+        for ledger_name, ledger, total in (
+            ("bytes", profile.bytes, result.total_bytes),
+            ("messages", profile.messages, result.total_messages),
+            ("dropped_bytes", profile.dropped_bytes, result.dropped_bytes),
+            ("dropped_messages", profile.dropped_messages, result.dropped_messages),
+        ):
+            _ensure(sum(ledger.values()) == total,
+                    f"phase profile {ledger_name} sums to {sum(ledger.values())}, "
+                    f"run total is {total}")
+            stray = {k for k, v in ledger.items() if v and k not in declared}
+            _ensure(not stray,
+                    f"phase profile {ledger_name} charged under undeclared "
+                    f"phases {sorted(stray)} (declared: {sorted(declared)})")
+
+
+def check_reliable_run_clean(result) -> None:
+    """A fully reliable configuration leaves no loss or degradation traces."""
+    _ensure(result.dropped_bytes == 0 and result.dropped_messages == 0,
+            f"reliable run recorded dropped traffic: {result.dropped_bytes} B / "
+            f"{result.dropped_messages} msgs")
+    _ensure(not any(result.dropped_bytes_by_category.values()),
+            f"reliable run has dropped categories: {result.dropped_bytes_by_category}")
+    _ensure(result.degraded_iterations == 0,
+            f"reliable run degraded {result.degraded_iterations} iterations")
+
+
+# -- live event-stream monitor ------------------------------------------------
+
+
+class InvariantMonitor:
+    """Bus subscriber validating the event stream as the run executes.
+
+    Checks, per event:
+
+    * :class:`IterationEvent` — iterations arrive as 0, 1, 2, ... with no
+      gaps; a non-``None`` estimate is finite and carries an
+      ``estimate_iteration``.
+    * :class:`PhaseEvent` — ``start``/``end`` events nest properly per
+      tracker (the pipeline opens phases strictly LIFO) and every ``end``
+      reports non-negative byte/message/time deltas.
+
+    Subscribe with ``bus.subscribe(monitor)``; the instance is its own
+    handler.  ``monitor.iterations_seen`` / ``monitor.phase_events_seen``
+    let a post-run check assert the stream was non-empty.
+    """
+
+    def __init__(self) -> None:
+        self.iterations_seen = 0
+        self.phase_events_seen = 0
+        self._next_iteration = 0
+        self._open_phases: dict[str, list[str]] = {}
+
+    def __call__(self, event) -> None:
+        if isinstance(event, IterationEvent):
+            self._on_iteration(event)
+        elif isinstance(event, PhaseEvent):
+            self._on_phase(event)
+
+    def _on_iteration(self, event: IterationEvent) -> None:
+        _ensure(event.iteration == self._next_iteration,
+                f"iteration events out of order: got {event.iteration}, "
+                f"expected {self._next_iteration}")
+        self._next_iteration += 1
+        self.iterations_seen += 1
+        if event.estimate is not None:
+            arr = np.asarray(event.estimate, dtype=np.float64)
+            _ensure(bool(np.isfinite(arr).all()),
+                    f"iteration {event.iteration} emitted a non-finite estimate: {arr}")
+            _ensure(event.estimate_iteration is not None,
+                    f"iteration {event.iteration} emitted an estimate without "
+                    "an estimate_iteration reference")
+
+    def _on_phase(self, event: PhaseEvent) -> None:
+        self.phase_events_seen += 1
+        stack = self._open_phases.setdefault(event.tracker, [])
+        if event.kind == "start":
+            stack.append(event.phase)
+            return
+        _ensure(event.kind == "end", f"unknown phase event kind {event.kind!r}")
+        _ensure(bool(stack) and stack[-1] == event.phase,
+                f"phase end {event.phase!r} does not close the innermost open "
+                f"phase (stack: {stack})")
+        stack.pop()
+        _ensure(event.bytes >= 0 and event.messages >= 0,
+                f"phase {event.phase!r} reported negative traffic deltas")
+        _ensure(event.dropped_bytes >= 0 and event.dropped_messages >= 0,
+                f"phase {event.phase!r} reported negative dropped deltas")
+        _ensure(event.seconds >= 0.0,
+                f"phase {event.phase!r} reported negative wall-clock")
+
+    def assert_closed(self) -> None:
+        """After a run: every opened phase must have been closed."""
+        open_now = {t: s for t, s in self._open_phases.items() if s}
+        _ensure(not open_now, f"phases left open at end of run: {open_now}")

@@ -44,6 +44,21 @@ class TestDeprecationShim:
             _run(small_scenario, small_trajectory,
                  on_iteration=lambda k, ctx, est: None)
 
+    def test_warns_once_per_named_option(self, small_scenario, small_trajectory, armed_warning):
+        """Each legacy option warns on its own first use, not once globally."""
+        bus = EventBus()
+        with pytest.warns(DeprecationWarning, match="on_iteration"):
+            _run(small_scenario, small_trajectory, on_iteration=lambda k, ctx, est: None)
+        # a DIFFERENT legacy option still warns, naming only the new one
+        with pytest.warns(DeprecationWarning, match="bus") as record:
+            _run(small_scenario, small_trajectory, bus=bus)
+        assert not any("on_iteration" in str(w.message) for w in record)
+        # repeats of already-warned options stay silent
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _run(small_scenario, small_trajectory,
+                 on_iteration=lambda k, ctx, est: None, bus=EventBus())
+
     def test_legacy_and_options_are_exclusive(self, small_scenario, small_trajectory, armed_warning):
         with pytest.warns(DeprecationWarning):
             with pytest.raises(TypeError, match="not both"):

@@ -1,0 +1,26 @@
+"""Hypothesis profile for the scenario fuzzer.
+
+Defaults are CI-shaped: derandomized (reproducible example sequence),
+deadline disabled (a tracker run's wall-clock varies with the drawn world,
+which is not a bug), and a small example budget.  Scale up locally with::
+
+    REPRO_FUZZ_EXAMPLES=200 PYTHONPATH=src python -m pytest tests/fuzz -q
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-fuzz",
+    max_examples=int(os.environ.get("REPRO_FUZZ_EXAMPLES", "12")),
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+    print_blob=True,
+)
+settings.load_profile("repro-fuzz")

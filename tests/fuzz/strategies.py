@@ -1,0 +1,197 @@
+"""Composite hypothesis strategies drawing valid scenario configs.
+
+Every strategy produces a :class:`~repro.config.schema.ScenarioConfig` that
+passes schema validation *by construction* — the fuzzer explores the
+supported cross-product (deployment x sensing x link x faults x tracker),
+not the validator.  Bounds are chosen so a drawn world stays small enough to
+run every tracker in well under a second while keeping the network connected
+(density >= 10 / 100 m^2 at comm radius >= 26 m):
+
+* fields 45-70 m x 45-65 m, a few hundred nodes;
+* 3-5 filter iterations;
+* small particle budgets for the particle-heavy trackers.
+
+``scenario_configs`` is the full cross-product; ``reliable_configs``
+restricts to no-link-model / no-fault worlds (the preconditions of the
+clean-run and zero-loss-equivalence oracles).
+"""
+
+import hypothesis.strategies as st
+
+from repro.config import (
+    DeploymentConfig,
+    DynamicsConfig,
+    LinkConfig,
+    MeasurementConfig,
+    RadioConfig,
+    ScenarioConfig,
+    SensingConfig,
+    SizesConfig,
+    TrackerConfig,
+    TrajectoryConfig,
+)
+
+__all__ = ["scenario_configs", "reliable_configs"]
+
+#: tracker name -> constructor kwargs strategy (small budgets for speed)
+_TRACKER_KWARGS = {
+    "CPF": st.fixed_dictionaries({"n_particles": st.integers(200, 400)}),
+    "SDPF": st.fixed_dictionaries({"particles_per_node": st.integers(4, 8)}),
+    "CDPF": st.just({}),
+    "CDPF-NE": st.just({}),
+    "DPF-gmm": st.fixed_dictionaries({"n_particles": st.integers(100, 200)}),
+    "DPF-quantized": st.fixed_dictionaries(
+        {"n_particles": st.integers(100, 200),
+         "quantization_bits": st.integers(6, 10)}
+    ),
+}
+
+_seeds = st.integers(0, 2**16)
+
+
+def _probability(lo=0.0, hi=1.0):
+    return st.floats(lo, hi, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _deployments(draw):
+    width = draw(st.floats(45.0, 70.0))
+    height = draw(st.floats(45.0, 65.0))
+    kind = draw(st.sampled_from(["uniform", "grid", "poisson", "clustered"]))
+    if kind == "grid":
+        return DeploymentConfig(kind=kind, width=width, height=height,
+                                n_per_side=draw(st.integers(18, 24)),
+                                jitter=draw(st.floats(0.0, 2.0)))
+    if kind == "clustered":
+        return DeploymentConfig(kind=kind, width=width, height=height,
+                                n_clusters=draw(st.integers(5, 9)),
+                                nodes_per_cluster=draw(st.integers(40, 70)),
+                                cluster_std=draw(st.floats(8.0, 15.0)))
+    return DeploymentConfig(kind=kind, width=width, height=height,
+                            density_per_100m2=draw(st.floats(10.0, 16.0)))
+
+
+@st.composite
+def _sensings(draw, comm_radius):
+    model = draw(st.sampled_from(["instant", "sampling", "probabilistic", "energy"]))
+    r_s = draw(st.floats(8.0, min(12.0, comm_radius / 2.0)))
+    if model == "probabilistic":
+        return SensingConfig(model=model, sensing_radius=r_s,
+                             inner_radius=draw(st.floats(3.0, r_s)),
+                             decay=draw(st.floats(0.2, 1.0)))
+    if model == "energy":
+        power = draw(st.floats(50.0, 200.0))
+        floor = power / r_s**2
+        return SensingConfig(model=model, sensing_radius=r_s, source_power=power,
+                             noise_std=draw(st.floats(0.0, 0.1)),
+                             threshold=floor * draw(st.floats(1.0, 1.5)))
+    return SensingConfig(model=model, sensing_radius=r_s)
+
+
+@st.composite
+def _links(draw):
+    kind = draw(st.sampled_from(["none", "iid", "distance", "gilbert_elliott",
+                                 "delaying"]))
+    if kind == "none":
+        return LinkConfig()
+    common = dict(seed=draw(_seeds))
+    if kind == "iid":
+        return LinkConfig(kind=kind, p_loss=draw(_probability(0.0, 0.4)), **common)
+    if kind == "distance":
+        return LinkConfig(kind=kind,
+                          inner_radius=draw(st.floats(10.0, 25.0)),
+                          edge_probability=draw(_probability(0.3, 1.0)),
+                          gamma=draw(st.floats(1.0, 3.0)), **common)
+    if kind == "gilbert_elliott":
+        return LinkConfig(kind=kind,
+                          p_good_to_bad=draw(_probability(0.0, 0.3)),
+                          p_bad_to_good=draw(_probability(0.2, 1.0)),
+                          loss_good=draw(_probability(0.0, 0.1)),
+                          loss_bad=draw(_probability(0.5, 1.0)), **common)
+    return LinkConfig(kind=kind, inner=draw(st.sampled_from(["iid", "distance"])),
+                      p_loss=draw(_probability(0.0, 0.3)),
+                      p_delay=draw(_probability(0.0, 0.4)), **common)
+
+
+def _fault_events(n_iterations, width, height):
+    windows = st.tuples(st.integers(0, n_iterations), st.integers(0, n_iterations)).map(
+        lambda se: (min(se), max(se))
+    )
+
+    def windowed(extra):
+        return st.tuples(windows, extra).map(
+            lambda we: {"start": we[0][0], "end": we[0][1], **we[1]}
+        )
+
+    crash = st.fixed_dictionaries(
+        {"kind": st.just("crash"), "iteration": st.integers(0, n_iterations),
+         "fraction": _probability(0.0, 0.2), "seed": _seeds}
+    )
+    sleep_window = windowed(st.fixed_dictionaries(
+        {"kind": st.just("sleep_window"),
+         "awake_fraction": _probability(0.5, 1.0), "seed": _seeds}))
+    loss_burst = windowed(st.fixed_dictionaries(
+        {"kind": st.just("loss_burst"), "p_loss": _probability(0.0, 0.7),
+         "seed": _seeds}))
+    partition = windowed(st.fixed_dictionaries(
+        {"kind": st.just("partition"),
+         "center": st.tuples(st.floats(0.0, width),
+                             st.floats(0.0, height)).map(list),
+         "radius": st.floats(15.0, 35.0)}))
+    scheduled_sleep = windowed(st.fixed_dictionaries(
+        {"kind": st.just("scheduled_sleep"),
+         "duty_cycle": _probability(0.3, 0.9), "phase_seed": _seeds}))
+    mobility = windowed(st.one_of(
+        st.fixed_dictionaries({"kind": st.just("mobility"),
+                               "model": st.just("random"),
+                               "speed_std": st.floats(0.0, 0.1),
+                               "seed": _seeds}),
+        st.fixed_dictionaries({"kind": st.just("mobility"),
+                               "model": st.just("group"),
+                               "velocity": st.tuples(
+                                   st.floats(-0.3, 0.3),
+                                   st.floats(-0.3, 0.3)).map(list),
+                               "seed": _seeds}),
+    ))
+    return st.one_of(crash, sleep_window, loss_burst, partition,
+                     scheduled_sleep, mobility)
+
+
+@st.composite
+def scenario_configs(draw, *, reliable_only=False):
+    """One valid config anywhere in the supported cross-product."""
+    deployment = draw(_deployments())
+    comm_radius = draw(st.floats(26.0, 34.0))
+    n_iterations = draw(st.integers(3, 5))
+    if reliable_only:
+        link, faults = LinkConfig(), ()
+    else:
+        link = draw(_links())
+        faults = tuple(draw(st.lists(
+            _fault_events(n_iterations, deployment.width, deployment.height),
+            max_size=2)))
+    tracker_name = draw(st.sampled_from(sorted(_TRACKER_KWARGS)))
+    return ScenarioConfig(
+        seed=draw(st.integers(0, 2**16)),
+        deployment=deployment,
+        radio=RadioConfig(comm_radius=comm_radius),
+        sensing=draw(_sensings(comm_radius)),
+        measurement=MeasurementConfig(
+            noise_std=draw(st.floats(0.01, 0.1)),
+            bias_std=draw(st.floats(0.0, 0.05))),
+        dynamics=DynamicsConfig(),
+        sizes=SizesConfig(header=draw(st.integers(0, 8))),
+        link=link,
+        trajectory=TrajectoryConfig(
+            n_iterations=n_iterations,
+            start=(0.0, draw(st.floats(0.3, 0.7)) * deployment.height),
+            speed=draw(st.floats(2.0, 4.0))),
+        tracker=TrackerConfig(name=tracker_name,
+                              kwargs=draw(_TRACKER_KWARGS[tracker_name])),
+        faults=faults,
+    )
+
+
+def reliable_configs():
+    """Configs with the paper's reliable radio and an empty fault plan."""
+    return scenario_configs(reliable_only=True)

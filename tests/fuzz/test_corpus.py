@@ -1,0 +1,51 @@
+"""Golden corpus replay: every committed config reproduces its fingerprint.
+
+The corpus is the fuzzer's long-term memory.  Each ``*.toml`` under
+``tests/fuzz/corpus/`` is a complete scenario config (one per tracker
+family, plus any promoted shrunk counterexamples); ``fingerprints.json``
+maps each file to the sha256 run fingerprint recorded when it was committed.
+A fingerprint change means behavior changed — either an intentional
+algorithm change (re-record with ``python -m pytest tests/fuzz/test_corpus.py
+--help`` workflow in docs/scenarios.md) or a regression.
+
+Promotion workflow: a shrunk failure lands in ``corpus/_candidates/`` (CI
+uploads it as an artifact); once the bug is fixed, move the file into
+``corpus/``, add its fingerprint, and it becomes a permanent regression
+test.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import ScenarioConfig, load_config, run_config, run_fingerprint
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(p.name for p in CORPUS_DIR.glob("*.toml"))
+FINGERPRINTS = json.loads((CORPUS_DIR / "fingerprints.json").read_text())
+
+
+def test_every_corpus_file_has_a_fingerprint():
+    assert CORPUS_FILES, "corpus must not be empty"
+    assert set(CORPUS_FILES) == set(FINGERPRINTS), (
+        "corpus files and fingerprints.json out of sync"
+    )
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_config_loads_and_round_trips(name):
+    config = load_config(CORPUS_DIR / name)
+    assert isinstance(config, ScenarioConfig)
+    assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_replay_is_bit_identical(name):
+    config = load_config(CORPUS_DIR / name)
+    fingerprint = run_fingerprint(run_config(config))
+    assert fingerprint == FINGERPRINTS[name], (
+        f"{name} no longer reproduces its recorded run — if the behavior "
+        f"change is intentional, re-record fingerprints.json (see "
+        f"docs/scenarios.md)"
+    )

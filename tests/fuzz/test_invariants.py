@@ -1,0 +1,195 @@
+"""The scenario fuzzer: global invariants over the whole config cross-product.
+
+Six oracles run against every drawn config (see
+:mod:`repro.runtime.invariants` for their exact statements):
+
+1. **Ledger conservation** — SoA log == legacy dict views == running totals,
+   charged and dropped ledgers both.
+2. **Result consistency** — finite in-field estimates, per-iteration cost
+   series summing to the totals, degraded-iteration bounds.
+3. **Phase-profile completeness** — every byte attributed to a declared
+   phase (part of the result-consistency check).
+4. **Event-stream sanity** — iteration events in order, phase start/end
+   properly nested, non-negative deltas (the live ``InvariantMonitor``).
+5. **Reliable runs are clean** — no link model + no faults => zero dropped
+   traffic and zero degraded iterations.
+6. **Zero-loss transparency** — an IID link at ``p_loss = 0`` is
+   fingerprint-identical to no link model at all.
+
+A failing config (after hypothesis shrinks it) is serialized into
+``tests/fuzz/corpus/_candidates/`` so it can be promoted into the committed
+golden corpus; CI uploads that directory as an artifact.
+
+The mutation smoke tests at the bottom prove the oracles can actually fail:
+a deliberately corrupted ledger or event stream must be caught.
+"""
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import (
+    LinkConfig,
+    ScenarioConfig,
+    compile_config,
+    dumps_config,
+    run_config,
+    run_fingerprint,
+)
+from repro.runtime import (
+    EventBus,
+    InvariantMonitor,
+    InvariantViolation,
+    PhaseEvent,
+    check_ledger_conservation,
+    check_reliable_run_clean,
+    check_result_consistency,
+)
+
+from .strategies import reliable_configs, scenario_configs
+
+CANDIDATE_DIR = Path(__file__).parent / "corpus" / "_candidates"
+
+
+def _dump_candidate(config: ScenarioConfig) -> Path:
+    """Persist a failing (shrunk) config for corpus promotion / CI artifacts."""
+    text = dumps_config(config)
+    digest = hashlib.sha256(text.encode()).hexdigest()[:12]
+    CANDIDATE_DIR.mkdir(parents=True, exist_ok=True)
+    path = CANDIDATE_DIR / f"counterexample-{digest}.toml"
+    path.write_text(text)
+    return path
+
+
+def _check_run(config: ScenarioConfig) -> None:
+    """Compile, run, and apply every applicable oracle to ``config``."""
+    bus = EventBus()
+    monitor = InvariantMonitor()
+    bus.subscribe(monitor)
+    compiled = compile_config(config, bus=bus)
+    result = compiled.run()
+    monitor.assert_closed()
+    assert monitor.iterations_seen == config.trajectory.n_iterations + 1
+    check_ledger_conservation(compiled.tracker.accounting)
+    check_result_consistency(result, compiled.scenario)
+    if config.link.kind == "none" and not config.faults:
+        check_reliable_run_clean(result)
+
+
+@given(config=scenario_configs())
+def test_global_invariants_hold_everywhere(config):
+    """Oracles 1-5 on arbitrary points of the cross-product."""
+    try:
+        _check_run(config)
+    except (InvariantViolation, AssertionError):
+        path = _dump_candidate(config)
+        print(f"shrunk counterexample written to {path}")
+        raise
+
+
+@given(config=reliable_configs())
+def test_zero_loss_link_is_transparent(config):
+    """Oracle 6: p_loss=0 must be bit-identical to the reliable radio.
+
+    One documented carve-out: CPF switches to its hop-by-hop ARQ layer
+    whenever *any* link model is installed (``medium.is_unreliable``), which
+    charges ACK traffic under the ``control`` category.  Its estimates and
+    data traffic must still be bit-identical; only ``control`` may differ.
+    """
+    try:
+        reliable = run_config(config)
+        zero_loss = run_config(
+            ScenarioConfig.from_dict(
+                {**config.to_dict(),
+                 "link": {"kind": "iid", "p_loss": 0.0, "seed": 1}}
+            )
+        )
+        if config.tracker.name == "CPF":
+            assert set(reliable.estimates) == set(zero_loss.estimates)
+            for k in reliable.estimates:
+                assert np.array_equal(reliable.estimates[k],
+                                      zero_loss.estimates[k]), k
+            strip = lambda cats: {c: b for c, b in cats.items() if c != "control"}
+            assert strip(reliable.bytes_by_category) == strip(
+                zero_loss.bytes_by_category
+            ), "zero-loss IID link changed CPF's data traffic"
+        else:
+            assert run_fingerprint(reliable) == run_fingerprint(zero_loss), (
+                "zero-loss IID link changed the run"
+            )
+        check_reliable_run_clean(zero_loss)
+    except (InvariantViolation, AssertionError):
+        path = _dump_candidate(config)
+        print(f"shrunk counterexample written to {path}")
+        raise
+
+
+@given(config=reliable_configs())
+@settings(max_examples=10)
+def test_replay_is_bit_identical(config):
+    """The same config always reproduces the same fingerprint (corpus contract)."""
+    assert run_fingerprint(run_config(config)) == run_fingerprint(run_config(config))
+
+
+class TestOraclesCanFail:
+    """Mutation smoke tests: corrupt the artifacts, expect the oracle to fire."""
+
+    def _small(self) -> ScenarioConfig:
+        return ScenarioConfig.from_dict(
+            {"deployment": {"width": 55.0, "height": 50.0, "density_per_100m2": 12.0},
+             "trajectory": {"n_iterations": 3, "start": [0.0, 25.0]}}
+        )
+
+    def test_conservation_catches_totals_drift(self):
+        compiled = compile_config(self._small())
+        compiled.run()
+        accounting = compiled.tracker.accounting
+        accounting.total_bytes += 1  # a batched append that missed the total
+        with pytest.raises(InvariantViolation, match="charged ledger"):
+            check_ledger_conservation(accounting)
+
+    def test_conservation_catches_row_corruption(self):
+        compiled = compile_config(self._small())
+        compiled.run()
+        accounting = compiled.tracker.accounting
+        accounting._dropped.append(1, 0, 0, 37, 1)  # row with no matching total
+        with pytest.raises(InvariantViolation, match="dropped ledger"):
+            check_ledger_conservation(accounting)
+
+    def test_consistency_catches_total_mismatch(self):
+        result = run_config(self._small())
+        result.total_bytes += 8
+        with pytest.raises(InvariantViolation, match="total_bytes"):
+            check_result_consistency(result)
+
+    def test_consistency_catches_escaped_estimate(self):
+        compiled = compile_config(self._small())
+        result = compiled.run()
+        assert result.estimates, "expected at least one estimate"
+        k = next(iter(result.estimates))
+        result.estimates[k] = result.estimates[k] + 1e6
+        with pytest.raises(InvariantViolation, match="escaped the field"):
+            check_result_consistency(result, compiled.scenario)
+
+    def test_clean_run_oracle_catches_phantom_drops(self):
+        result = run_config(self._small())
+        result.dropped_bytes = 4
+        with pytest.raises(InvariantViolation, match="dropped traffic"):
+            check_reliable_run_clean(result)
+
+    def test_monitor_catches_unbalanced_phase_events(self):
+        monitor = InvariantMonitor()
+        monitor(PhaseEvent(kind="start", tracker="t", iteration=0, phase="a"))
+        with pytest.raises(InvariantViolation, match="innermost open phase"):
+            monitor(PhaseEvent(kind="end", tracker="t", iteration=0, phase="b"))
+
+    def test_monitor_catches_out_of_order_iterations(self):
+        from repro.runtime import IterationEvent
+
+        monitor = InvariantMonitor()
+        with pytest.raises(InvariantViolation, match="out of order"):
+            monitor(IterationEvent(tracker="t", iteration=3, context=None,
+                                   estimate=None, estimate_iteration=None))

@@ -299,3 +299,44 @@ class TestSharedNeighborhood:
         assert cache.epoch == epoch + 1
         again = cache.neighbors(0)
         assert again is not first
+
+
+class TestEmptyFlush:
+    """Flushing a batch with zero enqueued transmissions is a ledger no-op."""
+
+    def test_empty_flush_changes_no_ledger(self):
+        medium = Medium(_positions(), RADIO)
+        # prior traffic so the ledgers are non-trivial before the empty flush
+        medium.broadcast(0, MeasurementMessage(sender=0, iteration=0, value=1.0), 0)
+        before = _ledgers(medium)
+        assert medium.transmission_batch(1).flush() == []
+        assert _ledgers(medium) == before
+
+    def test_empty_flush_on_lossy_medium(self):
+        medium = Medium(_positions(), RADIO, link_model=IIDLossLink(p_loss=0.4, seed=3))
+        medium.broadcast(0, MeasurementMessage(sender=0, iteration=0, value=1.0), 0)
+        before = _ledgers(medium)
+        assert medium.transmission_batch(1).flush() == []
+        assert _ledgers(medium) == before
+
+    def test_empty_flush_still_releases_due_delayed_copies(self):
+        """The round boundary (delayed-copy release) runs even with no sends —
+        and releasing a parked copy charges nothing (it was counted at send
+        time, in the original Delivery's ``delayed`` record)."""
+        link = DelayingLink(IIDLossLink(p_loss=0.0, seed=0), p_delay=1.0, seed=5)
+        medium = Medium(_positions(), RADIO, link_model=link)
+        d = medium.broadcast(0, MeasurementMessage(sender=0, iteration=0, value=1.0), 0)
+        assert d.delayed.size > 0
+        target = int(d.delayed[0])
+        assert all(m.sender != 0 for m in medium.peek(target))
+        before = _ledgers(medium)
+        assert medium.transmission_batch(1).flush() == []
+        assert _ledgers(medium) == before
+        assert any(m.sender == 0 for m in medium.peek(target))
+
+    def test_empty_batch_is_still_single_use(self):
+        medium = Medium(_positions(), RADIO)
+        batch = medium.transmission_batch(0)
+        batch.flush()
+        with pytest.raises(RuntimeError, match="already flushed"):
+            batch.flush()

@@ -183,3 +183,116 @@ class TestFactories:
         plan.apply(m, 5)
         asleep = sum(not m.is_available(i) for i in range(200))
         assert 0.15 * 200 < asleep < 0.45 * 200
+
+
+class TestNewEvents:
+    """ScheduledSleep / MobilityDrift: deterministic behavior on a medium."""
+
+    def test_scheduled_sleep_is_a_pure_function_of_seed_and_iteration(self):
+        from repro.network.faults import ScheduledSleep
+
+        ev = ScheduledSleep(start=0, end=5, duty_cycle=0.4, phase_seed=9)
+        a = ev.asleep_at(2, 40)
+        b = ev.asleep_at(2, 40)
+        assert np.array_equal(a, b)
+        # the schedule varies over time (that is the point of a duty cycle)
+        later = ev.asleep_at(12, 40)
+        assert not np.array_equal(a, later)
+
+    def test_scheduled_sleep_window_expiry_wakes_everyone(self):
+        from repro.network.faults import ScheduledSleep
+
+        m = make_medium()
+        plan = FaultPlan(events=(
+            ScheduledSleep(start=0, end=1, duty_cycle=0.3, phase_seed=1),
+        ))
+        plan.apply(m, 0)
+        assert not m._available.all()
+        plan.apply(m, 2)  # past the window: the asleep set resets to empty
+        assert m._available.all()
+
+    def test_scheduled_sleep_validates_duty_cycle_eagerly(self):
+        from repro.network.faults import ScheduledSleep
+
+        with pytest.raises(ValueError, match="duty_cycle"):
+            ScheduledSleep(start=0, end=1, duty_cycle=0.0)
+
+    def test_mobility_drift_steps_are_deterministic_and_cumulative(self):
+        from repro.network.faults import MobilityDrift
+
+        m1, m2 = make_medium(), make_medium()
+        plan = FaultPlan(events=(
+            MobilityDrift(start=0, end=2, model="random", speed_std=0.5, seed=4),
+        ))
+        start = m1.positions.copy()
+        for k in (0, 1, 2):
+            plan.apply(m1, k)
+            plan.apply(m2, k)
+        assert np.array_equal(m1.positions, m2.positions)
+        assert not np.array_equal(m1.positions, start)
+        # past the window the geometry stops moving but keeps the drift
+        drifted = m1.positions.copy()
+        plan.apply(m1, 3)
+        assert np.array_equal(m1.positions, drifted)
+
+    def test_mobility_drift_reapply_is_a_no_op(self):
+        from repro.network.faults import MobilityDrift
+
+        m = make_medium()
+        plan = FaultPlan(events=(
+            MobilityDrift(start=0, end=2, model="group", velocity=(2.0, 0.0)),
+        ))
+        plan.apply(m, 0)
+        once = m.positions.copy()
+        plan.apply(m, 0)
+        assert np.array_equal(m.positions, once)
+
+
+class TestSerialization:
+    """to_dict/from_dict round-trips for every event kind."""
+
+    def _plan(self):
+        from repro.network.faults import MobilityDrift, ScheduledSleep
+
+        return FaultPlan(events=(
+            CrashFault(iteration=2, node_ids=(1, 5)),
+            CrashFault(iteration=3, fraction=0.1, seed=7),
+            SleepWindow(start=0, end=2, awake_fraction=0.6, seed=3),
+            LossBurst(start=1, end=4, p_loss=0.5, seed=2),
+            RegionPartition(start=2, end=3, center=(40.0, 50.0), radius=25.0),
+            ScheduledSleep(start=0, end=5, duty_cycle=0.4, phase_seed=9),
+            MobilityDrift(start=1, end=4, model="group", velocity=(0.2, -0.1)),
+        ))
+
+    def test_round_trip_preserves_every_event(self):
+        plan = self._plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.events == plan.events
+
+    def test_payload_is_plain_data(self):
+        import json
+
+        payload = self._plan().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_round_tripped_plan_replays_identically(self):
+        plan = self._plan()
+        clone = FaultPlan.from_dict(plan.to_dict())
+        m1, m2 = make_medium(), make_medium()
+        for k in range(6):
+            plan.apply(m1, k)
+            clone.apply(m2, k)
+            assert np.array_equal(m1._available, m2._available)
+            assert np.array_equal(m1.positions, m2.positions)
+
+    def test_unknown_field_names_its_path(self):
+        from repro.network.faults import fault_event_from_dict
+
+        with pytest.raises(ValueError, match=r"faults\[crash\].at"):
+            fault_event_from_dict({"kind": "crash", "iteration": 1, "at": 2})
+
+    def test_unknown_kind_rejected(self):
+        from repro.network.faults import fault_event_from_dict
+
+        with pytest.raises(ValueError, match="kind"):
+            fault_event_from_dict({"kind": "meteor", "start": 0, "end": 1})

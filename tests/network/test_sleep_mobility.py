@@ -1,0 +1,125 @@
+"""Sleep x mobility interaction: the two fault axes must compose on one medium.
+
+``network/sleep.py`` and ``network/mobility.py`` are each tested alone; this
+suite pins their *composition*: a node that drifts into (or out of) a
+sender's communication disk while asleep must behave as asleep — absent from
+offered-receiver sets, broadcast deliveries, and inboxes — no matter in
+which order the medium learned about the move and the sleep.
+"""
+
+import numpy as np
+
+from repro.network.faults import FaultPlan, MobilityDrift, ScheduledSleep
+from repro.network.medium import Medium
+from repro.network.messages import MeasurementMessage
+from repro.network.neighborhood import NeighborhoodCache
+from repro.network.radio import RadioModel
+
+
+def msg(sender=0, k=0):
+    return MeasurementMessage(sender=sender, iteration=k, value=1.0)
+
+
+def line_positions(spacing=10.0, n=6):
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+class TestSleepingMoverIsInvisible:
+    def test_node_moving_into_range_while_asleep_does_not_receive(self):
+        # node 4 starts out of range of node 0 (comm 30, x = 40)
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        m.set_asleep([4])
+        moved = line_positions()
+        moved[4, 0] = 15.0  # drifts well inside node 0's disk
+        m.update_positions(moved)
+        d = m.broadcast(0, msg(), 0)
+        assert 4 not in d.receivers
+        assert len(m.peek(4)) == 0
+        # geometry alone (the fresh NeighborhoodCache) DOES see the mover:
+        # availability filtering, not stale geometry, keeps it out
+        assert 4 in m._neighborhood.neighbors(0)
+
+    def test_sleep_applied_after_move_also_filters(self):
+        # same scenario, opposite order: move first, then sleep
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        moved = line_positions()
+        moved[4, 0] = 15.0
+        m.update_positions(moved)
+        m.set_asleep([4])
+        d = m.broadcast(0, msg(), 0)
+        assert 4 not in d.receivers
+        # and waking restores delivery at the *new* position
+        m.wake([4])
+        d2 = m.broadcast(0, msg(k=1), 1)
+        assert 4 in d2.receivers
+
+    def test_node_moving_out_of_range_is_gone_even_after_wake(self):
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        m.set_asleep([1])
+        moved = line_positions()
+        moved[1, 0] = 200.0  # drifts far away while asleep
+        m.update_positions(moved)
+        m.wake([1])
+        d = m.broadcast(0, msg(), 0)
+        assert 1 not in d.receivers
+
+    def test_shared_scenario_cache_is_detached_not_rebound(self):
+        """A cache shared with the topology layer keeps the believed geometry."""
+        positions = line_positions()
+        shared = NeighborhoodCache(positions, 30.0)
+        m = Medium(positions, RadioModel(comm_radius=30.0), neighborhood=shared)
+        before = shared.neighbors(0).copy()
+        moved = line_positions()
+        moved[4, 0] = 15.0
+        m.update_positions(moved)
+        # medium serves the new physical geometry...
+        assert 4 in m._neighborhood.neighbors(0)
+        # ...while the shared (believed) cache still answers as before
+        assert np.array_equal(shared.neighbors(0), before)
+        assert 4 not in shared.neighbors(0)
+
+
+class TestFaultPlanComposition:
+    # The deterministic duty cycle below puts {0, 1, 2, 3, 5} to sleep at
+    # iterations 1 and 2 (pure function of phase_seed), leaving node 4 awake.
+    _SLEEP = ScheduledSleep(start=1, end=2, duty_cycle=0.3, phase_seed=5,
+                            period_s=60.0, dt_s=5.0)
+
+    def _plan(self):
+        return FaultPlan(events=(
+            self._SLEEP,
+            MobilityDrift(start=1, end=2, model="group", velocity=(5.0, 0.0),
+                          dt_s=1.0),
+        ))
+
+    def test_moved_and_sleeping_nodes_receive_nothing(self):
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        plan = self._plan()
+        plan.apply(m, 1)
+        # mobility moved the physical geometry...
+        assert m.positions[0, 0] != 0.0
+        # ...and the schedule silenced every node but the lone awake one (4):
+        # its in-range neighbors 2, 3, 5 are all asleep, so nobody hears it
+        asleep = set(int(i) for i in self._SLEEP.asleep_at(1, 6))
+        assert asleep == {0, 1, 2, 3, 5}
+        d = m.broadcast(4, msg(sender=4), 1)
+        assert d.receivers.size == 0
+
+    def test_wake_iteration_uses_drifted_geometry(self):
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        plan = self._plan()
+        plan.apply(m, 1)
+        plan.apply(m, 2)
+        drifted = m.positions.copy()
+        plan.apply(m, 3)  # both events expire: awake again, geometry keeps drift
+        assert np.array_equal(m.positions, drifted)
+        d = m.broadcast(0, msg(k=3), 3)
+        assert d.receivers.size > 0
+
+    def test_apply_is_idempotent_within_an_iteration(self):
+        m = Medium(line_positions(), RadioModel(comm_radius=30.0))
+        plan = self._plan()
+        plan.apply(m, 1)
+        once = m.positions.copy()
+        plan.apply(m, 1)  # the runner's contract: re-apply is a no-op
+        assert np.array_equal(m.positions, once)
