@@ -1,0 +1,152 @@
+"""Cross-cell lock-step backend bench: batched vs per-cell process pool.
+
+Runs the paper-scale CDPF-family grid twice — once through the process-pool
+per-cell path and once through the lock-step batched backend — verifies the
+sweeps are bit-identical, and emits ``benchmarks/results/BENCH_cells.json``
+with wall-clock, tasks/sec and the batched-over-pool speedup.
+
+Two gates, both full-mode only (smoke records timings without judging
+them — CI containers are too noisy at tiny sizes):
+
+* **absolute** — the batched backend must clear ``MIN_SPEEDUP`` (5x) over
+  the process-pool path on the paper-scale grid;
+* **regression** — the speedup must stay within ``REGRESSION_FACTOR`` of
+  the committed baseline ``benchmarks/BENCH_cells_baseline.json``.
+
+Scale knobs (all environment variables):
+
+    REPRO_BENCH_SMOKE            1 = tiny grid for CI smoke runs
+    REPRO_BENCH_WORKERS          pool size (default: min(4, cpu_count))
+    REPRO_BENCH_CELL_DENSITIES   full-mode densities
+                                 (default "5,10,15,20,25,30,35,40")
+    REPRO_BENCH_SEEDS            full-mode seeds per cell (default 2)
+    REPRO_BENCH_ITERATIONS       full-mode filter iterations (default 10)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.sweep import density_sweep
+from repro.factory import tracker_factory
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE = Path(__file__).parent / "BENCH_cells_baseline.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: Floor for the full-mode batched-over-pool speedup.
+MIN_SPEEDUP = 5.0
+#: Speedup may drop to baseline/1.3 before the regression gate trips.
+REGRESSION_FACTOR = 1.3
+
+#: Only the lock-steppable families: the point of this bench is the batched
+#: backend, not the fallback path (the pool covers CPF/SDPF elsewhere).
+FAMILIES = ("CDPF", "CDPF-NE")
+
+
+def bench_workers() -> int:
+    # the process backend refuses max_workers < 2, so floor the default there
+    default = max(2, min(4, os.cpu_count() or 1))
+    return int(os.environ.get("REPRO_BENCH_WORKERS", default))
+
+
+def cells_grid() -> dict:
+    factories = {name: tracker_factory(name) for name in FAMILIES}
+    if SMOKE:
+        return dict(
+            densities=(5.0, 10.0),
+            n_seeds=1,
+            n_iterations=3,
+            factories=factories,
+            scenario_kwargs={"width": 80.0, "height": 60.0},
+            trajectory_kwargs={"start": (5.0, 30.0)},
+        )
+    densities = tuple(
+        float(x)
+        for x in os.environ.get(
+            "REPRO_BENCH_CELL_DENSITIES", "5,10,15,20,25,30,35,40"
+        ).split(",")
+    )
+    return dict(
+        densities=densities,
+        n_seeds=int(os.environ.get("REPRO_BENCH_SEEDS", 2)),
+        n_iterations=int(os.environ.get("REPRO_BENCH_ITERATIONS", 10)),
+        factories=factories,
+    )
+
+
+def test_bench_cells(report_sink):
+    grid = cells_grid()
+    workers = bench_workers()
+    n_tasks = len(grid["densities"]) * grid["n_seeds"] * len(FAMILIES)
+
+    t0 = time.perf_counter()
+    pool = density_sweep(backend="process", max_workers=workers, **grid)
+    pool_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = density_sweep(backend="batched", **grid)
+    batched_s = time.perf_counter() - t0
+
+    # the backend's core guarantee: execution strategy never changes results
+    for key, pt in pool.points.items():
+        other = batched.points[key]
+        assert other.rmse_runs == pt.rmse_runs, key
+        assert other.bytes_runs == pt.bytes_runs, key
+        assert other.messages_runs == pt.messages_runs, key
+        assert other.coverage_runs == pt.coverage_runs, key
+
+    speedup = pool_s / batched_s if batched_s > 0 else float("inf")
+    payload = {
+        "smoke": SMOKE,
+        "workers": workers,
+        "grid": {
+            "densities": list(grid["densities"]),
+            "n_seeds": grid["n_seeds"],
+            "n_iterations": grid["n_iterations"],
+            "families": list(FAMILIES),
+            "n_tasks": n_tasks,
+        },
+        "pool": {
+            "wall_clock_s": pool_s,
+            "tasks_per_sec": n_tasks / pool_s if pool_s > 0 else 0.0,
+        },
+        "batched": {
+            "wall_clock_s": batched_s,
+            "tasks_per_sec": n_tasks / batched_s if batched_s > 0 else 0.0,
+        },
+        "speedup": speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_cells.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    report_sink(
+        f"BENCH_cells ({'smoke' if SMOKE else 'full'} mode): "
+        f"{n_tasks} tasks | pool({workers}) {pool_s:.2f} s "
+        f"({payload['pool']['tasks_per_sec']:.1f} t/s) | "
+        f"batched {batched_s:.2f} s "
+        f"({payload['batched']['tasks_per_sec']:.1f} t/s) | "
+        f"speedup {speedup:.2f}x"
+    )
+    assert out.exists()
+
+    if SMOKE:
+        return  # timings recorded, but too noisy to judge at smoke sizes
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"lock-step backend is only {speedup:.2f}x the process-pool path "
+        f"(needs >= {MIN_SPEEDUP}x)"
+    )
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        floor = baseline["speedup"] / REGRESSION_FACTOR
+        assert speedup >= floor, (
+            f"lock-step speedup regressed: {speedup:.2f}x vs baseline "
+            f"{baseline['speedup']:.2f}x (allowed floor {floor:.2f}x)"
+        )

@@ -29,6 +29,7 @@ from .experiments import (
     JsonlStore,
     RunOptions,
     RunSummary,
+    StoreLoadError,
     TrackingResult,
     density_sweep,
     iteration_subscriber,
@@ -55,7 +56,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CPFTracker", "DPFTracker", "SDPFTracker", "CDPFTracker", "PropagationConfig",
-    "JsonlStore", "RunSummary", "TrackingResult", "density_sweep", "run_tracking",
+    "JsonlStore", "RunSummary", "StoreLoadError", "TrackingResult", "density_sweep", "run_tracking",
     "RunOptions", "iteration_subscriber",
     "make_tracker", "register_tracker", "tracker_factory", "tracker_names",
     "ParticleSet", "SIRFilter",

@@ -5,6 +5,7 @@ from .engine import (
     CellResult,
     JsonlStore,
     RunSummary,
+    StoreLoadError,
     SweepTask,
     expand_tasks,
     run_sweep,
@@ -26,7 +27,7 @@ from .runner import TrackingResult, generate_step_context, run_tracking
 
 __all__ = [
     "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
-    "CellResult", "JsonlStore", "RunSummary", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
+    "CellResult", "JsonlStore", "RunSummary", "StoreLoadError", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
     "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
     "RunOptions", "iteration_subscriber",
     "format_number", "render_ascii_chart", "render_series", "render_table",

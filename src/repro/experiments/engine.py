@@ -34,8 +34,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import pickle
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +53,7 @@ __all__ = [
     "CellResult",
     "RunSummary",
     "JsonlStore",
+    "StoreLoadError",
     "task_seed_sequences",
     "expand_tasks",
     "run_sweep",
@@ -63,8 +66,15 @@ WORLD_STREAM, TRACKER_STREAM, SENSING_STREAM = 0, 1, 2
 
 
 def _density_key(density: float) -> int:
-    """Integer spawn-key component for a (possibly fractional) density."""
-    return int(round(float(density) * 1_000_000))
+    """Integer spawn-key component for a (possibly fractional) density.
+
+    Keys on the float64 bit pattern, so *every* distinct density value gets a
+    distinct spawn key.  The old ``int(round(density * 1e6))`` quantization
+    mapped densities closer than 5e-7 to the same key, silently correlating
+    cells that a fine-grained sweep intended to be independent.  The uint64
+    view is non-negative, as SeedSequence spawn-key components require.
+    """
+    return int(np.float64(density).view(np.uint64))
 
 
 def task_seed_sequences(
@@ -186,12 +196,27 @@ class RunSummary:
         return self.n_executed / self.wall_clock_s if self.wall_clock_s > 0 else 0.0
 
     @property
+    def effective_workers(self) -> int:
+        """Workers that could actually have been busy: a pool of 8 running 3
+        executed tasks can never use more than 3 of its slots."""
+        return min(self.max_workers, self.n_executed)
+
+    @property
     def parallel_efficiency(self) -> float:
-        """Summed task time over (wall clock x workers); 1.0 = perfect scaling."""
-        denom = self.wall_clock_s * self.max_workers
-        return self.task_time_s / denom if denom > 0 else 0.0
+        """Summed task time over (wall clock x *effective* workers).
+
+        1.0 = perfect scaling over the workers that had work to do.  A fully
+        resumed sweep executes nothing, so its efficiency is undefined and
+        reported as ``nan`` — not the misleading near-zero the raw
+        ``max_workers`` denominator used to produce.
+        """
+        if self.n_executed == 0:
+            return float("nan")
+        denom = self.wall_clock_s * self.effective_workers
+        return self.task_time_s / denom if denom > 0 else float("nan")
 
     def as_rows(self) -> list[tuple[str, str]]:
+        efficiency = self.parallel_efficiency
         return [
             ("tasks (total / executed / resumed)",
              f"{self.n_tasks} / {self.n_executed} / {self.n_resumed}"),
@@ -199,45 +224,86 @@ class RunSummary:
             ("wall clock", f"{self.wall_clock_s:.2f} s"),
             ("summed task time", f"{self.task_time_s:.2f} s"),
             ("throughput", f"{self.tasks_per_sec:.2f} tasks/s"),
-            ("parallel efficiency", f"{self.parallel_efficiency:.2f}"),
+            ("parallel efficiency",
+             "n/a" if math.isnan(efficiency) else f"{efficiency:.2f}"),
         ]
+
+
+class StoreLoadError(RuntimeError):
+    """A resume store is corrupt or belongs to a different sweep entirely."""
 
 
 class JsonlStore:
     """Append-only JSONL persistence for completed sweep cells.
 
-    One JSON object per line.  Loading tolerates a truncated or corrupt
-    final line — the typical on-disk state after an interrupted run — and
-    filters records by configuration fingerprint so a store file is never
-    silently reused for a sweep it does not match.
+    One JSON object per line.  Loading tolerates exactly one failure mode: a
+    truncated *final* line, the on-disk signature of an interrupted append.
+    Anything else that would previously have been skipped in silence now
+    fails loudly — an undecodable or malformed line in the middle of the
+    file means corruption (resuming would quietly recompute and re-append
+    those cells forever), and a store whose every record carries a foreign
+    fingerprint means the file belongs to a different sweep configuration
+    (resuming "from an empty set" is never what the caller intended).
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
     def load(self, fingerprint: str) -> dict[tuple[float, str, int], CellResult]:
-        """All stored cells matching ``fingerprint``, keyed by cell."""
+        """All stored cells matching ``fingerprint``, keyed by cell.
+
+        Raises :class:`StoreLoadError` on a corrupt store (undecodable or
+        malformed non-final line) and when a non-empty store contains *no*
+        record of this sweep; warns when foreign-fingerprint records are
+        merely mixed in alongside matching ones.
+        """
         cells: dict[tuple[float, str, int], CellResult] = {}
         if not self.path.exists():
             return cells
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
+        raw = self.path.read_text(encoding="utf-8").splitlines()
+        lines = [(i, line.strip()) for i, line in enumerate(raw) if line.strip()]
+        n_foreign = 0
+        for pos, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if pos == len(lines) - 1:
                     continue  # truncated tail from an interrupted append
-                if not isinstance(record, dict):
-                    continue
-                if record.get("fingerprint") != fingerprint:
-                    continue
-                try:
-                    cell = CellResult.from_record(record)
-                except (KeyError, TypeError, ValueError):
-                    continue
-                cells[cell.key] = cell
+                raise StoreLoadError(
+                    f"{self.path}:{lineno + 1}: undecodable JSON in the middle "
+                    f"of the store ({exc.msg}); this is corruption, not an "
+                    "interrupted append — refusing to resume from it"
+                ) from exc
+            if not isinstance(record, dict):
+                raise StoreLoadError(
+                    f"{self.path}:{lineno + 1}: expected one JSON object per "
+                    f"line, got {type(record).__name__}"
+                )
+            if record.get("fingerprint") != fingerprint:
+                n_foreign += 1
+                continue
+            try:
+                cell = CellResult.from_record(record)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreLoadError(
+                    f"{self.path}:{lineno + 1}: record matches this sweep's "
+                    f"fingerprint but cannot be read back: {exc!r}"
+                ) from exc
+            cells[cell.key] = cell
+        if n_foreign:
+            if not cells:
+                raise StoreLoadError(
+                    f"{self.path}: all {n_foreign} stored record(s) carry a "
+                    "different sweep fingerprint — this store belongs to "
+                    "another sweep configuration.  Resuming would silently "
+                    "recompute every cell into the same file; pass a fresh "
+                    "store path (or delete the file) if that is intended."
+                )
+            warnings.warn(
+                f"{self.path}: ignoring {n_foreign} record(s) with a foreign "
+                f"sweep fingerprint ({len(cells)} record(s) match this sweep)",
+                stacklevel=2,
+            )
         return cells
 
     def append(self, record: dict) -> None:
@@ -247,22 +313,65 @@ class JsonlStore:
             handle.flush()
 
 
+def _canonical_value(value, path: str):
+    """JSON-stable canonical form of one sweep kwarg.
+
+    Numpy scalars collapse to their Python equivalents and arrays/tuples to
+    lists, so ``width=np.float64(80)`` and ``width=80.0`` fingerprint
+    identically from any session.  Values with no canonical form are
+    rejected outright: the old ``json.dumps(..., default=repr)`` fallback
+    turned them into id-bearing reprs like ``<object at 0x7f...>`` that
+    changed every process, silently invalidating resume stores.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, np.generic):
+        return _canonical_value(value.item(), path)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        return _canonical_value(value.tolist(), path)
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_value(v, f"{path}[{i}]") for i, v in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"sweep kwarg {path} has a non-string key {key!r}; "
+                    "fingerprintable kwargs need string keys"
+                )
+        return {k: _canonical_value(v, f"{path}.{k}") for k, v in value.items()}
+    raise TypeError(
+        f"sweep kwarg {path} is a {type(value).__name__} ({value!r}), which "
+        "has no stable fingerprint; pass plain scalars, sequences or dicts"
+    )
+
+
 def sweep_fingerprint(
     base_seed: int,
     n_iterations: int,
     scenario_kwargs: dict,
     trajectory_kwargs: dict,
 ) -> str:
-    """Short stable hash of everything that changes a cell's result."""
+    """Short stable hash of everything that changes a cell's result.
+
+    Values are canonicalized (see :func:`_canonical_value`) before hashing,
+    so the fingerprint is identical across sessions and processes; kwargs
+    that cannot be canonicalized raise ``TypeError`` instead of being
+    silently fingerprinted by their per-process ``repr``.
+    """
     blob = json.dumps(
         {
-            "base_seed": base_seed,
-            "n_iterations": n_iterations,
-            "scenario_kwargs": scenario_kwargs,
-            "trajectory_kwargs": trajectory_kwargs,
+            "base_seed": int(base_seed),
+            "n_iterations": int(n_iterations),
+            "scenario_kwargs": _canonical_value(scenario_kwargs, "scenario_kwargs"),
+            "trajectory_kwargs": _canonical_value(
+                trajectory_kwargs, "trajectory_kwargs"
+            ),
         },
         sort_keys=True,
-        default=repr,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -325,6 +434,7 @@ def run_sweep(
     trajectory_kwargs: dict | None = None,
     max_workers: int = 1,
     store: JsonlStore | str | Path | None = None,
+    backend: str | None = None,
 ) -> tuple[list[CellResult], RunSummary]:
     """Execute a task list and return its cells in task order, plus timing.
 
@@ -335,9 +445,29 @@ def run_sweep(
     loaded instead of recomputed, and every fresh cell is appended to the
     store the moment it finishes, so an interrupted sweep loses at most
     the cells in flight.
+
+    ``backend`` selects the execution strategy:
+
+    * ``None`` (default) — serial in-process when ``max_workers == 1``,
+      process pool otherwise (the historical behavior);
+    * ``"serial"`` — force in-process execution regardless of workers;
+    * ``"process"`` — force the process pool (needs ``max_workers > 1``);
+    * ``"batched"`` — group batchable same-``(density, algorithm)`` tasks
+      and advance them in lock-step through the phase pipeline with
+      cross-cell stacked kernels (see :mod:`repro.experiments.lockstep`);
+      tasks whose tracker cannot batch fall back to the serial/process
+      path.  Bit-identical to the serial engine by construction.
+
+    Every backend produces the same cells in the same task order.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if backend not in (None, "serial", "process", "batched"):
+        raise ValueError(
+            f"unknown backend {backend!r}; choose 'serial', 'process' or 'batched'"
+        )
+    if backend == "process" and max_workers < 2:
+        raise ValueError("backend='process' needs max_workers > 1")
     scenario_kwargs = dict(scenario_kwargs or {})
     trajectory_kwargs = dict(trajectory_kwargs or {})
     for task in tasks:
@@ -372,14 +502,28 @@ def run_sweep(
             )
 
     t0 = time.perf_counter()
-    if max_workers == 1 or len(pending) <= 1:
-        for i, spec in pending:
+    remaining = pending
+    if backend == "batched" and pending:
+        from .lockstep import partition_batchable, run_lockstep
+
+        batchable, remaining = partition_batchable(pending)
+        for i, cell in run_lockstep(batchable):
+            results[i] = cell
+            if store is not None:
+                store.append(cell.to_record(fingerprint))
+    use_pool = (
+        backend != "serial"
+        and max_workers > 1
+        and len(remaining) > 1
+    )
+    if not use_pool:
+        for i, spec in remaining:
             cell = _execute_task(spec)
             results[i] = cell
             if store is not None:
                 store.append(cell.to_record(fingerprint))
     else:
-        for _, spec in pending:
+        for _, spec in remaining:
             try:
                 pickle.dumps(spec)
             except Exception as exc:
@@ -389,7 +533,7 @@ def run_sweep(
                 ) from exc
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
             future_to_index = {
-                executor.submit(_execute_task, spec): i for i, spec in pending
+                executor.submit(_execute_task, spec): i for i, spec in remaining
             }
             outstanding = set(future_to_index)
             while outstanding:

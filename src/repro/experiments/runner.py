@@ -27,7 +27,12 @@ from .options import RunOptions, warn_legacy_run_kwargs
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.faults import FaultPlan
 
-__all__ = ["TrackingResult", "run_tracking", "generate_step_context"]
+__all__ = [
+    "TrackingResult",
+    "run_tracking",
+    "generate_step_context",
+    "summarize_tracking_run",
+]
 
 
 @dataclass
@@ -258,10 +263,29 @@ def run_tracking(
                 )
             )
 
+    return summarize_tracking_run(
+        tracker, trajectory, estimates, detectors_per_iteration
+    )
+
+
+def summarize_tracking_run(
+    tracker: Tracker,
+    trajectory: Trajectory,
+    estimates: dict[int, np.ndarray],
+    detectors_per_iteration: list[int],
+) -> TrackingResult:
+    """Assemble the :class:`TrackingResult` of a finished run.
+
+    Shared by :func:`run_tracking` and the lock-step batched backend
+    (:mod:`repro.experiments.lockstep`), so both execution strategies
+    summarize a run through the exact same code path.
+    """
+    n_iter = trajectory.n_iterations
     truth = trajectory.iteration_positions()
     accounting = tracker.accounting
     series = cost_series(accounting, n_iter)
     stats = getattr(tracker, "stats", None)
+    pipeline = getattr(tracker, "pipeline", None)
     profile = (
         PhaseProfile.from_tracker(tracker)
         if pipeline is not None and stats is not None

@@ -110,6 +110,7 @@ def density_sweep(
     on_result: Callable[[float, str, int, TrackingResult | None], None] | None = None,
     max_workers: int = 1,
     store: JsonlStore | str | Path | None = None,
+    backend: str | None = None,
 ) -> SweepResult:
     """The Figure 5/6 protocol: densities x algorithms x seeds.
 
@@ -123,6 +124,9 @@ def density_sweep(
 
     ``max_workers > 1`` fans the cells out over a process pool and is
     bit-identical to the serial run (``max_workers=1``, the default).
+    ``backend="batched"`` advances batchable cells in lock-step with
+    cross-cell stacked kernels (also bit-identical; see
+    :func:`repro.experiments.engine.run_sweep`).
     ``store`` names a JSONL file persisting completed cells: an interrupted
     sweep rerun with the same store resumes, skipping finished cells.
 
@@ -142,6 +146,7 @@ def density_sweep(
         trajectory_kwargs=trajectory_kwargs,
         max_workers=max_workers,
         store=store,
+        backend=backend,
     )
     points: dict[tuple[float, str], SweepPoint] = {
         (float(d), name): SweepPoint(float(d), name)

@@ -29,15 +29,29 @@ Modules
     ``SeedSequence -> PCG64 -> random()`` — so the medium fans one send out
     to all in-range receivers without per-copy Python RNG construction.
 
+Cross-cell batch axis
+---------------------
+The kernels also stack *across simulation cells* (the lock-step sweep
+backend, :mod:`repro.experiments.lockstep`): :func:`batch_likelihood`
+accepts a leading batch axis (``(B, n, 2)`` holders → ``(B, n, m)``
+matrices, each slice bit-identical to its own 2-D call),
+:func:`batch_contributions` + :func:`concat_csr` evaluate many cells'
+estimation areas as one CSR call, :func:`batch_propagate_ragged` carries a
+per-broadcast candidate set so broadcasts from many cells share one
+distance/probability pass, and :func:`link_uniform_many` takes per-copy
+``seed`` / ``sender`` / ``iteration`` arrays so one call can mix link draws
+from many media.  The contract is unchanged: elementwise ops and per-group
+pairwise reductions are bitwise independent of how calls are batched.
+
 The kernels depend on numpy only (no imports from the rest of the package),
 so every layer of the simulator may call into them without cycles.
 """
 
 from . import contributions, delivery, likelihood, propagation
-from .contributions import batch_contributions
+from .contributions import batch_contributions, concat_csr
 from .delivery import batch_deliver, link_uniform_many
 from .likelihood import batch_likelihood
-from .propagation import batch_propagate
+from .propagation import batch_propagate, batch_propagate_ragged
 
 __all__ = [
     "contributions",
@@ -48,5 +62,7 @@ __all__ = [
     "batch_deliver",
     "batch_likelihood",
     "batch_propagate",
+    "batch_propagate_ragged",
+    "concat_csr",
     "link_uniform_many",
 ]

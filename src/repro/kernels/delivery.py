@@ -174,19 +174,21 @@ def link_uniform_many(
     Equals ``[_link_uniform(seed, tag, sender, r, iteration, nc) for r, nc
     in zip(receivers, nonces)]`` — the draw depends only on the key, never
     on batch shape or call order.  ``nonces`` may be a scalar applied to
-    every receiver; ``sender`` may be a scalar or a per-copy array (a round
-    batching copies from many broadcasters into one call).
+    every receiver; ``sender``, ``iteration`` and ``seed`` may each be a
+    scalar or a per-copy array (the cross-cell batch axis: one call can
+    carry many broadcasts from many *cells*, each cell contributing its own
+    medium seed, without changing any single copy's draw).
     """
     receivers = np.asarray(receivers, dtype=np.uint64)
     n = receivers.shape[0]
     words = np.zeros((n, 9), dtype=np.uint64)
-    words[:, 0] = np.uint64(seed)
+    words[:, 0] = np.asarray(seed, dtype=np.uint64)
     # words 1..3 stay zero: SeedSequence pads the entropy to the pool size
     # before appending the spawn key
     words[:, 4] = np.uint64(tag)
     words[:, 5] = np.asarray(sender, dtype=np.uint64)
     words[:, 6] = receivers
-    words[:, 7] = np.uint64(iteration)
+    words[:, 7] = np.asarray(iteration, dtype=np.uint64)
     words[:, 8] = np.asarray(nonces, dtype=np.uint64)
     return _pcg64_first_double(_generate_state8(_seed_pool(words)))
 

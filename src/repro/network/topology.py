@@ -55,7 +55,15 @@ class NeighborTables:
         return self._neighborhood.neighbors(node_id)
 
     def degree(self, node_id: int) -> int:
-        return int(self.neighbors(node_id).shape[0])
+        return self._neighborhood.degree(node_id)
+
+    def warm(self, node_ids) -> None:
+        """Batch-fill the underlying cache for ``node_ids`` (one index pass)."""
+        self._neighborhood.warm(node_ids)
+
+    def warm_degrees(self, node_ids) -> None:
+        """Batch-fill only the degree cache (no list materialization)."""
+        self._neighborhood.warm_degrees(node_ids)
 
     def neighbor_positions(self, node_id: int) -> np.ndarray:
         """Positions of the node's neighbors — the NE prerequisite in data form."""

@@ -6,6 +6,8 @@ import pytest
 from repro.experiments.engine import (
     CellResult,
     JsonlStore,
+    RunSummary,
+    StoreLoadError,
     SweepTask,
     expand_tasks,
     run_sweep,
@@ -185,19 +187,51 @@ class TestJsonlStore:
             h.write('{"fingerprint": "fp", "density": 5.0, "alg')  # interrupt mid-write
         assert set(store.load("fp")) == {(5.0, "CDPF", 0)}
 
-    def test_fingerprint_mismatch_ignored(self, tmp_path):
+    def test_all_foreign_fingerprints_raise(self, tmp_path):
+        """A store with only foreign records is another sweep's file —
+        resuming "from empty" into it would interleave two configurations."""
         store = JsonlStore(tmp_path / "s.jsonl")
         store.append(self._record(fingerprint="other"))
-        assert store.load("fp") == {}
+        with pytest.raises(StoreLoadError, match="different sweep fingerprint"):
+            store.load("fp")
 
-    def test_malformed_record_skipped(self, tmp_path):
+    def test_mixed_fingerprints_warn_but_load(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        store.append(self._record(fingerprint="other"))
+        store.append(self._record(seed=1))
+        with pytest.warns(UserWarning, match="foreign"):
+            cells = store.load("fp")
+        assert set(cells) == {(5.0, "CDPF", 1)}
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        """Undecodable JSON that is NOT the final line is corruption, not an
+        interrupted append — the old silent skip recomputed those cells
+        forever."""
         path = tmp_path / "s.jsonl"
         store = JsonlStore(path)
         with path.open("a") as h:
-            h.write('{"fingerprint": "fp"}\n')  # right fingerprint, missing fields
+            h.write("[1, 2, 3\n")  # broken line in the middle
+        store.append(self._record(seed=1))
+        with pytest.raises(StoreLoadError, match="corruption"):
+            store.load("fp")
+
+    def test_matching_but_unreadable_record_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = JsonlStore(path)
+        with path.open("a") as h:
+            h.write('{"fingerprint": "fp"}\n')  # right sweep, missing fields
+        store.append(self._record(seed=1))
+        with pytest.raises(StoreLoadError, match="cannot be read back"):
+            store.load("fp")
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = JsonlStore(path)
+        with path.open("a") as h:
             h.write("[1, 2, 3]\n")
         store.append(self._record(seed=1))
-        assert set(store.load("fp")) == {(5.0, "CDPF", 1)}
+        with pytest.raises(StoreLoadError, match="JSON object"):
+            store.load("fp")
 
     def test_append_creates_parent_dirs(self, tmp_path):
         store = JsonlStore(tmp_path / "nested" / "dir" / "s.jsonl")
@@ -220,6 +254,32 @@ class TestFingerprint:
         a = sweep_fingerprint(2011, 10, {"a": 1, "b": 2}, {})
         b = sweep_fingerprint(2011, 10, {"b": 2, "a": 1}, {})
         assert a == b
+
+    def test_numpy_values_fingerprint_like_python(self):
+        """np.float64(80) and 80.0 must resume each other's stores."""
+        a = sweep_fingerprint(2011, 10, {"width": np.float64(80)}, {})
+        b = sweep_fingerprint(2011, 10, {"width": 80.0}, {})
+        assert a == b
+        c = sweep_fingerprint(2011, 10, {}, {"start": np.array([5.0, 30.0])})
+        d = sweep_fingerprint(2011, 10, {}, {"start": (5.0, 30.0)})
+        assert c == d
+
+    def test_unserializable_value_rejected(self):
+        """The old default=repr fallback stamped object ids into the
+        fingerprint, changing it every process."""
+        with pytest.raises(TypeError, match="fingerprint"):
+            sweep_fingerprint(2011, 10, {"rng": object()}, {})
+
+    def test_sub_microdensity_streams_distinct(self):
+        """Densities closer than the old 1e-6 quantization still get
+        distinct spawn keys (the float64-bit-pattern fix)."""
+        d1, d2 = 5.0, 5.0 + 1e-7
+        s1 = task_seed_sequences(2011, d1, 0)["world"]
+        s2 = task_seed_sequences(2011, d2, 0)["world"]
+        assert s1.spawn_key != s2.spawn_key
+        a = np.random.default_rng(s1).integers(0, 2**63)
+        b = np.random.default_rng(s2).integers(0, 2**63)
+        assert a != b
 
 
 class TestValidation:
@@ -253,3 +313,24 @@ class TestRunSummary:
         assert 0 < s.parallel_efficiency <= 1.5  # timer noise can nudge past 1
         rows = s.as_rows()
         assert len(rows) == 6
+
+    def test_efficiency_uses_effective_workers(self):
+        """A pool of 8 that only ever ran 2 tasks is judged against 2 slots,
+        not 8 — the old denominator reported misleading near-zero values."""
+        s = RunSummary(
+            n_tasks=10, n_executed=2, n_resumed=8, max_workers=8,
+            wall_clock_s=1.0, task_time_s=2.0,
+        )
+        assert s.effective_workers == 2
+        assert s.parallel_efficiency == pytest.approx(1.0)
+
+    def test_fully_resumed_efficiency_is_nan(self):
+        import math
+
+        s = RunSummary(
+            n_tasks=4, n_executed=0, n_resumed=4, max_workers=2,
+            wall_clock_s=0.01, task_time_s=0.0,
+        )
+        assert math.isnan(s.parallel_efficiency)
+        rows = dict(s.as_rows())
+        assert rows["parallel efficiency"] == "n/a"

@@ -1,0 +1,150 @@
+"""The cross-cell batch axis: stacked kernel calls vs their per-cell slices.
+
+The lock-step sweep backend stacks many cells' same-phase kernel calls into
+one array op; these tests pin the contract that batching never changes a
+single slice's bits.
+"""
+
+import numpy as np
+
+from repro.kernels.contributions import batch_contributions, concat_csr
+from repro.kernels.delivery import link_uniform_many
+from repro.kernels.likelihood import batch_likelihood
+from repro.kernels.propagation import batch_propagate, batch_propagate_ragged
+
+
+class TestBatchLikelihood3D:
+    def test_each_slice_matches_its_own_2d_call(self):
+        rng = np.random.default_rng(11)
+        B, n, m = 4, 7, 5
+        hp = rng.uniform(0, 100, size=(B, n, 2))
+        lam = rng.uniform(0.05, 2.0, size=(B, n))
+        sp = rng.uniform(0, 100, size=(B, m, 2))
+        zs = rng.uniform(-np.pi, np.pi, size=(B, m))
+        stacked = batch_likelihood(hp, lam, sp, zs, 0.3)
+        assert stacked.shape == (B, n, m)
+        for b in range(B):
+            single = batch_likelihood(hp[b], lam[b], sp[b], zs[b], 0.3)
+            assert np.array_equal(stacked[b], single)
+
+    def test_padding_rows_do_not_disturb_real_rows(self):
+        """The lock-step pipeline pads ragged cells with lam=1 holders at a
+        shared dummy position; real entries must be bit-identical to the
+        unpadded call."""
+        rng = np.random.default_rng(12)
+        n, m = 5, 4
+        hp = rng.uniform(0, 50, size=(n, 2))
+        lam = rng.uniform(0.1, 1.0, size=n)
+        sp = rng.uniform(0, 50, size=(m, 2))
+        zs = rng.uniform(-np.pi, np.pi, size=m)
+        hp_pad = np.vstack([hp, np.zeros((3, 2))])
+        lam_pad = np.concatenate([lam, np.ones(3)])
+        sp_pad = np.vstack([sp, np.zeros((2, 2))])
+        zs_pad = np.concatenate([zs, np.zeros(2)])
+        padded = batch_likelihood(hp_pad, lam_pad, sp_pad, zs_pad, 0.3)
+        plain = batch_likelihood(hp, lam, sp, zs, 0.3)
+        assert np.array_equal(padded[:n, :m], plain)
+
+
+class TestBatchPropagateRagged:
+    def _world(self, seed, B=5):
+        rng = np.random.default_rng(seed)
+        predicted = rng.uniform(0, 100, size=(B, 2))
+        weights = rng.uniform(0.1, 2.0, size=B)
+        chunks, positions = [], []
+        for b in range(B):
+            n_b = int(rng.integers(0, 30))
+            ids = rng.choice(1000, size=n_b, replace=False).astype(np.intp)
+            chunks.append(ids)
+            positions.append(predicted[b] + rng.normal(0, 6.0, size=(n_b, 2)))
+        offsets = np.concatenate([[0], np.cumsum([c.size for c in chunks])]).astype(
+            np.intp
+        )
+        flat_ids = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.intp)
+        )
+        flat_pos = (
+            np.concatenate(positions)
+            if positions
+            else np.zeros((0, 2), dtype=np.float64)
+        )
+        return predicted, weights, flat_ids, flat_pos, offsets
+
+    def test_each_broadcast_matches_single_batch_propagate(self):
+        predicted, weights, ids, pos, offsets = self._world(21)
+        ragged = batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets,
+            area_radius=10.0, record_threshold=0.5,
+        )
+        assert len(ragged) == predicted.shape[0]
+        for b, (sel, probs, shares) in enumerate(ragged):
+            sl = slice(offsets[b], offsets[b + 1])
+            single = batch_propagate(
+                predicted[b][None, :], weights[b : b + 1], ids[sl], pos[sl],
+                area_radius=10.0, record_threshold=0.5,
+            )[0]
+            assert np.array_equal(sel, single[0]), b
+            assert np.array_equal(probs, single[1]), b
+            assert np.array_equal(shares, single[2]), b
+
+    def test_keep_mask_and_max_recorders(self):
+        predicted, weights, ids, pos, offsets = self._world(22)
+        rng = np.random.default_rng(23)
+        keep = rng.random(ids.size) < 0.7
+        ragged = batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets,
+            area_radius=12.0, record_threshold=0.0, max_recorders=3,
+            keep_mask=keep,
+        )
+        for b, (sel, probs, shares) in enumerate(ragged):
+            sl = slice(offsets[b], offsets[b + 1])
+            single = batch_propagate(
+                predicted[b][None, :], weights[b : b + 1], ids[sl], pos[sl],
+                area_radius=12.0, record_threshold=0.0, max_recorders=3,
+                keep_masks=keep[sl][None, :],
+            )[0]
+            assert np.array_equal(sel, single[0]), b
+            assert np.array_equal(probs, single[1]), b
+            assert np.array_equal(shares, single[2]), b
+
+    def test_empty_batch(self):
+        out = batch_propagate_ragged(
+            np.zeros((0, 2)), np.zeros(0), np.zeros(0, dtype=np.intp),
+            np.zeros((0, 2)), np.zeros(1, dtype=np.intp),
+            area_radius=10.0, record_threshold=0.5,
+        )
+        assert out == []
+
+
+class TestConcatCsr:
+    def test_roundtrip_and_grouped_contributions(self):
+        rng = np.random.default_rng(31)
+        groups = [rng.uniform(0.1, 9.0, size=int(rng.integers(1, 8))) for _ in range(6)]
+        flat, offsets = concat_csr(groups)
+        assert offsets[0] == 0 and offsets[-1] == flat.size
+        stacked = batch_contributions(flat, offsets)
+        for g, group in enumerate(groups):
+            single = batch_contributions(group)
+            assert np.array_equal(stacked[offsets[g] : offsets[g + 1]], single)
+
+    def test_empty(self):
+        flat, offsets = concat_csr([])
+        assert flat.size == 0
+        assert np.array_equal(offsets, [0])
+
+
+class TestLinkUniformManyPerCopyKeys:
+    def test_per_copy_seed_and_iteration_match_scalar_calls(self):
+        """One stacked call over many cells' broadcasts == each cell's own
+        call: the draw is a pure function of the per-copy key."""
+        receivers = np.array([3, 9, 14, 3, 7, 21], dtype=np.intp)
+        seeds = np.array([101, 101, 202, 202, 202, 303], dtype=np.uint64)
+        senders = np.array([1, 1, 2, 2, 2, 5], dtype=np.uint64)
+        iterations = np.array([4, 4, 4, 9, 9, 1], dtype=np.uint64)
+        stacked = link_uniform_many(seeds, 7, senders, receivers, iterations, 0)
+        for i, r in enumerate(receivers):
+            one = link_uniform_many(
+                int(seeds[i]), 7, int(senders[i]),
+                np.array([r], dtype=np.intp), int(iterations[i]), 0,
+            )
+            assert stacked[i] == one[0], i
