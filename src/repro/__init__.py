@@ -39,7 +39,18 @@ from .factory import make_tracker, register_tracker, tracker_factory, tracker_na
 from .filters import ParticleSet, SIRFilter
 from .models import BearingMeasurement, ConstantVelocityModel, random_turn_trajectory
 from .network import DataSizes, Medium, RadioModel, uniform_deployment
-from .runtime import EventBus, IterationEvent, Phase, PhaseEvent, PhasePipeline, PhaseProfile, TrackerStats
+from .runtime import (
+    Checkpointable,
+    CheckpointError,
+    EventBus,
+    IterationEvent,
+    Phase,
+    PhaseEvent,
+    PhasePipeline,
+    PhaseProfile,
+    RunCheckpoint,
+    TrackerStats,
+)
 from .scenario import Scenario, StepContext, make_paper_scenario, make_trajectory
 
 # .config imports large parts of the package above, so it comes last
@@ -62,6 +73,7 @@ __all__ = [
     "ParticleSet", "SIRFilter",
     "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
     "DataSizes", "Medium", "RadioModel", "uniform_deployment",
+    "CheckpointError", "Checkpointable", "RunCheckpoint",
     "EventBus", "IterationEvent", "Phase", "PhaseEvent", "PhasePipeline",
     "PhaseProfile", "TrackerStats",
     "Scenario", "StepContext", "make_paper_scenario", "make_trajectory",

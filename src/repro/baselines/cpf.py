@@ -277,3 +277,44 @@ class CPFTracker:
     @property
     def accounting(self):
         return self.medium.accounting
+
+    # -- checkpoint protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Filter cloud, route caches, and the ARQ layer (when built).  The
+        tracker and its SIR filter share one generator object, so the RNG
+        stream is captured once here, not inside the filter snapshot."""
+        from ..runtime.checkpoint import snapshot_rng
+
+        return {
+            "filter": self.filter.snapshot(),
+            "initialized": bool(self._initialized),
+            "estimate_iter": self._estimate_iter,
+            "path_cache": [
+                [int(src), [int(n) for n in path]]
+                for src, path in sorted(self._path_cache.items())
+            ],
+            "hop_counts": [int(h) for h in self.hop_counts],
+            "reliable": None if self._reliable is None else self._reliable.snapshot(),
+            "rng": snapshot_rng(self.rng),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        from ..runtime.checkpoint import restore_rng
+
+        self.filter.restore(state["filter"])
+        self._initialized = bool(state["initialized"])
+        self._estimate_iter = (
+            None if state["estimate_iter"] is None else int(state["estimate_iter"])
+        )
+        self._path_cache = {
+            int(src): [int(n) for n in path] for src, path in state["path_cache"]
+        }
+        self.hop_counts = [int(h) for h in state["hop_counts"]]
+        if state["reliable"] is None:
+            self._reliable = None
+        else:
+            self._arq().restore(state["reliable"])
+        restore_rng(self.rng, state["rng"])
+        self.stats.restore(state["stats"])

@@ -133,6 +133,48 @@ class DPFTracker:
         return self.medium.accounting
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Leader chain, filter cloud (when born), and the shared RNG stream.
+        The SIR filter shares the tracker's generator object, so its stream
+        is captured once here; the filter snapshot carries particles only."""
+        from ..runtime.checkpoint import snapshot_rng
+
+        return {
+            "leader": self.leader,
+            "filter": None if self.filter is None else self.filter.snapshot(),
+            "estimate": None if self._estimate is None else self._estimate.copy(),
+            "estimate_iter": self._estimate_iter,
+            "rng": snapshot_rng(self.rng),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        from ..runtime.checkpoint import restore_rng
+
+        self.leader = None if state["leader"] is None else int(state["leader"])
+        if state["filter"] is None:
+            self.filter = None
+        else:
+            if self.filter is None:
+                # same construction parameters as track birth in
+                # _phase_leader_election; the cloud is transplanted next
+                self.filter = SIRFilter(
+                    self._filter_dynamics, self.n_particles, rng=self.rng,
+                    roughening=0.2,
+                )
+            self.filter.restore(state["filter"])
+        est = state["estimate"]
+        self._estimate = None if est is None else np.asarray(est, dtype=np.float64).copy()
+        self._estimate_iter = (
+            None if state["estimate_iter"] is None else int(state["estimate_iter"])
+        )
+        restore_rng(self.rng, state["rng"])
+        self.stats.restore(state["stats"])
+
+    # ------------------------------------------------------------------
 
     def _elect_leader(self, detectors: np.ndarray) -> int:
         """The detector nearest the predicted target position leads."""

@@ -224,6 +224,70 @@ class CDPFTracker:
         return self.medium.accounting
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Mutable tracker state only.  The medium is owned by the run layer
+        (and shared across trackers under :class:`~repro.core.multitarget.
+        MultiTargetCDPF`), so it snapshots separately; static configuration
+        (scenario, config, phase list) is rebuilt from the spec on restore."""
+        from ..runtime.checkpoint import snapshot_rng
+
+        return {
+            "holders": [
+                [int(nid), p.velocity.copy(), float(p.weight)]
+                for nid, p in sorted(self.holders.items())
+            ],
+            "estimate": None if self._estimate is None else self._estimate.copy(),
+            "estimate_iter": self._estimate_iter,
+            "velocity_estimate": (
+                None
+                if self._velocity_estimate is None
+                else np.asarray(self._velocity_estimate, dtype=np.float64).copy()
+            ),
+            "last_sender_positions": (
+                None
+                if self._last_sender_positions is None
+                else self._last_sender_positions.copy()
+            ),
+            "last_predictions": (
+                None if self._last_predictions is None else self._last_predictions.copy()
+            ),
+            "rng": snapshot_rng(self.rng),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        from ..runtime.checkpoint import restore_rng
+
+        self.holders = {
+            int(nid): HeldParticle(
+                velocity=np.asarray(velocity, dtype=np.float64), weight=float(weight)
+            )
+            for nid, velocity, weight in state["holders"]
+        }
+        est = state["estimate"]
+        self._estimate = None if est is None else np.asarray(est, dtype=np.float64).copy()
+        self._estimate_iter = (
+            None if state["estimate_iter"] is None else int(state["estimate_iter"])
+        )
+        vel = state["velocity_estimate"]
+        self._velocity_estimate = (
+            None if vel is None else np.asarray(vel, dtype=np.float64).copy()
+        )
+        sp = state["last_sender_positions"]
+        self._last_sender_positions = (
+            None if sp is None else np.asarray(sp, dtype=np.float64).copy()
+        )
+        lp = state["last_predictions"]
+        self._last_predictions = (
+            None if lp is None else np.asarray(lp, dtype=np.float64).copy()
+        )
+        restore_rng(self.rng, state["rng"])
+        self.stats.restore(state["stats"])
+
+    # ------------------------------------------------------------------
     # initialization (paper §III-B: first detectors get unit-weight particles)
     # ------------------------------------------------------------------
 

@@ -150,6 +150,65 @@ class MultiTargetCDPF:
         return self._estimate_iter
 
     # ------------------------------------------------------------------
+    # checkpoint protocol
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """All track lifecycles plus per-track CDPF state.  The shared medium
+        is owned by the run layer and snapshots separately; per-track
+        snapshots therefore exclude it too."""
+        from ..runtime.checkpoint import snapshot_rng
+
+        return {
+            "tracks": [
+                {
+                    "track_id": int(t.track_id),
+                    "born_at": int(t.born_at),
+                    "empty_iterations": int(t.empty_iterations),
+                    "retired": bool(t.retired),
+                    "tracker": t.tracker.snapshot(),
+                }
+                for t in self.tracks
+            ],
+            "next_id": int(self._next_id),
+            "estimate_iter": self._estimate_iter,
+            "rng": snapshot_rng(self.rng),
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        from ..runtime.checkpoint import restore_rng
+
+        tracks: list[Track] = []
+        for ts in state["tracks"]:
+            # rebuild on the shared medium with a placeholder rng; the real
+            # per-track stream is transplanted by the nested restore
+            tracker = CDPFTracker(
+                self.scenario,
+                rng=np.random.default_rng(0),
+                config=self.config,
+                neighborhood_estimation=self.neighborhood_estimation,
+                medium=self.medium,
+            )
+            tracker.restore(ts["tracker"])
+            tracks.append(
+                Track(
+                    track_id=int(ts["track_id"]),
+                    tracker=tracker,
+                    born_at=int(ts["born_at"]),
+                    empty_iterations=int(ts["empty_iterations"]),
+                    retired=bool(ts["retired"]),
+                )
+            )
+        self.tracks = tracks
+        self._next_id = int(state["next_id"])
+        self._estimate_iter = (
+            None if state["estimate_iter"] is None else int(state["estimate_iter"])
+        )
+        restore_rng(self.rng, state["rng"])
+        self.stats.restore(state["stats"])
+
+    # ------------------------------------------------------------------
 
     def _associate(self, ctx: StepContext) -> tuple[dict[int, list[int]], list[int]]:
         """Gate each detector to the nearest live track (or leave it free)."""

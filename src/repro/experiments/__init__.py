@@ -2,6 +2,7 @@
 
 from .costmodel import CostModel, cdpf_cost, cdpf_ne_cost, cpf_cost, dpf_cost, sdpf_cost, table1_rows
 from .engine import (
+    RECORD_SCHEMA,
     CellResult,
     JsonlStore,
     RunSummary,
@@ -23,11 +24,17 @@ from .summary import HeadlineClaims, extract_headline_claims
 from .trace import IterationSnapshot, TraceRecorder, render_field_map
 from .sweep import SweepPoint, SweepResult, default_tracker_factories, density_sweep
 from .metrics import ErrorSummary, cost_series, per_iteration_errors, rmse, summarize_errors
-from .runner import TrackingResult, generate_step_context, run_tracking
+from .runner import (
+    TrackingResult,
+    generate_step_context,
+    restore_tracking_run,
+    run_tracking,
+    snapshot_tracking_run,
+)
 
 __all__ = [
     "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
-    "CellResult", "JsonlStore", "RunSummary", "StoreLoadError", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
+    "CellResult", "JsonlStore", "RECORD_SCHEMA", "RunSummary", "StoreLoadError", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
     "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
     "RunOptions", "iteration_subscriber",
     "format_number", "render_ascii_chart", "render_series", "render_table",
@@ -35,5 +42,6 @@ __all__ = [
     "IterationSnapshot", "TraceRecorder", "render_field_map",
     "SweepPoint", "SweepResult", "default_tracker_factories", "density_sweep",
     "ErrorSummary", "cost_series", "per_iteration_errors", "rmse", "summarize_errors",
-    "TrackingResult", "generate_step_context", "run_tracking",
+    "TrackingResult", "generate_step_context", "restore_tracking_run",
+    "run_tracking", "snapshot_tracking_run",
 ]

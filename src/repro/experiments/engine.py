@@ -54,10 +54,17 @@ __all__ = [
     "RunSummary",
     "JsonlStore",
     "StoreLoadError",
+    "RECORD_SCHEMA",
     "task_seed_sequences",
     "expand_tasks",
     "run_sweep",
 ]
+
+#: Version of the persisted cell-record payload.  A stored record whose
+#: fingerprint matches but whose schema is *older* than this is treated as
+#: absent (the cell re-runs under the current codec); a *newer* schema is an
+#: error — the store was written by a newer version of this code.
+RECORD_SCHEMA = 2
 
 #: Stream identifiers: the first spawn-key component keeps the three
 #: per-cell streams (deployment+trajectory, tracker internals, sensing
@@ -154,6 +161,7 @@ class CellResult:
     def to_record(self, fingerprint: str) -> dict:
         return {
             "fingerprint": fingerprint,
+            "schema": RECORD_SCHEMA,
             "density": self.density,
             "algorithm": self.algorithm,
             "seed": self.seed,
@@ -282,6 +290,21 @@ class JsonlStore:
             if record.get("fingerprint") != fingerprint:
                 n_foreign += 1
                 continue
+            schema = int(record.get("schema", 1))
+            if schema > RECORD_SCHEMA:
+                raise StoreLoadError(
+                    f"{self.path}:{lineno + 1}: record schema {schema} is newer "
+                    f"than this code's schema {RECORD_SCHEMA}; refusing to "
+                    "guess at its layout"
+                )
+            if record.get("kind") == "checkpoint":
+                continue  # mid-cell checkpoints are not completed cells
+            if schema < RECORD_SCHEMA:
+                # written by an older codec: the payload layout predates the
+                # current one, so the cell is treated as absent and re-runs
+                # (NOT an error — mixed-vintage stores are a normal upgrade
+                # artifact, and re-running is always safe)
+                continue
             try:
                 cell = CellResult.from_record(record)
             except (KeyError, TypeError, ValueError) as exc:
@@ -306,11 +329,64 @@ class JsonlStore:
             )
         return cells
 
+    def load_checkpoints(self, fingerprint: str) -> dict[tuple[float, str, int], "RunCheckpoint"]:
+        """The latest readable mid-cell checkpoint per cell for this sweep.
+
+        Checkpoint records ride the same JSONL file as completed cells
+        (``kind == "checkpoint"``); the last one appended per cell wins.  A
+        checkpoint that fails its integrity check is skipped — re-running the
+        cell from scratch is always safe, so checkpoint corruption is never
+        fatal the way result corruption is.
+        """
+        from ..runtime.checkpoint import CheckpointError, RunCheckpoint
+
+        checkpoints: dict[tuple[float, str, int], RunCheckpoint] = {}
+        if not self.path.exists():
+            return checkpoints
+        raw = self.path.read_text(encoding="utf-8").splitlines()
+        lines = [line.strip() for line in raw if line.strip()]
+        for pos, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if pos == len(lines) - 1:
+                    continue  # truncated tail from an interrupted append
+                raise  # load() reports this corruption with full context
+            if not isinstance(record, dict) or record.get("kind") != "checkpoint":
+                continue
+            if record.get("fingerprint") != fingerprint:
+                continue
+            if int(record.get("schema", 1)) != RECORD_SCHEMA:
+                continue
+            key = (
+                float(record["density"]),
+                str(record["algorithm"]),
+                int(record["seed"]),
+            )
+            try:
+                checkpoints[key] = RunCheckpoint.from_dict(record["checkpoint"])
+            except (CheckpointError, KeyError, TypeError, ValueError):
+                continue
+        return checkpoints
+
     def append(self, record: dict) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record) + "\n")
             handle.flush()
+
+
+def checkpoint_record(fingerprint: str, task: SweepTask, checkpoint) -> dict:
+    """The JSONL record shape of one mid-cell checkpoint."""
+    return {
+        "fingerprint": fingerprint,
+        "schema": RECORD_SCHEMA,
+        "kind": "checkpoint",
+        "density": task.density,
+        "algorithm": task.algorithm,
+        "seed": task.seed,
+        "checkpoint": checkpoint.to_dict(),
+    }
 
 
 def _canonical_value(value, path: str):
@@ -388,11 +464,22 @@ class _TaskSpec:
     trajectory_kwargs: dict
 
 
-def _execute_task(spec: _TaskSpec) -> CellResult:
+def _execute_task(
+    spec: _TaskSpec,
+    checkpoint_every: int | None = None,
+    checkpoint_sink: Callable | None = None,
+    resume_from=None,
+) -> CellResult:
     """Run one cell: build the world from its streams, track, summarize.
 
     Module-level so it pickles into worker processes; a pure function of
     the spec, which is what makes serial and parallel execution identical.
+    The checkpoint parameters default to off so every existing positional
+    call site (including the lock-step backend's fallback) is unchanged;
+    ``resume_from`` transplants a :class:`~repro.runtime.checkpoint.
+    RunCheckpoint` into the freshly built world — the world construction
+    itself always runs, because restore-in-place needs the configuration-
+    identical object graph to transplant into.
     """
     from ..scenario import make_paper_scenario, make_trajectory
     from .runner import run_tracking
@@ -409,7 +496,13 @@ def _execute_task(spec: _TaskSpec) -> CellResult:
     )
     tracker = spec.factory(scenario, np.random.default_rng(streams["tracker"]))
     result = run_tracking(
-        tracker, scenario, trajectory, rng=np.random.default_rng(streams["sensing"])
+        tracker,
+        scenario,
+        trajectory,
+        rng=np.random.default_rng(streams["sensing"]),
+        checkpoint_every=checkpoint_every,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
     )
     return CellResult(
         density=task.density,
@@ -435,6 +528,7 @@ def run_sweep(
     max_workers: int = 1,
     store: JsonlStore | str | Path | None = None,
     backend: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> tuple[list[CellResult], RunSummary]:
     """Execute a task list and return its cells in task order, plus timing.
 
@@ -459,6 +553,14 @@ def run_sweep(
       path.  Bit-identical to the serial engine by construction.
 
     Every backend produces the same cells in the same task order.
+
+    With ``checkpoint_every=n`` (requires a ``store``), every in-flight cell
+    appends a mid-cell checkpoint record to the store after each ``n``-th
+    completed iteration; an interrupted sweep then resumes each partial cell
+    from its latest checkpoint instead of from iteration 0, bit-identical to
+    the uninterrupted run.  Checkpointing executes cells in-process — the
+    batched backend routes its cells through the per-cell serial path, and
+    the process pool is rejected outright.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -468,6 +570,17 @@ def run_sweep(
         )
     if backend == "process" and max_workers < 2:
         raise ValueError("backend='process' needs max_workers > 1")
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if store is None:
+            raise ValueError("checkpoint_every requires a store to append to")
+        if backend == "process" or (backend is None and max_workers > 1):
+            raise ValueError(
+                "checkpoint_every requires in-process execution; use "
+                "backend='serial' or 'batched' (checkpoint records stream "
+                "into the store as cells run, which a process pool cannot do)"
+            )
     scenario_kwargs = dict(scenario_kwargs or {})
     trajectory_kwargs = dict(trajectory_kwargs or {})
     for task in tasks:
@@ -503,7 +616,7 @@ def run_sweep(
 
     t0 = time.perf_counter()
     remaining = pending
-    if backend == "batched" and pending:
+    if backend == "batched" and pending and checkpoint_every is None:
         from .lockstep import partition_batchable, run_lockstep
 
         batchable, remaining = partition_batchable(pending)
@@ -513,12 +626,31 @@ def run_sweep(
                 store.append(cell.to_record(fingerprint))
     use_pool = (
         backend != "serial"
+        and checkpoint_every is None
         and max_workers > 1
         and len(remaining) > 1
     )
     if not use_pool:
+        partial = (
+            store.load_checkpoints(fingerprint)
+            if checkpoint_every is not None
+            else {}
+        )
         for i, spec in remaining:
-            cell = _execute_task(spec)
+            if checkpoint_every is not None:
+                task = spec.task
+
+                def sink(cp, task=task):
+                    store.append(checkpoint_record(fingerprint, task, cp))
+
+                cell = _execute_task(
+                    spec,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_sink=sink,
+                    resume_from=partial.get(task.key),
+                )
+            else:
+                cell = _execute_task(spec)
             results[i] = cell
             if store is not None:
                 store.append(cell.to_record(fingerprint))

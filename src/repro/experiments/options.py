@@ -7,10 +7,10 @@ widened the signature of every wrapper that forwards to the runner.  This
 module freezes that growth: all run-shaping knobs live in one immutable
 :class:`RunOptions` value that callers build once and pass as ``options=``.
 
-The old keyword arguments still work through a deprecation shim in the
-runner (they warn once per named option per process and are merged into a
-``RunOptions``), so external callers keep running; in-repo code always
-passes ``options=``.
+The old bare keyword arguments (``fault_plan`` / ``on_iteration`` / ``bus``
+passed directly to ``run_tracking``) went through a warn-once deprecation
+shim for one release and are now rejected with a :class:`TypeError` naming
+the offending keywords and the ``options=RunOptions(...)`` migration.
 
 For per-iteration observation, prefer subscribing to the event bus over the
 legacy callback::
@@ -23,7 +23,6 @@ legacy callback::
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
@@ -79,32 +78,3 @@ def iteration_subscriber(callback: IterationCallback) -> Callable[[Any], None]:
             callback(event.iteration, event.context, event.estimate)
 
     return handler
-
-
-# -- deprecation shim state --------------------------------------------------
-
-#: legacy option names already warned about this process.  Warning is
-#: once *per named option*, not once globally: a caller who migrated
-#: ``on_iteration`` but still passes ``fault_plan`` bare gets told about
-#: ``fault_plan`` the first time it appears.
-_warned_legacy_kwargs: set[str] = set()
-
-
-def warn_legacy_run_kwargs(names: list[str]) -> None:
-    """Warn (once per named option per process) that bare run_tracking kwargs
-    are deprecated."""
-    fresh = [name for name in names if name not in _warned_legacy_kwargs]
-    if not fresh:
-        return
-    _warned_legacy_kwargs.update(fresh)
-    warnings.warn(
-        f"passing {', '.join(fresh)} directly to run_tracking is deprecated; "
-        "pass options=RunOptions(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def reset_legacy_kwargs_warning() -> None:
-    """Re-arm the once-per-option deprecation warnings (test helper)."""
-    _warned_legacy_kwargs.clear()

@@ -14,25 +14,28 @@ estimate under the iteration it refers to, so RMSE compares like with like.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import Callable
 
 import numpy as np
 
 from ..models.trajectory import Trajectory
 from ..runtime import EventBus, IterationEvent, PhaseProfile
+from ..runtime.checkpoint import RunCheckpoint, restore_rng, snapshot_rng
 from ..scenario import Scenario, StepContext, Tracker
 from .metrics import ErrorSummary, cost_series, summarize_errors
-from .options import RunOptions, warn_legacy_run_kwargs
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..network.faults import FaultPlan
+from .options import RunOptions
 
 __all__ = [
     "TrackingResult",
     "run_tracking",
     "generate_step_context",
     "summarize_tracking_run",
+    "snapshot_tracking_run",
+    "restore_tracking_run",
 ]
+
+#: the bare run-shaping keywords retired in favor of ``options=RunOptions(...)``
+_RETIRED_KWARGS = frozenset({"fault_plan", "on_iteration", "bus"})
 
 
 @dataclass
@@ -164,6 +167,57 @@ def generate_multi_step_context(
     return StepContext(iteration=k, detectors=detectors, measurements=measurements)
 
 
+def snapshot_tracking_run(
+    tracker: Tracker,
+    *,
+    rng: np.random.Generator,
+    next_iteration: int,
+    estimates: dict[int, np.ndarray],
+    detectors_per_iteration: list[int],
+) -> RunCheckpoint:
+    """Compose the full run-level checkpoint at an iteration boundary.
+
+    The tracker snapshots its own mutable state (particles, estimate memory,
+    stats, RNG stream); the medium — owned at this layer, shared across
+    trackers under the multi-target wrapper — snapshots separately; the
+    runner contributes its loop state: the sensing stream, the next
+    iteration index, and the accumulated estimate/detector series.
+    """
+    payload = {
+        "tracker": tracker.snapshot(),
+        "medium": tracker.medium.snapshot(),
+        "sensing_rng": snapshot_rng(rng),
+        "next_iteration": int(next_iteration),
+        "estimates": [
+            [int(i), np.asarray(est, dtype=np.float64)]
+            for i, est in sorted(estimates.items())
+        ],
+        "detectors": [int(d) for d in detectors_per_iteration],
+    }
+    return RunCheckpoint(iteration=int(next_iteration) - 1, payload=payload)
+
+
+def restore_tracking_run(
+    tracker: Tracker,
+    checkpoint: RunCheckpoint,
+    *,
+    rng: np.random.Generator,
+) -> tuple[int, dict[int, np.ndarray], list[int]]:
+    """Transplant a checkpoint into a freshly built, configuration-identical
+    run.  Returns ``(next_iteration, estimates, detectors_per_iteration)``
+    for the runner to resume its loop from."""
+    payload = checkpoint.payload
+    tracker.restore(payload["tracker"])
+    tracker.medium.restore(payload["medium"])
+    restore_rng(rng, payload["sensing_rng"])
+    estimates = {
+        int(i): np.asarray(est, dtype=np.float64).copy()
+        for i, est in payload["estimates"]
+    }
+    detectors = [int(d) for d in payload["detectors"]]
+    return int(payload["next_iteration"]), estimates, detectors
+
+
 def run_tracking(
     tracker: Tracker,
     scenario: Scenario,
@@ -171,9 +225,10 @@ def run_tracking(
     *,
     rng: np.random.Generator,
     options: RunOptions | None = None,
-    fault_plan: "FaultPlan | None" = None,
-    on_iteration: Callable[[int, StepContext, np.ndarray | None], None] | None = None,
-    bus: EventBus | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_sink: Callable[[RunCheckpoint], None] | None = None,
+    resume_from: RunCheckpoint | None = None,
+    **retired: object,
 ) -> TrackingResult:
     """Drive ``tracker`` along the whole trajectory and summarize the run.
 
@@ -191,27 +246,30 @@ def run_tracking(
     ``options.on_iteration`` is the legacy plain-callable hook (prefer a bus
     subscriber via :func:`~repro.experiments.options.iteration_subscriber`).
 
-    The bare ``fault_plan`` / ``on_iteration`` / ``bus`` keywords are a
-    deprecated spelling of the same knobs: they still work (merged into a
-    ``RunOptions``, identical behavior) but warn once per process.
+    Checkpointing: with ``checkpoint_every=n``, after every ``n``-th
+    completed iteration the full run state (tracker, medium, sensing stream,
+    accumulated estimates) is snapshotted into a
+    :class:`~repro.runtime.checkpoint.RunCheckpoint` and handed to
+    ``checkpoint_sink``.  ``resume_from`` transplants such a checkpoint into
+    a freshly built, configuration-identical run and continues from the next
+    iteration — bit-identical to the uninterrupted run.
     """
-    legacy = [
-        name
-        for name, value in (
-            ("fault_plan", fault_plan),
-            ("on_iteration", on_iteration),
-            ("bus", bus),
-        )
-        if value is not None
-    ]
-    if legacy:
-        warn_legacy_run_kwargs(legacy)
-        if options is not None:
+    if retired:
+        names = sorted(set(retired) & _RETIRED_KWARGS)
+        if names:
             raise TypeError(
-                "pass run knobs either via options=RunOptions(...) or the "
-                f"deprecated bare kwargs ({', '.join(legacy)}), not both"
+                f"run_tracking() no longer accepts the bare {', '.join(names)} "
+                "keyword(s); pass options=RunOptions(...) instead"
             )
-        options = RunOptions(fault_plan=fault_plan, on_iteration=on_iteration, bus=bus)
+        raise TypeError(
+            "run_tracking() got unexpected keyword argument(s): "
+            + ", ".join(sorted(retired))
+        )
+    if checkpoint_every is not None:
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if checkpoint_sink is None:
+            raise ValueError("checkpoint_every requires a checkpoint_sink callable")
     if options is None:
         options = RunOptions()
     fault_plan = options.fault_plan
@@ -220,12 +278,17 @@ def run_tracking(
     n_iter = trajectory.n_iterations
     estimates: dict[int, np.ndarray] = {}
     detectors_per_iteration: list[int] = []
+    start = 0
+    if resume_from is not None:
+        start, estimates, detectors_per_iteration = restore_tracking_run(
+            tracker, resume_from, rng=rng
+        )
 
     pipeline = getattr(tracker, "pipeline", None)
     if bus is not None and pipeline is not None:
         pipeline.bus = bus
 
-    for k in range(n_iter + 1):
+    for k in range(start, n_iter + 1):
         if fault_plan is not None:
             fault_plan.apply(tracker.medium, k)
         ctx = generate_step_context(scenario, trajectory, k, rng)
@@ -260,6 +323,20 @@ def run_tracking(
                     estimate_iteration=(
                         tracker.estimate_iteration() if est is not None else None
                     ),
+                )
+            )
+        if (
+            checkpoint_every is not None
+            and (k + 1) % checkpoint_every == 0
+            and k < n_iter
+        ):
+            checkpoint_sink(
+                snapshot_tracking_run(
+                    tracker,
+                    rng=rng,
+                    next_iteration=k + 1,
+                    estimates=estimates,
+                    detectors_per_iteration=detectors_per_iteration,
                 )
             )
 

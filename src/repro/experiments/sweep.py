@@ -111,6 +111,7 @@ def density_sweep(
     max_workers: int = 1,
     store: JsonlStore | str | Path | None = None,
     backend: str | None = None,
+    checkpoint_every: int | None = None,
 ) -> SweepResult:
     """The Figure 5/6 protocol: densities x algorithms x seeds.
 
@@ -129,6 +130,10 @@ def density_sweep(
     :func:`repro.experiments.engine.run_sweep`).
     ``store`` names a JSONL file persisting completed cells: an interrupted
     sweep rerun with the same store resumes, skipping finished cells.
+    ``checkpoint_every`` additionally streams mid-cell checkpoints into the
+    store every ``n`` iterations, so the in-flight cell itself resumes from
+    its last checkpoint instead of restarting (requires ``store``; see
+    :func:`repro.experiments.engine.run_sweep`).
 
     ``on_result`` is called once per cell in deterministic task order after
     the sweep body; for cells resumed from a store, the ``TrackingResult``
@@ -147,6 +152,7 @@ def density_sweep(
         max_workers=max_workers,
         store=store,
         backend=backend,
+        checkpoint_every=checkpoint_every,
     )
     points: dict[tuple[float, str], SweepPoint] = {
         (float(d), name): SweepPoint(float(d), name)

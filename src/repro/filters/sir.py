@@ -178,6 +178,39 @@ class SISFilter:
         """Step 4: the weighted-mean state estimate."""
         return self._require_particles().mean()
 
+    # -- checkpoint protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The cloud and counters.  The RNG is deliberately excluded: the
+        owning tracker restores its stream exactly once (CPF/DPF share one
+        generator object between tracker and filter)."""
+        particles = self.particles
+        return {
+            "particles": (
+                None
+                if particles is None
+                else {
+                    "states": particles.states.copy(),
+                    "weights": particles.weights.copy(),
+                }
+            ),
+            "resample_count": int(self.resample_count),
+            "iteration": int(self.iteration),
+        }
+
+    def restore(self, state: dict) -> None:
+        cloud = state["particles"]
+        self.particles = (
+            None
+            if cloud is None
+            else ParticleSet(
+                np.asarray(cloud["states"], dtype=np.float64),
+                np.asarray(cloud["weights"], dtype=np.float64),
+            )
+        )
+        self.resample_count = int(state["resample_count"])
+        self.iteration = int(state["iteration"])
+
     def step(self, observations: Sequence[Observation]) -> np.ndarray:
         """One full iteration; returns the state estimate."""
         self.predict()

@@ -141,6 +141,23 @@ class LinkModel:
     def reset(self) -> None:
         """Discard any per-link state (Gilbert-Elliott chains etc.)."""
 
+    # -- checkpoint protocol -------------------------------------------------
+    # Every draw is keyed on (seed, link, iteration, nonce), so the models
+    # are stateless up to memoization; the base snapshot is empty and
+    # subclasses with per-link chains override it.  Static parameters are
+    # never carried: restore happens into an identically configured model.
+
+    def snapshot(self) -> dict:
+        return {"type": type(self).__name__}
+
+    def restore(self, state: dict) -> None:
+        expected = type(self).__name__
+        if state.get("type") != expected:
+            raise ValueError(
+                f"link snapshot of type {state.get('type')!r} cannot be "
+                f"restored into a {expected}"
+            )
+
 
 @dataclass
 class IIDLossLink(LinkModel):
@@ -348,6 +365,24 @@ class GilbertElliottLink(LinkModel):
         pi_bad = self.p_good_to_bad / denom if denom > 0 else 0.0
         return 1.0 - (pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good)
 
+    def snapshot(self) -> dict:
+        # the chain positions are a replayable memo (state at k is a pure
+        # function of seed/link/k), but carrying them keeps the lazy advance
+        # O(1) after a restore instead of replaying every chain from origin
+        state = super().snapshot()
+        state["chains"] = [
+            [int(s), int(r), bool(bad), int(at)]
+            for (s, r), (bad, at) in sorted(self._state.items())
+        ]
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self._state = {
+            (int(s), int(r)): (bool(bad), int(at))
+            for s, r, bad, at in state["chains"]
+        }
+
 
 @dataclass
 class DelayingLink(LinkModel):
@@ -364,6 +399,15 @@ class DelayingLink(LinkModel):
 
     def reset(self) -> None:
         self.inner.reset()
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        state["inner"] = self.inner.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        super().restore(state)
+        self.inner.restore(state["inner"])
 
     def delivery_probability(self, distance: float) -> float:
         return self.inner.delivery_probability(distance)

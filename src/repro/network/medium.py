@@ -131,6 +131,19 @@ class _AppendLog:
     def rows(self) -> np.ndarray:
         return self._buf[:, : self.n]
 
+    def snapshot(self) -> np.ndarray:
+        return self.rows().copy()
+
+    def restore(self, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        n = rows.shape[1]
+        cap = 16
+        while cap < n:
+            cap *= 2
+        self._buf = np.zeros((5, cap), dtype=np.int64)
+        self._buf[:, :n] = rows
+        self.n = n
+
 
 class CommAccounting:
     """Ledger of transmissions: bytes and message counts, total and per key.
@@ -409,6 +422,40 @@ class CommAccounting:
         for (_it, _cat, phase), (_b, m) in self.dropped_by_phase_key.items():
             out[phase] += m
         return dict(out)
+
+    # -- checkpoint protocol ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Totals, both SoA logs, the intern tables, and the phase stack.
+
+        The lazily materialized dict views are derived caches and are not
+        carried; they rebuild on first access after a restore.
+        """
+        return {
+            "total_bytes": int(self.total_bytes),
+            "total_messages": int(self.total_messages),
+            "total_dropped_bytes": int(self.total_dropped_bytes),
+            "total_dropped_messages": int(self.total_dropped_messages),
+            "phase_stack": list(self.phase_stack),
+            "charged": self._charged.snapshot(),
+            "dropped": self._dropped.snapshot(),
+            "categories": list(self._cats),
+            "phases": list(self._phases),
+        }
+
+    def restore(self, state: dict) -> None:
+        self.total_bytes = int(state["total_bytes"])
+        self.total_messages = int(state["total_messages"])
+        self.total_dropped_bytes = int(state["total_dropped_bytes"])
+        self.total_dropped_messages = int(state["total_dropped_messages"])
+        self.phase_stack = [str(p) for p in state["phase_stack"]]
+        self._cats = [str(c) for c in state["categories"]]
+        self._cat_ids = {c: i for i, c in enumerate(self._cats)}
+        self._phases = [str(p) for p in state["phases"]]
+        self._phase_ids = {p: i for i, p in enumerate(self._phases)}
+        self._charged.restore(state["charged"])
+        self._dropped.restore(state["dropped"])
+        self._view_cache = {}
 
     def merge(self, other: "CommAccounting") -> None:
         for mine, theirs in ((self._charged, other._charged), (self._dropped, other._dropped)):
@@ -1246,3 +1293,90 @@ class Medium:
     def clear_inboxes(self) -> None:
         self._inbox_log.clear()
         self._inbox_cursor.clear()
+
+    # -- checkpoint protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The medium's mutable state at an iteration boundary.
+
+        Carried: positions (mobility drift accumulates), the failed set
+        (crash faults fire once and never replay), the sleeping set, the
+        partition mask, the round-structured inbox log + cursors, parked
+        delayed copies, the link model's chain state, and the full cost
+        ledger.
+
+        Deliberately NOT carried, because it is derived or recomputed:
+
+        * ``_available`` / ``_offered`` — rebuilt from the sets;
+        * ``_link_nonce`` — keyed per iteration; at a boundary every entry
+          refers to an already-finished iteration and can never be read
+          again;
+        * ``_link_override`` — installed (or cleared) by the fault plan's
+          ``apply`` at the start of every iteration, including the first
+          resumed one;
+        * the per-(drift-event, iteration) mobility marker — it only
+          de-duplicates re-application *within* one iteration.
+        """
+        from .messages import message_to_state
+
+        return {
+            "positions": self.positions.copy(),
+            "asleep": sorted(self._asleep),
+            "failed": sorted(self._failed),
+            "partition": (
+                None if self._partition is None else self._partition.copy()
+            ),
+            "inbox_log": [
+                [receivers.copy(), message_to_state(message)]
+                for receivers, message in self._inbox_log
+            ],
+            "inbox_cursor": {
+                int(k): int(v) for k, v in self._inbox_cursor.items()
+            },
+            "delayed": [
+                [int(due), int(node), message_to_state(message)]
+                for due, node, message in self._delayed
+            ],
+            "link_model": (
+                None if self.link_model is None else self.link_model.snapshot()
+            ),
+            "accounting": self.accounting.snapshot(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Transplant a snapshot into this (configuration-identical) medium."""
+        from .messages import message_from_state
+
+        positions = np.asarray(state["positions"], dtype=np.float64)
+        if not np.array_equal(positions, self.positions):
+            # mobility moved the nodes before the snapshot; detach from any
+            # shared cache exactly as update_positions does on a live run
+            self.update_positions(positions)
+        self._asleep = set(int(i) for i in state["asleep"])
+        self._failed = set(int(i) for i in state["failed"])
+        partition = state["partition"]
+        self._partition = (
+            None if partition is None else np.asarray(partition, dtype=bool)
+        )
+        self._inbox_log = [
+            (np.asarray(receivers, dtype=np.intp), message_from_state(message))
+            for receivers, message in state["inbox_log"]
+        ]
+        self._inbox_cursor = {
+            int(k): int(v) for k, v in state["inbox_cursor"].items()
+        }
+        self._delayed = [
+            (int(due), int(node), message_from_state(message))
+            for due, node, message in state["delayed"]
+        ]
+        if state["link_model"] is not None:
+            if self.link_model is None:
+                raise ValueError(
+                    "snapshot carries link-model state but this medium has "
+                    "no link model; restore needs an identically configured "
+                    "world"
+                )
+            self.link_model.restore(state["link_model"])
+        self.accounting.restore(state["accounting"])
+        self._link_nonce = {}
+        self._rebuild_available()

@@ -17,6 +17,7 @@ duty-cycled networks.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import ClassVar
 
@@ -35,6 +36,8 @@ __all__ = [
     "FilterStateMessage",
     "WakeupMessage",
     "EstimateReportMessage",
+    "message_to_state",
+    "message_from_state",
 ]
 
 
@@ -315,3 +318,61 @@ class EstimateReportMessage(Message):
 
     def payload_bytes(self, sizes: DataSizes) -> int:
         return sizes.measurement * 2
+
+
+# ---------------------------------------------------------------------------
+# checkpoint codec: messages <-> plain state dicts
+# ---------------------------------------------------------------------------
+
+#: every concrete wire type, by class name — the checkpoint registry.  The
+#: wire codec (``network.codec``) is lossy fixed-point and unusable here;
+#: checkpoints must restore the exact float64 fields.
+_MESSAGE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ParticleMessage,
+        MeasurementMessage,
+        WeightReportMessage,
+        TotalWeightMessage,
+        QueryMessage,
+        AckMessage,
+        QuantizedMeasurementMessage,
+        FilterStateMessage,
+        WakeupMessage,
+        EstimateReportMessage,
+    )
+}
+
+
+def message_to_state(message: Message) -> dict:
+    """Lossless plain-state form of one message (class name + field values).
+
+    Arrays stay numpy arrays; the checkpoint codec serializes them exactly.
+    """
+    name = type(message).__name__
+    if name not in _MESSAGE_TYPES:
+        raise TypeError(
+            f"cannot checkpoint a {name}; register it in messages._MESSAGE_TYPES"
+        )
+    return {
+        "type": name,
+        "fields": {
+            f.name: getattr(message, f.name)
+            for f in dataclasses.fields(message)
+        },
+    }
+
+
+def message_from_state(state: dict) -> Message:
+    """Rebuild a message from :func:`message_to_state` output.
+
+    Construction goes through the class's own ``__post_init__`` validation,
+    so a corrupted checkpoint fails loudly instead of producing an invalid
+    message.
+    """
+    cls = _MESSAGE_TYPES.get(state.get("type"))
+    if cls is None:
+        raise TypeError(
+            f"unknown checkpointed message type {state.get('type')!r}"
+        )
+    return cls(**state["fields"])

@@ -95,6 +95,19 @@ class ReliableUnicast:
         self.blacklist: set[int] = set()
         self._delivered_keys: set[tuple] = set()
 
+    # -- checkpoint protocol -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The timeout blacklist; ``_delivered_keys`` is not carried because
+        its entries embed ``id(message)`` — they suppress duplicates within
+        one convergecast round only, and a checkpoint boundary is never
+        inside a round."""
+        return {"blacklist": sorted(self.blacklist)}
+
+    def restore(self, state: dict) -> None:
+        self.blacklist = set(int(i) for i in state["blacklist"])
+        self._delivered_keys = set()
+
     # ------------------------------------------------------------------
 
     def send_many(self, requests, iteration: int) -> list[Delivery | None]:

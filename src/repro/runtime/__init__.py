@@ -7,6 +7,7 @@ common counters, the :class:`EventBus` carries typed instrumentation events,
 and :class:`PhaseProfile` summarizes a run per phase (Table I, measured).
 """
 
+from .checkpoint import Checkpointable, CheckpointError, RunCheckpoint
 from .events import EventBus, IterationEvent, PhaseEvent
 from .invariants import (
     InvariantMonitor,
@@ -20,6 +21,8 @@ from .profile import PhaseProfile
 from .stats import TrackerStats
 
 __all__ = [
+    "CheckpointError",
+    "Checkpointable",
     "EventBus",
     "InvariantMonitor",
     "InvariantViolation",
@@ -30,6 +33,7 @@ __all__ = [
     "PhasedTracker",
     "PhasePipeline",
     "PhaseProfile",
+    "RunCheckpoint",
     "TrackerStats",
     "check_ledger_conservation",
     "check_reliable_run_clean",

@@ -18,6 +18,7 @@ Tracker-specific extensions subclass it (see ``repro.core.cdpf.CDPFStats``).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 __all__ = ["TrackerStats"]
@@ -50,3 +51,28 @@ class TrackerStats:
         self.creators_per_iteration.append(n_creators)
         if n_holders == 0:
             self.track_lost_iterations += 1
+
+    # -- checkpoint protocol -------------------------------------------------
+    # Generic over the dataclass fields, so tracker-specific subclasses
+    # (CDPFStats) inherit a complete snapshot for free.
+
+    def snapshot(self) -> dict:
+        """All counter fields by name (lists/dicts copied, scalars as-is)."""
+        state: dict = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, list):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            state[f.name] = value
+        return state
+
+    def restore(self, state: dict) -> None:
+        for f in dataclasses.fields(self):
+            value = state[f.name]
+            if isinstance(value, list):
+                value = list(value)
+            elif isinstance(value, dict):
+                value = dict(value)
+            setattr(self, f.name, value)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.engine import (
+    RECORD_SCHEMA,
     CellResult,
     JsonlStore,
     RunSummary,
@@ -219,10 +220,48 @@ class TestJsonlStore:
         path = tmp_path / "s.jsonl"
         store = JsonlStore(path)
         with path.open("a") as h:
-            h.write('{"fingerprint": "fp"}\n')  # right sweep, missing fields
+            # right sweep, current schema, missing fields
+            h.write('{"fingerprint": "fp", "schema": %d}\n' % RECORD_SCHEMA)
         store.append(self._record(seed=1))
         with pytest.raises(StoreLoadError, match="cannot be read back"):
             store.load("fp")
+
+    def test_old_schema_record_treated_as_absent(self, tmp_path):
+        """A fingerprint-matching record written by an older payload codec is
+        not an error: the cell simply re-runs.  Mixed-vintage stores are a
+        normal upgrade artifact."""
+        path = tmp_path / "s.jsonl"
+        store = JsonlStore(path)
+        old = self._record(seed=0)
+        del old["schema"]  # schema-1 records predate the schema key
+        store.append(old)
+        store.append(self._record(seed=1))
+        cells = store.load("fp")
+        assert set(cells) == {(5.0, "CDPF", 1)}
+
+    def test_newer_schema_record_raises(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        rec = self._record(seed=0)
+        rec["schema"] = RECORD_SCHEMA + 1
+        store.append(rec)
+        with pytest.raises(StoreLoadError, match="newer"):
+            store.load("fp")
+
+    def test_checkpoint_records_are_not_results(self, tmp_path):
+        store = JsonlStore(tmp_path / "s.jsonl")
+        store.append(
+            {
+                "fingerprint": "fp",
+                "schema": RECORD_SCHEMA,
+                "kind": "checkpoint",
+                "density": 5.0,
+                "algorithm": "CDPF",
+                "seed": 0,
+                "checkpoint": {"version": 1, "iteration": 3, "payload": {}},
+            }
+        )
+        store.append(self._record(seed=1))
+        assert set(store.load("fp")) == {(5.0, "CDPF", 1)}
 
     def test_non_object_line_raises(self, tmp_path):
         path = tmp_path / "s.jsonl"

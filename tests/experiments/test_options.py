@@ -1,4 +1,4 @@
-"""RunOptions, the factory registry, and the deprecation shims."""
+"""RunOptions, the factory registry, and the retired legacy-kwarg surface."""
 
 import pickle
 import warnings
@@ -7,17 +7,8 @@ import numpy as np
 import pytest
 
 from repro import RunOptions, iteration_subscriber, make_tracker, tracker_factory, tracker_names
-from repro.experiments import options as options_mod
 from repro.experiments.runner import run_tracking
 from repro.runtime import EventBus, PhaseEvent
-
-
-@pytest.fixture
-def armed_warning():
-    """Re-arm the once-per-process legacy-kwarg warning around each test."""
-    options_mod.reset_legacy_kwargs_warning()
-    yield
-    options_mod.reset_legacy_kwargs_warning()
 
 
 def _run(small_scenario, small_trajectory, **kwargs):
@@ -31,65 +22,55 @@ def _run(small_scenario, small_trajectory, **kwargs):
     )
 
 
-class TestDeprecationShim:
-    def test_legacy_kwargs_warn_once(self, small_scenario, small_trajectory, armed_warning):
-        seen = []
-        with pytest.warns(DeprecationWarning, match="RunOptions"):
-            _run(small_scenario, small_trajectory,
-                 on_iteration=lambda k, ctx, est: seen.append(k))
-        assert seen  # the hook still fires
-        # second legacy call: no second warning
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            _run(small_scenario, small_trajectory,
-                 on_iteration=lambda k, ctx, est: None)
+class TestRetiredLegacyKwargs:
+    """The bare fault_plan/on_iteration/bus kwargs went through one release
+    of warn-once deprecation and are now rejected outright."""
 
-    def test_warns_once_per_named_option(self, small_scenario, small_trajectory, armed_warning):
-        """Each legacy option warns on its own first use, not once globally."""
-        bus = EventBus()
-        with pytest.warns(DeprecationWarning, match="on_iteration"):
-            _run(small_scenario, small_trajectory, on_iteration=lambda k, ctx, est: None)
-        # a DIFFERENT legacy option still warns, naming only the new one
-        with pytest.warns(DeprecationWarning, match="bus") as record:
-            _run(small_scenario, small_trajectory, bus=bus)
-        assert not any("on_iteration" in str(w.message) for w in record)
-        # repeats of already-warned options stay silent
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            _run(small_scenario, small_trajectory,
-                 on_iteration=lambda k, ctx, est: None, bus=EventBus())
-
-    def test_legacy_and_options_are_exclusive(self, small_scenario, small_trajectory, armed_warning):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="not both"):
-                _run(
-                    small_scenario,
-                    small_trajectory,
-                    options=RunOptions(),
-                    fault_plan=object(),
-                )
-
-    def test_legacy_shape_produces_identical_result(
-        self, small_scenario, small_trajectory, armed_warning
+    @pytest.mark.parametrize("name", ["fault_plan", "on_iteration", "bus"])
+    def test_retired_kwarg_raises_with_migration_hint(
+        self, small_scenario, small_trajectory, name
     ):
-        """Old kwarg spelling and RunOptions produce the same TrackingResult."""
-        from repro.network.faults import FaultPlan, SleepWindow
+        with pytest.raises(TypeError, match=r"RunOptions") as excinfo:
+            _run(small_scenario, small_trajectory, **{name: object()})
+        assert name in str(excinfo.value)
 
-        plan = FaultPlan(events=(SleepWindow(start=1, end=2, seed=3),))
-        with pytest.warns(DeprecationWarning):
-            old = _run(small_scenario, small_trajectory, fault_plan=plan)
-        new = _run(small_scenario, small_trajectory, options=RunOptions(fault_plan=plan))
-        assert set(old.estimates) == set(new.estimates)
-        for k in old.estimates:
-            assert np.array_equal(old.estimates[k], new.estimates[k]), k
-        assert old.total_bytes == new.total_bytes
-        assert old.total_messages == new.total_messages
-        assert old.bytes_by_category == new.bytes_by_category
+    def test_all_retired_kwargs_named_at_once(self, small_scenario, small_trajectory):
+        with pytest.raises(TypeError, match="bus, fault_plan, on_iteration"):
+            _run(
+                small_scenario,
+                small_trajectory,
+                fault_plan=object(),
+                on_iteration=lambda k, ctx, est: None,
+                bus=EventBus(),
+            )
 
-    def test_options_path_never_warns(self, small_scenario, small_trajectory, armed_warning):
+    def test_retired_kwargs_rejected_even_with_options(
+        self, small_scenario, small_trajectory
+    ):
+        with pytest.raises(TypeError, match="RunOptions"):
+            _run(
+                small_scenario,
+                small_trajectory,
+                options=RunOptions(),
+                fault_plan=object(),
+            )
+
+    def test_unknown_kwarg_still_a_plain_typeerror(
+        self, small_scenario, small_trajectory
+    ):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            _run(small_scenario, small_trajectory, no_such_option=1)
+
+    def test_options_path_never_warns(self, small_scenario, small_trajectory):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             _run(small_scenario, small_trajectory, options=RunOptions())
+
+    def test_shim_helpers_are_gone(self):
+        from repro.experiments import options as options_mod
+
+        assert not hasattr(options_mod, "warn_legacy_run_kwargs")
+        assert not hasattr(options_mod, "reset_legacy_kwargs_warning")
 
 
 class TestIterationSubscriber:

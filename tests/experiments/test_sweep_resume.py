@@ -1,0 +1,179 @@
+"""Checkpoint-level sweep resume: interrupted mid-cell, resumed bit-identically.
+
+The plain store resume (``tests/experiments/test_engine.py::TestResume``)
+restarts any interrupted cell from iteration 0.  With ``checkpoint_every``
+the engine also streams mid-cell :class:`RunCheckpoint` records into the
+JSONL store, so even the cell that was in flight when the process died
+resumes from its last completed iteration — and the final sweep is
+bit-identical to the uninterrupted one under every backend.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (
+    JsonlStore,
+    SweepTask,
+    checkpoint_record,
+    expand_tasks,
+    run_sweep,
+    sweep_fingerprint,
+)
+from repro.experiments.sweep import default_tracker_factories, density_sweep
+from repro.runtime.checkpoint import RunCheckpoint
+
+SMALL = dict(
+    scenario_kwargs={"width": 80.0, "height": 60.0},
+    trajectory_kwargs={"start": (5.0, 30.0)},
+)
+
+KW = dict(densities=(5, 10), n_seeds=2, n_iterations=4, **SMALL)
+
+
+def cdpf_factories():
+    return {"CDPF": default_tracker_factories()["CDPF"]}
+
+
+def cells_of(sweep):
+    return {
+        key: (pt.rmse_runs, pt.bytes_runs, pt.messages_runs, pt.coverage_runs)
+        for key, pt in sweep.points.items()
+    }
+
+
+class _DieAfter(JsonlStore):
+    """A JsonlStore that kills the sweep after N appends — the moral
+    equivalent of SIGKILL between two writes."""
+
+    def __init__(self, path, n_appends):
+        super().__init__(path)
+        self.left = n_appends
+
+    def append(self, record):
+        if self.left == 0:
+            raise KeyboardInterrupt("simulated kill")
+        self.left -= 1
+        super().append(record)
+
+
+class TestMidCellResume:
+    def _reference(self):
+        return density_sweep(factories=cdpf_factories(), **KW)
+
+    def test_interrupt_mid_cell_resumes_from_checkpoint(self, tmp_path):
+        reference = self._reference()
+
+        path = tmp_path / "sweep.jsonl"
+        # Die after 5 appends: with checkpoint_every=2 and n_iterations=4,
+        # each cell appends 2 checkpoints then its result — so the kill lands
+        # after cell #1 (3 appends) plus the first checkpoint-and-a-bit of
+        # cell #2, leaving a partial cell whose only trace is a checkpoint.
+        with pytest.raises(KeyboardInterrupt):
+            density_sweep(
+                factories=cdpf_factories(),
+                store=_DieAfter(path, 5),
+                checkpoint_every=2,
+                **KW,
+            )
+        store = JsonlStore(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [rec.get("kind", "result") for rec in lines]
+        assert "checkpoint" in kinds  # the partial cell left a checkpoint
+        assert kinds.count("result") < 4  # ... and no result yet
+
+        resumed = density_sweep(
+            factories=cdpf_factories(), store=store, checkpoint_every=2, **KW
+        )
+        assert cells_of(resumed) == cells_of(reference)
+        # the finished cells were loaded, not recomputed
+        assert resumed.run_summary.n_resumed >= 1
+        assert resumed.run_summary.n_executed < 4
+
+    def test_checkpointed_sweep_matches_plain_and_batched(self, tmp_path):
+        reference = self._reference()
+        batched = density_sweep(factories=cdpf_factories(), backend="batched", **KW)
+        checkpointed = density_sweep(
+            factories=cdpf_factories(),
+            store=tmp_path / "sweep.jsonl",
+            checkpoint_every=1,
+            **KW,
+        )
+        assert cells_of(checkpointed) == cells_of(reference)
+        assert cells_of(batched) == cells_of(reference)
+
+    def test_batched_backend_falls_back_to_serial_when_checkpointing(self, tmp_path):
+        checkpointed = density_sweep(
+            factories=cdpf_factories(),
+            store=tmp_path / "sweep.jsonl",
+            checkpoint_every=2,
+            backend="batched",
+            **KW,
+        )
+        assert cells_of(checkpointed) == cells_of(self._reference())
+
+    def test_resume_prefers_latest_checkpoint(self, tmp_path):
+        """load_checkpoints returns the newest record per cell."""
+        store = JsonlStore(tmp_path / "s.jsonl")
+        fingerprint = "fp"
+        task = SweepTask(5.0, "CDPF", 0)
+        for iteration in (1, 3):
+            cp = RunCheckpoint(iteration=iteration, payload={"marker": iteration + 1})
+            store.append(checkpoint_record(fingerprint, task, cp))
+        partial = store.load_checkpoints(fingerprint)
+        assert partial[task.key].iteration == 3
+
+    def test_unreadable_checkpoint_record_is_skipped(self, tmp_path):
+        """A corrupt checkpoint must never block resume — the cell re-runs."""
+        store = JsonlStore(tmp_path / "s.jsonl")
+        task = SweepTask(5.0, "CDPF", 0)
+        cp = RunCheckpoint(iteration=2, payload={"x": 1})
+        record = checkpoint_record("fp", task, cp)
+        record["checkpoint"]["digest"] = "0" * 64  # tampered
+        store.append(record)
+        assert store.load_checkpoints("fp") == {}
+
+
+class TestValidation:
+    def test_checkpointing_requires_a_store(self):
+        with pytest.raises(ValueError, match="store"):
+            run_sweep(
+                expand_tasks([5.0], ["CDPF"], 1),
+                factories=cdpf_factories(),
+                checkpoint_every=2,
+            )
+
+    def test_checkpointing_rejects_the_process_pool(self, tmp_path):
+        tasks = expand_tasks([5.0], ["CDPF"], 2)
+        for kwargs in ({"max_workers": 2}, {"max_workers": 2, "backend": "process"}):
+            with pytest.raises(ValueError, match="in-process"):
+                run_sweep(
+                    tasks,
+                    factories=cdpf_factories(),
+                    store=tmp_path / "s.jsonl",
+                    checkpoint_every=2,
+                    **kwargs,
+                )
+
+    def test_checkpoint_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            run_sweep(
+                expand_tasks([5.0], ["CDPF"], 1),
+                factories=cdpf_factories(),
+                store=tmp_path / "s.jsonl",
+                checkpoint_every=0,
+            )
+
+    def test_checkpoint_records_carry_the_sweep_fingerprint(self, tmp_path):
+        """Resuming with different sweep parameters must not see the
+        checkpoints (the fingerprint gates them exactly like results)."""
+        path = tmp_path / "sweep.jsonl"
+        density_sweep(
+            factories=cdpf_factories(), store=path, checkpoint_every=2, **KW
+        )
+        fingerprint = sweep_fingerprint(
+            2011, KW["n_iterations"], SMALL["scenario_kwargs"], SMALL["trajectory_kwargs"]
+        )
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert records and all(r["fingerprint"] == fingerprint for r in records)

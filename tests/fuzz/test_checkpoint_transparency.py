@@ -1,0 +1,135 @@
+"""The ``checkpoint_transparency`` fuzz oracle.
+
+For an arbitrary point of the supported config cross-product (deployment x
+sensing x link x faults x tracker), snapshot the run at a random iteration
+boundary, push the checkpoint through its full JSON serialization (what a
+different process reading the sweep store would see), restore it into a
+freshly compiled world, and finish the run.  The resumed run must be
+bit-identical to the uninterrupted one: same estimate arrays, same charged
+and dropped ledgers, same degraded-iteration counters.
+
+A failing config (after hypothesis shrinks it) is serialized into
+``tests/fuzz/corpus/_candidates/`` for corpus promotion, exactly like the
+invariant oracles.  The mutation smoke test at the bottom proves the oracle
+can actually fail: a tampered checkpoint must change the fingerprint.
+"""
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    ScenarioConfig,
+    compile_config,
+    dumps_config,
+    run_fingerprint,
+)
+from repro.experiments.runner import run_tracking
+from repro.runtime.checkpoint import RunCheckpoint
+
+from .strategies import scenario_configs
+
+CANDIDATE_DIR = Path(__file__).parent / "corpus" / "_candidates"
+
+
+def _dump_candidate(config: ScenarioConfig) -> Path:
+    """Persist a failing (shrunk) config for corpus promotion / CI artifacts."""
+    text = dumps_config(config)
+    digest = hashlib.sha256(text.encode()).hexdigest()[:12]
+    CANDIDATE_DIR.mkdir(parents=True, exist_ok=True)
+    path = CANDIDATE_DIR / f"counterexample-{digest}.toml"
+    path.write_text(text)
+    return path
+
+
+def _run_collecting_checkpoints(config: ScenarioConfig):
+    """The uninterrupted run, snapshotting at every iteration boundary."""
+    compiled = compile_config(config)
+    checkpoints: list[RunCheckpoint] = []
+    result = run_tracking(
+        compiled.tracker,
+        compiled.scenario,
+        compiled.trajectory,
+        rng=compiled.rng,
+        options=compiled.options,
+        checkpoint_every=1,
+        checkpoint_sink=checkpoints.append,
+    )
+    return result, checkpoints
+
+
+def _resume(config: ScenarioConfig, checkpoint: RunCheckpoint):
+    """Restore ``checkpoint`` into a fresh process-namespace equivalent:
+    a newly compiled world fed the JSON-round-tripped record."""
+    transported = RunCheckpoint.from_json(checkpoint.to_json())
+    compiled = compile_config(config)
+    return run_tracking(
+        compiled.tracker,
+        compiled.scenario,
+        compiled.trajectory,
+        rng=compiled.rng,
+        options=compiled.options,
+        resume_from=transported,
+    )
+
+
+def _assert_transparent(config: ScenarioConfig, pick: int) -> None:
+    reference, checkpoints = _run_collecting_checkpoints(config)
+    assert checkpoints, "expected at least one iteration boundary"
+    resumed = _resume(config, checkpoints[pick % len(checkpoints)])
+    assert run_fingerprint(resumed) == run_fingerprint(reference), (
+        "resumed run diverged from the uninterrupted run"
+    )
+    # the fingerprint covers estimates and ledger totals; pin the per-category
+    # and per-iteration breakdowns explicitly as well
+    assert resumed.bytes_by_category == reference.bytes_by_category
+    assert resumed.dropped_bytes_by_category == reference.dropped_bytes_by_category
+    assert np.array_equal(
+        resumed.bytes_per_iteration, reference.bytes_per_iteration
+    )
+    assert resumed.degraded_iterations == reference.degraded_iterations
+    assert resumed.detectors_per_iteration == reference.detectors_per_iteration
+
+
+@given(config=scenario_configs(), pick=st.integers(0, 5))
+def test_checkpoint_transparency(config, pick):
+    try:
+        _assert_transparent(config, pick)
+    except AssertionError:
+        path = _dump_candidate(config)
+        print(f"shrunk counterexample written to {path}")
+        raise
+
+
+class TestOracleCanFail:
+    """Mutation smoke test: a corrupt checkpoint must be detected."""
+
+    def _small(self) -> ScenarioConfig:
+        return ScenarioConfig.from_dict(
+            {"deployment": {"width": 55.0, "height": 50.0, "density_per_100m2": 12.0},
+             "trajectory": {"n_iterations": 3, "start": [0.0, 25.0]}}
+        )
+
+    def test_tampered_estimate_history_changes_the_fingerprint(self):
+        config = self._small()
+        reference, checkpoints = _run_collecting_checkpoints(config)
+        checkpoint = checkpoints[-1]
+        assert checkpoint.payload["estimates"], "expected filed estimates"
+        checkpoint.payload["estimates"][0][1] = (
+            np.asarray(checkpoint.payload["estimates"][0][1]) + 1e3
+        )
+        resumed = _resume(config, checkpoint)
+        assert run_fingerprint(resumed) != run_fingerprint(reference)
+
+    def test_tampered_sensing_stream_changes_the_run(self):
+        config = self._small()
+        reference, checkpoints = _run_collecting_checkpoints(config)
+        checkpoint = checkpoints[0]
+        other = np.random.default_rng(999_999)
+        other.standard_normal(50)
+        checkpoint.payload["sensing_rng"] = other.bit_generator.state
+        resumed = _resume(config, checkpoint)
+        assert run_fingerprint(resumed) != run_fingerprint(reference)

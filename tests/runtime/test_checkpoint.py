@@ -1,0 +1,198 @@
+"""Unit tests for the checkpoint codec, RNG round-trips, and RunCheckpoint.
+
+The golden differential suite (``test_checkpoint_golden.py``) proves
+snapshot → restore → continue is bit-identical end to end; this file pins the
+layer underneath it: the exact state codec, the bit-generator round-trip, and
+the versioned/fingerprinted/digested container semantics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointable,
+    CheckpointError,
+    RunCheckpoint,
+    decode_state,
+    encode_state,
+    restore_rng,
+    snapshot_rng,
+)
+
+
+def roundtrip(value):
+    """encode → JSON → decode, exactly the path a stored checkpoint takes."""
+    return decode_state(json.loads(json.dumps(encode_state(value))))
+
+
+class TestStateCodec:
+    def test_scalars_pass_through(self):
+        for v in (None, True, False, 0, -7, 3.25, "text", ""):
+            assert roundtrip(v) == v
+            assert type(roundtrip(v)) is type(v)
+
+    def test_floats_roundtrip_bit_exactly(self):
+        values = [0.1 + 0.2, 1e-308, -0.0, float(np.nextafter(1.0, 2.0))]
+        out = roundtrip(values)
+        for a, b in zip(values, out):
+            assert np.float64(a).view(np.uint64) == np.float64(b).view(np.uint64)
+
+    def test_numpy_scalars_collapse_to_python(self):
+        assert roundtrip(np.int64(12)) == 12
+        assert type(roundtrip(np.int64(12))) is int
+        assert roundtrip(np.float64(2.5)) == 2.5
+        assert roundtrip(np.bool_(True)) is True
+
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([], dtype=np.float64),
+            np.array([[1, 2], [3, 4]], dtype=np.int64).T,  # non-contiguous
+            np.array([True, False, True]),
+            np.array([1.5, np.inf, -np.inf, np.nan]),
+            np.arange(6, dtype=np.intp),
+        ],
+    )
+    def test_ndarray_roundtrips_bit_exactly(self, arr):
+        out = roundtrip(arr)
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert np.array_equal(out, arr, equal_nan=True)
+        assert out.flags.writeable and out.flags.c_contiguous
+
+    def test_arrays_never_serialize_as_decimal_text(self):
+        """The encoded form carries raw dtype bytes, not str(float)."""
+        encoded = encode_state(np.array([0.1 + 0.2]))
+        assert "__ndarray__" in encoded
+        assert "0.3" not in json.dumps(encoded)
+
+    def test_tagged_containers(self):
+        value = {
+            "t": (1, 2.5, "x"),
+            "s": {3, 1, 2},
+            "b": b"\x00\xffraw",
+            "nested": [{"inner": (np.arange(3),)}],
+        }
+        out = roundtrip(value)
+        assert out["t"] == (1, 2.5, "x") and isinstance(out["t"], tuple)
+        assert out["s"] == {1, 2, 3} and isinstance(out["s"], set)
+        assert out["b"] == b"\x00\xffraw"
+        assert np.array_equal(out["nested"][0]["inner"][0], np.arange(3))
+
+    def test_int_keyed_dict_roundtrips(self):
+        value = {3: "c", 1: "a", (0, 1): "pair"}
+        out = roundtrip(value)
+        assert out == {3: "c", 1: "a", (0, 1): "pair"}
+
+    def test_dict_colliding_with_a_tag_key_is_escaped(self):
+        value = {"__ndarray__": "not an array", "x": 1}
+        assert roundtrip(value) == value
+
+    def test_unencodable_value_raises_at_save_time(self):
+        with pytest.raises(CheckpointError, match="cannot encode"):
+            encode_state({"bad": object()})
+
+
+class TestRngRoundtrip:
+    def test_restored_stream_reproduces_draws(self):
+        rng = np.random.default_rng(1234)
+        rng.standard_normal(17)  # advance past the seed point
+        state = roundtrip(snapshot_rng(rng))
+        expected = rng.standard_normal(100)
+        fresh = np.random.default_rng(0)
+        restore_rng(fresh, state)
+        assert np.array_equal(fresh.standard_normal(100), expected)
+
+    def test_snapshot_does_not_advance_the_stream(self):
+        a = np.random.default_rng(5)
+        b = np.random.default_rng(5)
+        snapshot_rng(a)
+        assert np.array_equal(a.standard_normal(10), b.standard_normal(10))
+
+    def test_bad_state_raises_checkpoint_error(self):
+        with pytest.raises(CheckpointError):
+            restore_rng(np.random.default_rng(0), {"bit_generator": "PCG64"})
+
+
+class TestRunCheckpoint:
+    def _checkpoint(self, **kw):
+        payload = {
+            "tracker": {"weights": np.array([0.25, 0.75]), "iter": 4},
+            "sets": {2, 9},
+        }
+        return RunCheckpoint(iteration=4, payload=payload, **kw)
+
+    def test_dict_roundtrip(self):
+        cp = self._checkpoint(fingerprint="abc")
+        out = RunCheckpoint.from_dict(cp.to_dict())
+        assert out.iteration == 4
+        assert out.fingerprint == "abc"
+        assert out.version == CHECKPOINT_VERSION
+        assert np.array_equal(out.payload["tracker"]["weights"], [0.25, 0.75])
+        assert out.payload["sets"] == {2, 9}
+
+    def test_json_and_file_roundtrip(self, tmp_path):
+        cp = self._checkpoint()
+        assert RunCheckpoint.from_json(cp.to_json()).payload["tracker"]["iter"] == 4
+        path = tmp_path / "run.ckpt.json"
+        cp.save(path)
+        assert RunCheckpoint.load(path).iteration == 4
+
+    def test_fingerprint_mismatch_refuses(self):
+        record = self._checkpoint(fingerprint="mine").to_dict()
+        with pytest.raises(CheckpointError, match="different run configuration"):
+            RunCheckpoint.from_dict(record, expect_fingerprint="yours")
+        assert RunCheckpoint.from_dict(record, expect_fingerprint="mine")
+
+    def test_version_mismatch_refuses(self):
+        record = self._checkpoint().to_dict()
+        record["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            RunCheckpoint.from_dict(record)
+
+    def test_tampered_payload_fails_the_digest(self):
+        record = self._checkpoint().to_dict()
+        record["payload"]["tracker"]["iter"] = 5
+        with pytest.raises(CheckpointError, match="digest"):
+            RunCheckpoint.from_dict(record)
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(CheckpointError, match="malformed"):
+            RunCheckpoint.from_dict({"iteration": 1})
+        with pytest.raises(CheckpointError, match="JSON"):
+            RunCheckpoint.from_json("{not json")
+        with pytest.raises(CheckpointError, match="object"):
+            RunCheckpoint.from_json("[1, 2]")
+
+
+class TestProtocolCoverage:
+    """Every stateful layer satisfies the runtime-checkable protocol."""
+
+    def test_layers_are_checkpointable(self):
+        from repro import make_paper_scenario, make_tracker
+        from repro.core.multitarget import MultiTargetCDPF
+        from repro.network.reliability import ReliableUnicast
+        from repro.runtime.stats import TrackerStats
+
+        rng = np.random.default_rng(3)
+        scenario = make_paper_scenario(density_per_100m2=12.0, rng=rng)
+        layers = [
+            make_tracker(name, scenario, rng=np.random.default_rng(i))
+            for i, name in enumerate(
+                ["CPF", "SDPF", "CDPF", "CDPF-NE", "DPF-gmm", "DPF-quantized"]
+            )
+        ]
+        layers += [
+            MultiTargetCDPF(scenario, rng=np.random.default_rng(9)),
+            scenario.make_medium(),
+            scenario.make_medium().accounting,
+            TrackerStats(),
+            ReliableUnicast(scenario.make_medium()),
+        ]
+        for layer in layers:
+            assert isinstance(layer, Checkpointable), type(layer).__name__
