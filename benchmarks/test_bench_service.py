@@ -1,0 +1,224 @@
+"""Tracking-service bench: many concurrent sessions, streaming, failover.
+
+Drives a :class:`~repro.service.SessionManager` (the service brain, minus
+the HTTP socket layer — the wire format is covered by the service tests)
+with a fleet of autorun sessions on the paper scenario, one stream
+subscriber per session, and measures:
+
+* sustained stepping throughput across the worker pool;
+* per-step streaming latency (publish ``ts`` -> subscriber receipt),
+  reported as p50/p95/p99;
+* failover: SIGTERM a worker mid-run and time the respawn + checkpoint
+  resume until the session steps again.
+
+Two determinism gates run in BOTH modes (they are exact, not noisy):
+
+* a sample of concurrent sessions must finish with fingerprints
+  bit-identical to their serial ``run_config`` runs;
+* the SIGTERM'd session's final fingerprint must equal its serial run.
+
+The latency gate (p95 <= ``MAX_P95_MS``) is full-mode only — smoke-size CI
+containers record timings without judging them.  Emits
+``benchmarks/results/BENCH_service.json``.
+
+Scale knobs (environment variables):
+
+    REPRO_BENCH_SMOKE              1 = tiny fleet for CI smoke runs
+    REPRO_BENCH_SERVICE_SESSIONS   full-mode fleet size (default 50)
+    REPRO_BENCH_SERVICE_WORKERS    worker processes (default min(4, cpus))
+    REPRO_BENCH_ITERATIONS         filter iterations per session (default 10)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.config import ScenarioConfig, dumps_config, run_config, run_fingerprint
+from repro.service import ServiceConfig, SessionManager
+from repro.service.streams import QueueClosed
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: Full-mode ceiling for p95 publish-to-subscriber latency.  The stream is
+#: in-process asyncio, so anything beyond this means stepping starves the
+#: consumers (exactly the regression this bench exists to catch).
+MAX_P95_MS = 250.0
+
+
+def fleet_size() -> int:
+    if SMOKE:
+        return 8
+    return int(os.environ.get("REPRO_BENCH_SERVICE_SESSIONS", 50))
+
+
+def n_workers() -> int:
+    default = min(4, os.cpu_count() or 1)
+    return int(os.environ.get("REPRO_BENCH_SERVICE_WORKERS", default))
+
+
+def n_iterations() -> int:
+    if SMOKE:
+        return 3
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", 10))
+
+
+def session_config(seed: int) -> ScenarioConfig:
+    """The paper scenario (default deployment/radio/sensing), per-seed."""
+    return ScenarioConfig.from_dict(
+        {"seed": seed, "trajectory": {"n_iterations": n_iterations()}}
+    )
+
+
+async def _consume(queue, latencies: list, counters: dict) -> None:
+    while True:
+        try:
+            frame = await queue.get()
+        except QueueClosed:
+            return
+        counters["events"] += 1
+        if frame["type"] == "step":
+            latencies.append(time.monotonic() - frame["ts"])
+
+
+async def _drive_fleet() -> dict:
+    sessions = fleet_size()
+    manager = SessionManager(
+        ServiceConfig(
+            n_workers=n_workers(),
+            max_sessions=sessions + 8,
+            high_water=sessions + 4,
+            queue_size=4096,
+        )
+    )
+    await manager.start()
+    latencies: list[float] = []
+    counters = {"events": 0}
+    consumers = []
+    try:
+        t0 = time.perf_counter()
+        for seed in range(sessions):
+            await manager.create_session(
+                dumps_config(session_config(seed)),
+                session_id=f"bench-{seed}",
+                autorun=True,
+            )
+            consumers.append(
+                asyncio.create_task(
+                    _consume(manager.subscribe(f"bench-{seed}"), latencies, counters)
+                )
+            )
+        while any(
+            record.state not in ("finished", "failed")
+            for record in manager.sessions.values()
+        ):
+            await asyncio.sleep(0.02)
+        wall_clock = time.perf_counter() - t0
+        assert all(
+            record.state == "finished" for record in manager.sessions.values()
+        ), "a session failed mid-bench"
+
+        # determinism gate: sampled fleet sessions == their serial runs
+        sample = range(sessions) if SMOKE else (0, sessions // 2, sessions - 1)
+        for seed in sample:
+            concurrent = await manager.result_session(f"bench-{seed}")
+            serial = run_fingerprint(run_config(session_config(seed)))
+            assert concurrent["fingerprint"] == serial, (
+                f"session bench-{seed} diverged from its serial run"
+            )
+
+        metrics = manager.metrics()
+        steps_total = metrics["steps_total"]
+        dropped = metrics["events_dropped_total"]
+    finally:
+        for task in consumers:
+            task.cancel()
+        await asyncio.gather(*consumers, return_exceptions=True)
+        await manager.stop()
+
+    # -- failover drill: SIGTERM a worker mid-run, resume, same answer ------
+    manager = SessionManager(
+        ServiceConfig(n_workers=1, checkpoint_every=1, queue_size=4096)
+    )
+    await manager.start()
+    try:
+        await manager.create_session(
+            dumps_config(session_config(0)), session_id="drill"
+        )
+        await manager.step_session("drill", n=max(1, n_iterations() // 2))
+        t0 = time.perf_counter()
+        os.kill(manager.sessions["drill"].worker.pid, signal.SIGTERM)
+        await manager.step_session("drill")  # triggers failover + resume
+        failover_s = time.perf_counter() - t0
+        await manager.step_session("drill", n=10_000)
+        drill = await manager.result_session("drill")
+        assert manager.sessions["drill"].failovers == 1
+        serial = run_fingerprint(run_config(session_config(0)))
+        assert drill["fingerprint"] == serial, "failover diverged from serial"
+    finally:
+        await manager.stop()
+
+    latencies.sort()
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    return {
+        "smoke": SMOKE,
+        "sessions": sessions,
+        "workers": n_workers(),
+        "n_iterations": n_iterations(),
+        "wall_clock_s": wall_clock,
+        "steps_total": steps_total,
+        "steps_per_sec": steps_total / wall_clock if wall_clock > 0 else 0.0,
+        "stream": {
+            "frames_received": counters["events"],
+            "step_frames_timed": len(latencies),
+            "events_dropped": dropped,
+            "latency_ms": {
+                "p50": pct(0.50) * 1e3,
+                "p95": pct(0.95) * 1e3,
+                "p99": pct(0.99) * 1e3,
+            },
+        },
+        "failover": {
+            "resume_s": failover_s,
+            "bit_identical": True,  # asserted above
+        },
+    }
+
+
+def test_bench_service(report_sink):
+    payload = asyncio.run(_drive_fleet())
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    latency = payload["stream"]["latency_ms"]
+    report_sink(
+        f"BENCH_service ({'smoke' if SMOKE else 'full'} mode): "
+        f"{payload['sessions']} sessions / {payload['workers']} workers | "
+        f"{payload['steps_total']} steps in {payload['wall_clock_s']:.2f} s "
+        f"({payload['steps_per_sec']:.1f} steps/s) | "
+        f"stream p50 {latency['p50']:.1f} ms, p95 {latency['p95']:.1f} ms | "
+        f"failover resume {payload['failover']['resume_s'] * 1e3:.0f} ms "
+        f"(bit-identical)"
+    )
+    assert out.exists()
+
+    if SMOKE:
+        return  # timings recorded, but too noisy to judge at smoke sizes
+
+    assert latency["p95"] <= MAX_P95_MS, (
+        f"p95 streaming latency {latency['p95']:.1f} ms exceeds "
+        f"{MAX_P95_MS:.0f} ms — stepping is starving subscribers"
+    )

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI gate: the tracking service survives a worker kill bit-identically.
+
+Drives the real deployment shape end to end, over real sockets:
+
+1. start ``python -m repro.service`` as a subprocess (its own process tree,
+   its own spawn-method worker pool);
+2. create one autorun session per golden-corpus TOML
+   (``tests/fuzz/corpus/*.toml``);
+3. mid-run, SIGTERM one worker process straight from this script — the
+   service must respawn it and resume its sessions from their latest
+   checkpoints;
+4. wait for every session to finish and diff each result fingerprint
+   against the corpus's committed golden fingerprint
+   (``fingerprints.json``) — the same digests the fuzz corpus replay pins.
+
+Any mismatch, failed session, or missing failover exits non-zero: a killed
+worker must be invisible in the results.
+
+Usage: python scripts/service_smoke_ci.py [--workers N]
+Needs PYTHONPATH=src (or an installed package), like the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "fuzz" / "corpus"
+
+STARTUP_TIMEOUT_S = 30.0
+RUN_TIMEOUT_S = 300.0
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def api(base: str, method: str, path: str, body: dict | None = None) -> dict:
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def wait_for_health(base: str) -> dict:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        try:
+            health = api(base, "GET", "/healthz")
+            if health["status"] == "ok":
+                return health
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("service did not become healthy in time")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    golden = json.loads((CORPUS / "fingerprints.json").read_text())
+    configs = {
+        name: (CORPUS / name).read_text() for name in sorted(golden)
+    }
+    if not configs:
+        raise SystemExit("golden corpus is empty — nothing to smoke")
+
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(REPO / "src"))
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--port", str(port), "--workers", str(args.workers),
+         "--checkpoint-every", "1"],
+        cwd=REPO, env=env,
+    )
+    failures: list[str] = []
+    try:
+        health = wait_for_health(base)
+        print(f"service up: {len(health['workers'])} workers", flush=True)
+
+        for name, config_toml in configs.items():
+            created = api(base, "POST", "/sessions", {
+                "config_toml": config_toml,
+                "session_id": name,
+                "autorun": True,
+            })
+            print(f"created {name}: {created['n_iterations']} iterations "
+                  f"on worker {created['worker']}", flush=True)
+
+        # let the fleet get going, then shoot a worker in the head
+        deadline = time.monotonic() + RUN_TIMEOUT_S
+        while time.monotonic() < deadline:
+            if api(base, "GET", "/metrics")["steps_total"] >= 3:
+                break
+            time.sleep(0.05)
+        victim = api(base, "GET", "/healthz")["workers"][0]
+        os.kill(victim["pid"], signal.SIGTERM)
+        print(f"SIGTERM -> worker {victim['index']} (pid {victim['pid']})",
+              flush=True)
+
+        while time.monotonic() < deadline:
+            sessions = api(base, "GET", "/sessions")["sessions"]
+            states = {s["id"]: s["state"] for s in sessions}
+            if all(state in ("finished", "failed") for state in states.values()):
+                break
+            time.sleep(0.2)
+        else:
+            raise SystemExit("sessions did not finish before the timeout")
+
+        metrics = api(base, "GET", "/metrics")
+        if metrics["failovers_total"] < 1:
+            failures.append(
+                "expected at least one failover after SIGTERM, saw none"
+            )
+        for name in configs:
+            detail = api(base, "GET", f"/sessions/{name}")
+            if detail["state"] != "finished":
+                failures.append(f"{name}: ended in state {detail['state']}")
+                continue
+            result = api(base, "GET", f"/sessions/{name}/result")
+            if result["fingerprint"] != golden[name]:
+                failures.append(
+                    f"{name}: fingerprint {result['fingerprint'][:16]}... != "
+                    f"golden {golden[name][:16]}... "
+                    f"(failovers={detail['failovers']})"
+                )
+            else:
+                print(
+                    f"{name}: fingerprint matches golden "
+                    f"(failovers={detail['failovers']})",
+                    flush=True,
+                )
+        print(f"failovers_total={metrics['failovers_total']} "
+              f"steps_total={metrics['steps_total']}", flush=True)
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nPASS: worker kill was invisible — all session fingerprints "
+          "match the golden corpus")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

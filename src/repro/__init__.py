@@ -26,11 +26,14 @@ exports without updating the snapshot fails CI.
 from .baselines import CPFTracker, DPFTracker, SDPFTracker
 from .core import CDPFTracker, PropagationConfig
 from .experiments import (
+    CheckpointPolicy,
     JsonlStore,
     RunOptions,
     RunSummary,
+    StepOutcome,
     StoreLoadError,
     TrackingResult,
+    TrackingRun,
     density_sweep,
     iteration_subscriber,
     run_tracking,
@@ -63,12 +66,15 @@ from .config import (
     save_config,
 )
 
+# .service builds on .config, so it comes after it
+from .service import ServiceConfig, SessionManager, TrackingService
+
 __version__ = "1.0.0"
 
 __all__ = [
     "CPFTracker", "DPFTracker", "SDPFTracker", "CDPFTracker", "PropagationConfig",
     "JsonlStore", "RunSummary", "StoreLoadError", "TrackingResult", "density_sweep", "run_tracking",
-    "RunOptions", "iteration_subscriber",
+    "CheckpointPolicy", "RunOptions", "StepOutcome", "TrackingRun", "iteration_subscriber",
     "make_tracker", "register_tracker", "tracker_factory", "tracker_names",
     "ParticleSet", "SIRFilter",
     "BearingMeasurement", "ConstantVelocityModel", "random_turn_trajectory",
@@ -79,5 +85,6 @@ __all__ = [
     "Scenario", "StepContext", "make_paper_scenario", "make_trajectory",
     "ConfigError", "ScenarioConfig", "load_config", "run_config",
     "run_fingerprint", "save_config",
+    "ServiceConfig", "SessionManager", "TrackingService",
     "__version__",
 ]

@@ -219,6 +219,12 @@ def build_run_options(config: ScenarioConfig, *, bus: "EventBus | None" = None):
     return RunOptions(fault_plan=build_fault_plan(config), bus=bus)
 
 
+#: execution strategies :meth:`CompiledRun.run` accepts — mirrors
+#: ``run_sweep``'s surface, minus the process pool (a single run has
+#: nothing to fan out; the sweep engines own cross-run parallelism)
+_RUN_BACKENDS = (None, "serial", "batched")
+
+
 @dataclass
 class CompiledRun:
     """A config compiled to live objects, ready to run.
@@ -235,11 +241,56 @@ class CompiledRun:
     options: object
     rng: np.random.Generator
 
-    def run(self) -> "TrackingResult":
+    def run(
+        self,
+        *,
+        backend: str | None = None,
+        checkpoint: "object | None" = None,
+    ) -> "TrackingResult":
+        """Drive the whole run, with the sweep engines' knob surface.
+
+        ``backend`` mirrors :func:`~repro.experiments.engine.run_sweep`:
+        ``None``/``"serial"`` execute in-process; ``"batched"`` is accepted
+        for symmetry and routes down the per-run serial path — a compiled
+        config builds its tracker through ``make_tracker`` with arbitrary
+        config kwargs, which is exactly the envelope the lock-step backend's
+        ``partition_batchable`` sends to the per-cell fallback.  The result
+        is bit-identical either way, which is the backend contract.
+        ``"process"`` is rejected: a single run has nothing to fan out.
+
+        ``checkpoint`` is a :class:`~repro.experiments.options.
+        CheckpointPolicy` merged into the compiled
+        :class:`~repro.experiments.options.RunOptions` — periodic snapshots
+        to the policy's sink, and/or resume from a prior checkpoint,
+        exactly as the sweep engines' ``checkpoint_every`` store records.
+        """
+        import dataclasses
+
         from ..experiments.runner import run_tracking
 
+        if backend not in _RUN_BACKENDS:
+            if backend == "process":
+                raise ValueError(
+                    "backend='process' applies to sweeps (run_sweep/"
+                    "density_sweep), not a single compiled run; use the "
+                    "sweep engines to fan out many configs"
+                )
+            raise ValueError(
+                f"unknown backend {backend!r}; choose 'serial' or 'batched'"
+            )
+        options = self.options
+        if checkpoint is not None:
+            options = dataclasses.replace(options, checkpoint=checkpoint)
         return run_tracking(self.tracker, self.scenario, self.trajectory,
-                            rng=self.rng, options=self.options)
+                            rng=self.rng, options=options)
+
+    def session(self) -> "object":
+        """The run as an incrementally steppable :class:`~repro.experiments.
+        runner.TrackingRun` — what the service layer hosts per session."""
+        from ..experiments.runner import TrackingRun
+
+        return TrackingRun(self.tracker, self.scenario, self.trajectory,
+                           rng=self.rng, options=self.options)
 
 
 def compile_config(
@@ -258,10 +309,21 @@ def compile_config(
 
 
 def run_config(
-    config: ScenarioConfig, *, bus: "EventBus | None" = None
+    config: ScenarioConfig,
+    *,
+    bus: "EventBus | None" = None,
+    backend: str | None = None,
+    checkpoint: "object | None" = None,
 ) -> "TrackingResult":
-    """Compile ``config`` and drive the whole run; fully seed-deterministic."""
-    return compile_config(config, bus=bus).run()
+    """Compile ``config`` and drive the whole run; fully seed-deterministic.
+
+    ``backend`` and ``checkpoint`` forward to :meth:`CompiledRun.run`, so
+    the config-compiler path carries the same execution-strategy and
+    checkpoint/resume surface as ``run_sweep``/``density_sweep``.
+    """
+    return compile_config(config, bus=bus).run(
+        backend=backend, checkpoint=checkpoint
+    )
 
 
 def run_fingerprint(result: "TrackingResult") -> str:

@@ -18,14 +18,16 @@ from .figures import (
     figure5_communication_cost,
     figure6_estimation_error,
 )
-from .options import RunOptions, iteration_subscriber
+from .options import CheckpointPolicy, RunOptions, iteration_subscriber
 from .report import format_number, render_ascii_chart, render_series, render_table
 from .summary import HeadlineClaims, extract_headline_claims
 from .trace import IterationSnapshot, TraceRecorder, render_field_map
 from .sweep import SweepPoint, SweepResult, default_tracker_factories, density_sweep
 from .metrics import ErrorSummary, cost_series, per_iteration_errors, rmse, summarize_errors
 from .runner import (
+    StepOutcome,
     TrackingResult,
+    TrackingRun,
     generate_step_context,
     restore_tracking_run,
     run_tracking,
@@ -36,12 +38,12 @@ __all__ = [
     "CostModel", "cdpf_cost", "cdpf_ne_cost", "cpf_cost", "dpf_cost", "sdpf_cost", "table1_rows",
     "CellResult", "JsonlStore", "RECORD_SCHEMA", "RunSummary", "StoreLoadError", "SweepTask", "expand_tasks", "run_sweep", "task_seed_sequences",
     "Figure4Data", "figure4_estimation_example", "figure5_communication_cost", "figure6_estimation_error",
-    "RunOptions", "iteration_subscriber",
+    "CheckpointPolicy", "RunOptions", "iteration_subscriber",
     "format_number", "render_ascii_chart", "render_series", "render_table",
     "HeadlineClaims", "extract_headline_claims",
     "IterationSnapshot", "TraceRecorder", "render_field_map",
     "SweepPoint", "SweepResult", "default_tracker_factories", "density_sweep",
     "ErrorSummary", "cost_series", "per_iteration_errors", "rmse", "summarize_errors",
-    "TrackingResult", "generate_step_context", "restore_tracking_run",
-    "run_tracking", "snapshot_tracking_run",
+    "StepOutcome", "TrackingResult", "TrackingRun", "generate_step_context",
+    "restore_tracking_run", "run_tracking", "snapshot_tracking_run",
 ]

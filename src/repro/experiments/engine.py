@@ -197,6 +197,13 @@ class RunSummary:
     max_workers: int
     wall_clock_s: float
     task_time_s: float  # summed per-task compute time across workers
+    #: executed cells that restarted from a mid-cell store checkpoint rather
+    #: than iteration 0.  They count toward ``n_executed`` (work ran), but
+    #: their ``elapsed_s`` covers only the post-resume iterations — a store
+    #: holding *only* ``kind:"checkpoint"`` records (a sweep killed before
+    #: its first cell completed) resumes as ``n_resumed == 0`` with this
+    #: field carrying the evidence, instead of looking like a fresh sweep.
+    n_checkpoint_resumed: int = 0
 
     @property
     def tasks_per_sec(self) -> float:
@@ -216,7 +223,11 @@ class RunSummary:
         1.0 = perfect scaling over the workers that had work to do.  A fully
         resumed sweep executes nothing, so its efficiency is undefined and
         reported as ``nan`` — not the misleading near-zero the raw
-        ``max_workers`` denominator used to produce.
+        ``max_workers`` denominator used to produce.  Cells resumed from
+        mid-cell checkpoints (``n_checkpoint_resumed``) count as executed
+        with only their post-resume compute in ``task_time_s``, so a
+        checkpoint-only store yields a well-defined (post-resume)
+        efficiency rather than ``nan`` or a skewed full-run figure.
         """
         if self.n_executed == 0:
             return float("nan")
@@ -228,6 +239,7 @@ class RunSummary:
         return [
             ("tasks (total / executed / resumed)",
              f"{self.n_tasks} / {self.n_executed} / {self.n_resumed}"),
+            ("mid-cell checkpoint resumes", str(self.n_checkpoint_resumed)),
             ("workers", str(self.max_workers)),
             ("wall clock", f"{self.wall_clock_s:.2f} s"),
             ("summed task time", f"{self.task_time_s:.2f} s"),
@@ -271,6 +283,7 @@ class JsonlStore:
         raw = self.path.read_text(encoding="utf-8").splitlines()
         lines = [(i, line.strip()) for i, line in enumerate(raw) if line.strip()]
         n_foreign = 0
+        n_checkpoints = 0  # matching-fingerprint mid-cell checkpoints
         for pos, (lineno, line) in enumerate(lines):
             try:
                 record = json.loads(line)
@@ -290,6 +303,16 @@ class JsonlStore:
             if record.get("fingerprint") != fingerprint:
                 n_foreign += 1
                 continue
+            if record.get("kind") == "checkpoint":
+                # mid-cell checkpoints are not completed cells, but they ARE
+                # proof this store belongs to this sweep (a sweep killed
+                # before its first cell completed leaves nothing else behind).
+                # They are deliberately counted before the schema gate:
+                # load_checkpoints() skips non-current-schema checkpoints on
+                # its own, and a newer-schema checkpoint must not brick the
+                # result load.
+                n_checkpoints += 1
+                continue
             schema = int(record.get("schema", 1))
             if schema > RECORD_SCHEMA:
                 raise StoreLoadError(
@@ -297,8 +320,6 @@ class JsonlStore:
                     f"than this code's schema {RECORD_SCHEMA}; refusing to "
                     "guess at its layout"
                 )
-            if record.get("kind") == "checkpoint":
-                continue  # mid-cell checkpoints are not completed cells
             if schema < RECORD_SCHEMA:
                 # written by an older codec: the payload layout predates the
                 # current one, so the cell is treated as absent and re-runs
@@ -314,7 +335,7 @@ class JsonlStore:
                 ) from exc
             cells[cell.key] = cell
         if n_foreign:
-            if not cells:
+            if not cells and not n_checkpoints:
                 raise StoreLoadError(
                     f"{self.path}: all {n_foreign} stored record(s) carry a "
                     "different sweep fingerprint — this store belongs to "
@@ -324,7 +345,8 @@ class JsonlStore:
                 )
             warnings.warn(
                 f"{self.path}: ignoring {n_foreign} record(s) with a foreign "
-                f"sweep fingerprint ({len(cells)} record(s) match this sweep)",
+                f"sweep fingerprint ({len(cells)} result record(s) and "
+                f"{n_checkpoints} checkpoint(s) match this sweep)",
                 stacklevel=2,
             )
         return cells
@@ -482,6 +504,7 @@ def _execute_task(
     identical object graph to transplant into.
     """
     from ..scenario import make_paper_scenario, make_trajectory
+    from .options import CheckpointPolicy, RunOptions
     from .runner import run_tracking
 
     t0 = time.perf_counter()
@@ -495,14 +518,22 @@ def _execute_task(
         n_iterations=spec.n_iterations, rng=world_rng, **spec.trajectory_kwargs
     )
     tracker = spec.factory(scenario, np.random.default_rng(streams["tracker"]))
+    if checkpoint_every is not None or resume_from is not None:
+        options = RunOptions(
+            checkpoint=CheckpointPolicy(
+                every=checkpoint_every,
+                sink=checkpoint_sink,
+                resume_from=resume_from,
+            )
+        )
+    else:
+        options = None
     result = run_tracking(
         tracker,
         scenario,
         trajectory,
         rng=np.random.default_rng(streams["sensing"]),
-        checkpoint_every=checkpoint_every,
-        checkpoint_sink=checkpoint_sink,
-        resume_from=resume_from,
+        options=options,
     )
     return CellResult(
         density=task.density,
@@ -630,6 +661,7 @@ def run_sweep(
         and max_workers > 1
         and len(remaining) > 1
     )
+    n_checkpoint_resumed = 0
     if not use_pool:
         partial = (
             store.load_checkpoints(fingerprint)
@@ -643,11 +675,14 @@ def run_sweep(
                 def sink(cp, task=task):
                     store.append(checkpoint_record(fingerprint, task, cp))
 
+                resume = partial.get(task.key)
+                if resume is not None:
+                    n_checkpoint_resumed += 1
                 cell = _execute_task(
                     spec,
                     checkpoint_every=checkpoint_every,
                     checkpoint_sink=sink,
-                    resume_from=partial.get(task.key),
+                    resume_from=resume,
                 )
             else:
                 cell = _execute_task(spec)
@@ -689,5 +724,6 @@ def run_sweep(
         max_workers=max_workers,
         wall_clock_s=wall_clock,
         task_time_s=float(sum(c.elapsed_s for c in cells if not c.resumed)),
+        n_checkpoint_resumed=n_checkpoint_resumed,
     )
     return cells, summary

@@ -10,7 +10,11 @@ module freezes that growth: all run-shaping knobs live in one immutable
 The old bare keyword arguments (``fault_plan`` / ``on_iteration`` / ``bus``
 passed directly to ``run_tracking``) went through a warn-once deprecation
 shim for one release and are now rejected with a :class:`TypeError` naming
-the offending keywords and the ``options=RunOptions(...)`` migration.
+the offending keywords and the ``options=RunOptions(...)`` migration.  The
+checkpoint kwargs (``checkpoint_every`` / ``checkpoint_sink`` /
+``resume_from``) are in the warn-once stage of the same migration: they
+still work for one release, folding into a :class:`CheckpointPolicy`, and
+new code passes ``options=RunOptions(checkpoint=CheckpointPolicy(...))``.
 
 For per-iteration observation, prefer subscribing to the event bus over the
 legacy callback::
@@ -30,12 +34,48 @@ from ..runtime import EventBus, IterationEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.faults import FaultPlan
+    from ..runtime.checkpoint import RunCheckpoint
     from ..scenario import StepContext
 
-__all__ = ["RunOptions", "iteration_subscriber"]
+__all__ = ["CheckpointPolicy", "RunOptions", "iteration_subscriber"]
 
 #: signature of the legacy per-iteration callback
 IterationCallback = Callable[[int, "StepContext", Any], None]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where a tracking run snapshots (and resumes) its state.
+
+    Parameters
+    ----------
+    every:
+        Snapshot the full run state after every ``every``-th completed
+        iteration (a :class:`~repro.runtime.checkpoint.RunCheckpoint` is
+        handed to ``sink``).  ``None`` disables periodic snapshots.
+    sink:
+        Receives each periodic checkpoint; required when ``every`` is set.
+        Typically appends to a JSONL store or a list.
+    resume_from:
+        A checkpoint to transplant into the freshly built run before the
+        first step — the run continues from ``resume_from.iteration + 1``,
+        bit-identical to the uninterrupted run.
+    """
+
+    every: int | None = None
+    sink: "Callable[[RunCheckpoint], None] | None" = None
+    resume_from: "RunCheckpoint | None" = None
+
+    def __post_init__(self) -> None:
+        if self.every is not None:
+            if self.every < 1:
+                raise ValueError(
+                    f"checkpoint every must be >= 1, got {self.every}"
+                )
+            if self.sink is None:
+                raise ValueError(
+                    "CheckpointPolicy(every=...) requires a sink callable"
+                )
 
 
 @dataclass(frozen=True)
@@ -57,11 +97,15 @@ class RunOptions:
         Still honored, but new code should subscribe to ``bus`` via
         :func:`iteration_subscriber` instead — the bus also carries phase
         events and composes with other subscribers.
+    checkpoint:
+        A :class:`CheckpointPolicy` shaping periodic snapshots and resume;
+        ``None`` runs without checkpointing.
     """
 
     fault_plan: "FaultPlan | None" = None
     bus: EventBus | None = None
     on_iteration: IterationCallback | None = None
+    checkpoint: CheckpointPolicy | None = None
 
 
 def iteration_subscriber(callback: IterationCallback) -> Callable[[Any], None]:

@@ -13,7 +13,8 @@ estimate under the iteration it refers to, so RMSE compares like with like.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -23,10 +24,12 @@ from ..runtime import EventBus, IterationEvent, PhaseProfile
 from ..runtime.checkpoint import RunCheckpoint, restore_rng, snapshot_rng
 from ..scenario import Scenario, StepContext, Tracker
 from .metrics import ErrorSummary, cost_series, summarize_errors
-from .options import RunOptions
+from .options import CheckpointPolicy, RunOptions
 
 __all__ = [
+    "StepOutcome",
     "TrackingResult",
+    "TrackingRun",
     "run_tracking",
     "generate_step_context",
     "summarize_tracking_run",
@@ -36,6 +39,33 @@ __all__ = [
 
 #: the bare run-shaping keywords retired in favor of ``options=RunOptions(...)``
 _RETIRED_KWARGS = frozenset({"fault_plan", "on_iteration", "bus"})
+
+#: checkpoint kwargs in the warn-once stage of the same migration
+#: (``options=RunOptions(checkpoint=CheckpointPolicy(...))`` is the new home)
+_DEPRECATED_CHECKPOINT_KWARGS = ("checkpoint_every", "checkpoint_sink", "resume_from")
+_checkpoint_kwargs_warned: set[str] = set()
+
+
+def _warn_checkpoint_kwargs(names: list[str]) -> None:
+    """Warn once per kwarg name per process, mirroring the retired
+    ``fault_plan``/``bus`` migration's one-release deprecation stage."""
+    fresh = [n for n in names if n not in _checkpoint_kwargs_warned]
+    if not fresh:
+        return
+    _checkpoint_kwargs_warned.update(fresh)
+    warnings.warn(
+        f"passing {', '.join(fresh)} directly to run_tracking() is "
+        "deprecated; pass options=RunOptions(checkpoint=CheckpointPolicy("
+        "every=..., sink=..., resume_from=...)) instead.  The bare kwargs "
+        "will be removed next release, like fault_plan/bus before them.",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def reset_checkpoint_kwargs_warning() -> None:
+    """Re-arm the warn-once guard (test isolation helper)."""
+    _checkpoint_kwargs_warned.clear()
 
 
 @dataclass
@@ -218,6 +248,170 @@ def restore_tracking_run(
     return int(payload["next_iteration"]), estimates, detectors
 
 
+@dataclass(frozen=True)
+class StepOutcome:
+    """What one :meth:`TrackingRun.step` produced."""
+
+    iteration: int
+    context: StepContext
+    estimate: np.ndarray | None
+    estimate_iteration: int | None
+    #: the run finished with this step (no further iterations remain)
+    done: bool
+
+
+class TrackingRun:
+    """One tracking run as an incrementally steppable object.
+
+    :func:`run_tracking` drives a ``TrackingRun`` start to finish; the
+    service layer (:mod:`repro.service`) steps many of them interleaved.
+    Both paths execute the *same* per-iteration body, so an interleaved
+    session is bit-identical to its batch run by construction — each run
+    owns its tracker, medium and sensing stream, and ``step`` touches
+    nothing outside them.
+
+    The run is also :class:`~repro.runtime.checkpoint.Checkpointable`-shaped
+    at the run level: :meth:`snapshot` captures tracker + medium + sensing
+    stream + loop state at the current iteration boundary, and
+    :meth:`restore` transplants such a checkpoint into a freshly built,
+    configuration-identical run.
+    """
+
+    def __init__(
+        self,
+        tracker: Tracker,
+        scenario: Scenario,
+        trajectory: Trajectory,
+        *,
+        rng: np.random.Generator,
+        options: RunOptions | None = None,
+    ) -> None:
+        self.tracker = tracker
+        self.scenario = scenario
+        self.trajectory = trajectory
+        self.rng = rng
+        self.options = options if options is not None else RunOptions()
+        self.n_iterations = trajectory.n_iterations
+        self.next_iteration = 0
+        self.estimates: dict[int, np.ndarray] = {}
+        self.detectors_per_iteration: list[int] = []
+        pipeline = getattr(tracker, "pipeline", None)
+        if self.options.bus is not None and pipeline is not None:
+            pipeline.bus = self.options.bus
+        policy = self.options.checkpoint
+        if policy is not None and policy.resume_from is not None:
+            self.restore(policy.resume_from)
+
+    @property
+    def done(self) -> bool:
+        return self.next_iteration > self.n_iterations
+
+    def step(self) -> StepOutcome:
+        """Execute the next iteration: faults, sensing, tracker, events.
+
+        After the iteration completes, a periodic checkpoint is emitted if
+        the options' :class:`~repro.experiments.options.CheckpointPolicy`
+        says one is due (never after the final iteration — the finished run
+        needs no resume point).
+        """
+        if self.done:
+            raise RuntimeError(
+                f"tracking run is finished (all {self.n_iterations + 1} "
+                "iterations executed); build a new run to go again"
+            )
+        k = self.next_iteration
+        options = self.options
+        tracker = self.tracker
+        fault_plan = options.fault_plan
+        if fault_plan is not None:
+            fault_plan.apply(tracker.medium, k)
+        ctx = generate_step_context(self.scenario, self.trajectory, k, self.rng)
+        if fault_plan is not None:
+            medium = tracker.medium
+            alive = [int(d) for d in np.asarray(ctx.detectors).ravel()
+                     if medium.is_available(int(d))]
+            ctx = StepContext(
+                iteration=k,
+                detectors=np.array(alive, dtype=np.intp),
+                measurements={n: ctx.measurements[n] for n in alive},
+            )
+        self.detectors_per_iteration.append(int(np.asarray(ctx.detectors).size))
+        est = tracker.step(ctx)
+        ref = None
+        if est is not None:
+            ref = tracker.estimate_iteration()
+            if ref is None:
+                raise RuntimeError(
+                    f"{tracker.name} returned an estimate without an iteration reference"
+                )
+            if 0 <= ref <= self.n_iterations:
+                self.estimates[ref] = np.asarray(est, dtype=np.float64).copy()
+        if options.on_iteration is not None:
+            options.on_iteration(k, ctx, est)
+        if options.bus is not None:
+            options.bus.emit(
+                IterationEvent(
+                    tracker=tracker.name,
+                    iteration=k,
+                    context=ctx,
+                    estimate=est,
+                    estimate_iteration=ref,
+                )
+            )
+        self.next_iteration = k + 1
+        policy = options.checkpoint
+        if (
+            policy is not None
+            and policy.every is not None
+            and (k + 1) % policy.every == 0
+            and k < self.n_iterations
+        ):
+            policy.sink(self.snapshot())
+        return StepOutcome(
+            iteration=k,
+            context=ctx,
+            estimate=est,
+            estimate_iteration=ref,
+            done=self.done,
+        )
+
+    def snapshot(self) -> RunCheckpoint:
+        """The full run state at the current iteration boundary."""
+        return snapshot_tracking_run(
+            self.tracker,
+            rng=self.rng,
+            next_iteration=self.next_iteration,
+            estimates=self.estimates,
+            detectors_per_iteration=self.detectors_per_iteration,
+        )
+
+    def restore(self, checkpoint: RunCheckpoint) -> None:
+        """Transplant ``checkpoint`` into this (freshly built) run."""
+        (
+            self.next_iteration,
+            self.estimates,
+            self.detectors_per_iteration,
+        ) = restore_tracking_run(self.tracker, checkpoint, rng=self.rng)
+
+    def run(self) -> TrackingResult:
+        """Drive the remaining iterations to completion and summarize."""
+        while not self.done:
+            self.step()
+        return self.result()
+
+    def result(self) -> TrackingResult:
+        """Summarize the finished run (raises if iterations remain)."""
+        if not self.done:
+            raise RuntimeError(
+                f"tracking run is not finished (next iteration "
+                f"{self.next_iteration} of {self.n_iterations})"
+            )
+        return summarize_tracking_run(
+            self.tracker, self.trajectory, self.estimates,
+            self.detectors_per_iteration,
+        )
+
+
 def run_tracking(
     tracker: Tracker,
     scenario: Scenario,
@@ -246,13 +440,17 @@ def run_tracking(
     ``options.on_iteration`` is the legacy plain-callable hook (prefer a bus
     subscriber via :func:`~repro.experiments.options.iteration_subscriber`).
 
-    Checkpointing: with ``checkpoint_every=n``, after every ``n``-th
-    completed iteration the full run state (tracker, medium, sensing stream,
-    accumulated estimates) is snapshotted into a
-    :class:`~repro.runtime.checkpoint.RunCheckpoint` and handed to
-    ``checkpoint_sink``.  ``resume_from`` transplants such a checkpoint into
-    a freshly built, configuration-identical run and continues from the next
-    iteration — bit-identical to the uninterrupted run.
+    Checkpointing travels in ``options.checkpoint`` (a :class:`~repro.
+    experiments.options.CheckpointPolicy`): with ``every=n``, after every
+    ``n``-th completed iteration the full run state (tracker, medium,
+    sensing stream, accumulated estimates) is snapshotted into a
+    :class:`~repro.runtime.checkpoint.RunCheckpoint` and handed to the
+    policy's ``sink``; ``resume_from`` transplants such a checkpoint into a
+    freshly built, configuration-identical run and continues from the next
+    iteration — bit-identical to the uninterrupted run.  The bare
+    ``checkpoint_every``/``checkpoint_sink``/``resume_from`` kwargs are a
+    deprecated spelling of the same policy (warn-once, removed next
+    release).
     """
     if retired:
         names = sorted(set(retired) & _RETIRED_KWARGS)
@@ -265,84 +463,43 @@ def run_tracking(
             "run_tracking() got unexpected keyword argument(s): "
             + ", ".join(sorted(retired))
         )
-    if checkpoint_every is not None:
-        if checkpoint_every < 1:
-            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
-        if checkpoint_sink is None:
-            raise ValueError("checkpoint_every requires a checkpoint_sink callable")
     if options is None:
         options = RunOptions()
-    fault_plan = options.fault_plan
-    on_iteration = options.on_iteration
-    bus = options.bus
-    n_iter = trajectory.n_iterations
-    estimates: dict[int, np.ndarray] = {}
-    detectors_per_iteration: list[int] = []
-    start = 0
-    if resume_from is not None:
-        start, estimates, detectors_per_iteration = restore_tracking_run(
-            tracker, resume_from, rng=rng
+    legacy = {
+        name: value
+        for name, value in zip(
+            _DEPRECATED_CHECKPOINT_KWARGS,
+            (checkpoint_every, checkpoint_sink, resume_from),
         )
-
-    pipeline = getattr(tracker, "pipeline", None)
-    if bus is not None and pipeline is not None:
-        pipeline.bus = bus
-
-    for k in range(start, n_iter + 1):
-        if fault_plan is not None:
-            fault_plan.apply(tracker.medium, k)
-        ctx = generate_step_context(scenario, trajectory, k, rng)
-        if fault_plan is not None:
-            medium = tracker.medium
-            alive = [int(d) for d in np.asarray(ctx.detectors).ravel()
-                     if medium.is_available(int(d))]
-            ctx = StepContext(
-                iteration=k,
-                detectors=np.array(alive, dtype=np.intp),
-                measurements={n: ctx.measurements[n] for n in alive},
+        if value is not None
+    }
+    if legacy:
+        if options.checkpoint is not None:
+            # rejected outright — don't also burn the one-shot deprecation
+            # warning on a call that never runs
+            raise TypeError(
+                "pass checkpointing either as options.checkpoint or as the "
+                f"deprecated bare {', '.join(sorted(legacy))} keyword(s), "
+                "not both"
             )
-        detectors_per_iteration.append(int(np.asarray(ctx.detectors).size))
-        est = tracker.step(ctx)
-        if est is not None:
-            ref = tracker.estimate_iteration()
-            if ref is None:
-                raise RuntimeError(
-                    f"{tracker.name} returned an estimate without an iteration reference"
-                )
-            if 0 <= ref <= n_iter:
-                estimates[ref] = np.asarray(est, dtype=np.float64).copy()
-        if on_iteration is not None:
-            on_iteration(k, ctx, est)
-        if bus is not None:
-            bus.emit(
-                IterationEvent(
-                    tracker=tracker.name,
-                    iteration=k,
-                    context=ctx,
-                    estimate=est,
-                    estimate_iteration=(
-                        tracker.estimate_iteration() if est is not None else None
-                    ),
-                )
+        _warn_checkpoint_kwargs(sorted(legacy))
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
-        if (
-            checkpoint_every is not None
-            and (k + 1) % checkpoint_every == 0
-            and k < n_iter
-        ):
-            checkpoint_sink(
-                snapshot_tracking_run(
-                    tracker,
-                    rng=rng,
-                    next_iteration=k + 1,
-                    estimates=estimates,
-                    detectors_per_iteration=detectors_per_iteration,
-                )
-            )
-
-    return summarize_tracking_run(
-        tracker, trajectory, estimates, detectors_per_iteration
-    )
+        if checkpoint_every is not None and checkpoint_sink is None:
+            raise ValueError("checkpoint_every requires a checkpoint_sink callable")
+        options = replace(
+            options,
+            checkpoint=CheckpointPolicy(
+                every=checkpoint_every,
+                sink=checkpoint_sink,
+                resume_from=resume_from,
+            ),
+        )
+    return TrackingRun(
+        tracker, scenario, trajectory, rng=rng, options=options
+    ).run()
 
 
 def summarize_tracking_run(

@@ -1,0 +1,66 @@
+"""Tracking-as-a-service: an asyncio runtime hosting concurrent sessions.
+
+The paper's tracking runs become long-lived *sessions* behind an HTTP +
+WebSocket API (stdlib-only — no third-party web framework).  A
+:class:`SessionManager` owns lifecycle (create from a
+:class:`~repro.config.ScenarioConfig` TOML, step, pause, checkpoint,
+resume, destroy), shards CPU-bound stepping across a worker-process pool —
+sessions migrate between workers via
+:class:`~repro.runtime.checkpoint.RunCheckpoint` round-trips — and streams
+per-iteration estimates and phase profiles to subscribers.
+
+Determinism is the whole point: a session is a
+:class:`~repro.experiments.runner.TrackingRun` compiled from its config, so
+any interleaving of sessions across workers is bit-identical to running
+each config through ``run_tracking`` serially, and a SIGTERM'd worker
+resumes its sessions from their latest checkpoint with identical final
+fingerprints.
+
+Quickstart::
+
+    from repro.service import ServiceConfig, TrackingService
+
+    service = TrackingService(ServiceConfig(n_workers=2))
+    await service.start(port=8750)
+    # POST /sessions, step them, stream /sessions/{id}/stream ...
+    await service.stop()
+
+or from a shell: ``python -m repro.service --port 8750``.
+"""
+
+from .errors import (
+    BadRequest,
+    CapacityError,
+    ServiceError,
+    SessionNotFound,
+    SessionStateError,
+    StepBudgetExceeded,
+    WorkerDied,
+)
+from .manager import ServiceConfig, SessionManager, SessionRecord
+from .app import TrackingService, serve
+from .session import SessionCore, config_fingerprint, serialize_event
+from .streams import QueueClosed, SubscriberQueue
+from .workers import WorkerHandle, worker_main
+
+__all__ = [
+    "BadRequest",
+    "CapacityError",
+    "QueueClosed",
+    "ServiceConfig",
+    "ServiceError",
+    "SessionCore",
+    "SessionManager",
+    "SessionNotFound",
+    "SessionRecord",
+    "SessionStateError",
+    "StepBudgetExceeded",
+    "SubscriberQueue",
+    "TrackingService",
+    "WorkerDied",
+    "WorkerHandle",
+    "config_fingerprint",
+    "serialize_event",
+    "serve",
+    "worker_main",
+]

@@ -1,0 +1,72 @@
+"""Typed service errors, each carrying the HTTP status it maps to.
+
+The manager raises these; the HTTP layer turns them into JSON error bodies
+without a per-route try/except ladder.  Anything *not* derived from
+:class:`ServiceError` is a bug and surfaces as a 500.
+"""
+
+__all__ = [
+    "ServiceError",
+    "BadRequest",
+    "SessionNotFound",
+    "SessionStateError",
+    "StepBudgetExceeded",
+    "CapacityError",
+    "WorkerDied",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class: a client-visible failure with an HTTP status."""
+
+    status = 500
+    code = "internal"
+
+
+class BadRequest(ServiceError):
+    """The request body or parameters cannot be interpreted."""
+
+    status = 400
+    code = "bad_request"
+
+
+class SessionNotFound(ServiceError):
+    """No live session under that id."""
+
+    status = 404
+    code = "session_not_found"
+
+    def __init__(self, session_id: str):
+        super().__init__(f"no such session: {session_id!r}")
+        self.session_id = session_id
+
+
+class SessionStateError(ServiceError):
+    """The operation is valid, but not in the session's current state
+    (stepping a finished run, resuming a running one, ...)."""
+
+    status = 409
+    code = "session_state"
+
+
+class StepBudgetExceeded(SessionStateError):
+    """The session hit its per-session step budget and was paused."""
+
+    code = "step_budget_exceeded"
+
+
+class CapacityError(ServiceError):
+    """Load shed: the service is past its high-water mark.  Clients should
+    back off and retry; existing sessions are unaffected."""
+
+    status = 503
+    code = "over_capacity"
+
+
+class WorkerDied(ServiceError):
+    """A worker process vanished mid-call.  The manager converts this into
+    failover (respawn + checkpoint resume); clients only ever see it if the
+    session had no checkpoint to resume from."""
+
+    status = 503
+    code = "worker_died"

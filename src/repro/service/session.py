@@ -1,0 +1,167 @@
+"""One hosted tracking session: a config-compiled :class:`TrackingRun`
+plus the event collector that turns bus traffic into JSON-safe stream frames.
+
+:class:`SessionCore` is deliberately synchronous and process-agnostic — the
+worker pool runs one per session inside a worker process, and the tests run
+them in-process.  Everything it returns (step payloads, checkpoints, result
+summaries) is a plain JSON-safe dict or string, so the worker pipe never has
+to pickle live trackers.
+
+Bit-exactness contract: the core drives the *same* :class:`~repro.
+experiments.runner.TrackingRun` per-iteration body as ``run_tracking``, on a
+world compiled from the same :class:`~repro.config.ScenarioConfig`.  Sessions
+own their RNG streams end to end, so any interleaving of ``step`` calls
+across sessions is bit-identical to running each serially.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from ..config import (
+    ScenarioConfig,
+    compile_config,
+    dumps_config,
+    loads_config,
+    run_fingerprint,
+)
+from ..runtime.checkpoint import RunCheckpoint
+from ..runtime.events import EventBus, IterationEvent, PhaseEvent
+
+__all__ = ["SessionCore", "config_fingerprint", "serialize_event"]
+
+
+def config_fingerprint(config: ScenarioConfig) -> str:
+    """Identity of the world a session runs: digest of its canonical TOML.
+
+    Ties checkpoints to the exact configuration they were taken in, the same
+    way sweep checkpoints carry the sweep fingerprint.
+    """
+    return hashlib.sha256(dumps_config(config).encode("utf-8")).hexdigest()
+
+
+def serialize_event(event: Any) -> dict | None:
+    """JSON-safe stream frame for one bus event; None for unknown types.
+
+    ``IterationEvent.context`` is dropped on purpose: it holds numpy
+    measurement arrays that are large and per-node — subscribers that need
+    raw measurements should run locally against the bus, not over the wire.
+    """
+    if isinstance(event, IterationEvent):
+        estimate = event.estimate
+        return {
+            "type": "iteration",
+            "tracker": event.tracker,
+            "iteration": int(event.iteration),
+            "estimate": None if estimate is None else [float(x) for x in estimate],
+            "estimate_iteration": (
+                None if event.estimate_iteration is None
+                else int(event.estimate_iteration)
+            ),
+        }
+    if isinstance(event, PhaseEvent):
+        return {
+            "type": "phase",
+            "kind": event.kind,
+            "tracker": event.tracker,
+            "iteration": int(event.iteration),
+            "phase": event.phase,
+            "seconds": float(event.seconds),
+            "bytes": int(event.bytes),
+            "messages": int(event.messages),
+            "dropped_bytes": int(event.dropped_bytes),
+            "dropped_messages": int(event.dropped_messages),
+        }
+    return None
+
+
+class SessionCore:
+    """The worker-side state of one session."""
+
+    def __init__(self, config_toml: str, *, resume_from: str | None = None):
+        self.config = loads_config(config_toml)
+        self.fingerprint = config_fingerprint(self.config)
+        self._pending_events: list[dict] = []
+        bus = EventBus()
+        bus.subscribe(self._collect)
+        self.run = compile_config(self.config, bus=bus).session()
+        if resume_from is not None:
+            checkpoint = RunCheckpoint.from_json(
+                resume_from, expect_fingerprint=self.fingerprint
+            )
+            self.run.restore(checkpoint)
+            self._pending_events.clear()  # restore emits nothing, but be strict
+
+    def _collect(self, event: Any) -> None:
+        frame = serialize_event(event)
+        if frame is not None:
+            self._pending_events.append(frame)
+
+    @property
+    def done(self) -> bool:
+        return self.run.done
+
+    @property
+    def next_iteration(self) -> int:
+        return self.run.next_iteration
+
+    @property
+    def n_iterations(self) -> int:
+        return self.run.n_iterations
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "n_iterations": int(self.n_iterations),
+            "next_iteration": int(self.next_iteration),
+            "done": self.done,
+        }
+
+    def step(self) -> dict:
+        """Execute one iteration; return the outcome + drained event frames."""
+        outcome = self.run.step()
+        events, self._pending_events = self._pending_events, []
+        accounting = self.run.tracker.accounting
+        payload = {
+            "iteration": int(outcome.iteration),
+            "estimate": (
+                None if outcome.estimate is None
+                else [float(x) for x in outcome.estimate]
+            ),
+            "estimate_iteration": (
+                None if outcome.estimate_iteration is None
+                else int(outcome.estimate_iteration)
+            ),
+            "done": outcome.done,
+            "total_bytes": int(accounting.total_bytes),
+            "total_messages": int(accounting.total_messages),
+            "events": events,
+        }
+        if outcome.done:
+            # ship the summary inline with the final step: the caller never
+            # needs a second worker round-trip that could race a worker death
+            payload["result"] = self.result()
+        return payload
+
+    def checkpoint(self) -> str:
+        """The session's state at the current iteration boundary, as the
+        JSON codec form a different process can restore from."""
+        snapshot = self.run.snapshot()
+        snapshot.fingerprint = self.fingerprint
+        return snapshot.to_json()
+
+    def result(self) -> dict:
+        """JSON-safe summary of the finished run."""
+        result = self.run.result()
+        return {
+            "tracker": result.tracker_name,
+            "n_iterations": int(result.n_iterations),
+            "rmse": float(result.rmse),
+            "total_bytes": int(result.total_bytes),
+            "total_messages": int(result.total_messages),
+            "dropped_bytes": int(result.dropped_bytes),
+            "dropped_messages": int(result.dropped_messages),
+            "degraded_iterations": int(result.degraded_iterations),
+            "fingerprint": run_fingerprint(result),
+        }

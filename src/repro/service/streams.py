@@ -1,0 +1,65 @@
+"""Bounded per-subscriber event queues with drop-oldest backpressure.
+
+Every stream subscriber (WebSocket client, in-process test consumer) gets its
+own :class:`SubscriberQueue`.  A slow consumer never blocks the stepping path:
+``put`` is synchronous and, at capacity, evicts the *oldest* queued event and
+counts it in ``dropped`` — late subscribers prefer fresh estimates over a
+complete history.  The drop count rides along in the service metrics so the
+loss is observable, not silent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+__all__ = ["QueueClosed", "SubscriberQueue"]
+
+
+class QueueClosed(Exception):
+    """Raised by :meth:`SubscriberQueue.get` after ``close`` drains out."""
+
+
+class SubscriberQueue:
+    """A single-consumer bounded queue: sync producer, async consumer."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.dropped = 0  # events evicted by drop-oldest
+        self._items: deque[Any] = deque()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Enqueue without ever blocking; evict the oldest at capacity."""
+        if self._closed:
+            return
+        if len(self._items) >= self.maxsize:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(item)
+        self._wakeup.set()
+
+    async def get(self) -> Any:
+        """Next event; raises :class:`QueueClosed` once closed and drained."""
+        while not self._items:
+            if self._closed:
+                raise QueueClosed
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        return self._items.popleft()
+
+    def close(self) -> None:
+        """No more puts; pending items stay readable, then ``get`` raises."""
+        self._closed = True
+        self._wakeup.set()

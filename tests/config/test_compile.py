@@ -135,3 +135,73 @@ class TestCompiledRun:
         reliable = run_config(_small())
         zero_loss = run_config(_small(link=LinkConfig(kind="iid", p_loss=0.0)))
         assert run_fingerprint(reliable) == run_fingerprint(zero_loss)
+
+
+class TestRunBackendsAndCheckpoints:
+    """The unified per-run entry point: backend= and checkpoint= mirror the
+    sweep engines' surface on run_config/CompiledRun.run."""
+
+    def test_serial_and_batched_are_bit_identical(self):
+        ref = run_fingerprint(run_config(_small()))
+        assert run_fingerprint(run_config(_small(), backend="serial")) == ref
+        assert run_fingerprint(run_config(_small(), backend="batched")) == ref
+
+    def test_process_backend_points_at_the_sweep_engines(self):
+        with pytest.raises(ValueError, match="run_sweep"):
+            compile_config(_small()).run(backend="process")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="'serial' or 'batched'"):
+            compile_config(_small()).run(backend="turbo")
+
+    def test_checkpoint_policy_roundtrips_through_run_config(self):
+        from repro import CheckpointPolicy
+
+        checkpoints = []
+        ref = run_config(
+            _small(),
+            checkpoint=CheckpointPolicy(every=1, sink=checkpoints.append),
+        )
+        assert len(checkpoints) == 3  # one per completed iteration boundary
+        resumed = run_config(
+            _small(), checkpoint=CheckpointPolicy(resume_from=checkpoints[1])
+        )
+        assert run_fingerprint(resumed) == run_fingerprint(ref)
+
+
+class TestSession:
+    """CompiledRun.session(): the incrementally steppable TrackingRun that
+    the service layer hosts — stepping must equal the batch run bit for bit."""
+
+    def test_stepping_matches_batch_run(self):
+        from repro import TrackingRun
+
+        session = compile_config(_small()).session()
+        assert isinstance(session, TrackingRun)
+        outcomes = []
+        while not session.done:
+            outcomes.append(session.step())
+        assert [o.iteration for o in outcomes] == [0, 1, 2, 3]
+        assert outcomes[-1].done and not outcomes[0].done
+        assert run_fingerprint(session.result()) == run_fingerprint(
+            run_config(_small())
+        )
+
+    def test_two_interleaved_sessions_match_their_serial_runs(self):
+        """Different seeds, stepped alternately on one 'worker': each must be
+        bit-identical to its own uninterrupted run_config."""
+        a = compile_config(_small(seed=5)).session()
+        b = compile_config(_small(seed=6)).session()
+        while not (a.done and b.done):
+            if not a.done:
+                a.step()
+            if not b.done:
+                b.step()
+        assert run_fingerprint(a.result()) == run_fingerprint(run_config(_small(seed=5)))
+        assert run_fingerprint(b.result()) == run_fingerprint(run_config(_small(seed=6)))
+
+    def test_stepping_past_the_end_raises(self):
+        session = compile_config(_small()).session()
+        session.run()
+        with pytest.raises(RuntimeError, match="finished"):
+            session.step()

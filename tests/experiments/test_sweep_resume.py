@@ -113,6 +113,57 @@ class TestMidCellResume:
         )
         assert cells_of(checkpointed) == cells_of(self._reference())
 
+    def test_checkpoint_only_store_resumes(self, tmp_path):
+        """A sweep killed before its FIRST result leaves a store holding
+        nothing but checkpoint records.  That store must load as 'no
+        completed cells yet' — not be mistaken for another sweep's file —
+        and the resume must surface in the summary."""
+        reference = self._reference()
+        path = tmp_path / "sweep.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            density_sweep(
+                factories=cdpf_factories(),
+                store=_DieAfter(path, 1),
+                checkpoint_every=2,
+                **KW,
+            )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [rec.get("kind") for rec in lines] == ["checkpoint"]
+
+        store = JsonlStore(path)
+        assert store.load(sweep_fingerprint(
+            2011, KW["n_iterations"], SMALL["scenario_kwargs"],
+            SMALL["trajectory_kwargs"],
+        )) == {}  # no StoreLoadError: the checkpoint proves ownership
+
+        resumed = density_sweep(
+            factories=cdpf_factories(), store=store, checkpoint_every=2, **KW
+        )
+        assert cells_of(resumed) == cells_of(reference)
+        summary = resumed.run_summary
+        assert summary.n_resumed == 0
+        assert summary.n_checkpoint_resumed == 1
+        assert summary.n_executed == 4
+        assert summary.parallel_efficiency == summary.parallel_efficiency  # not nan
+        assert any("checkpoint resumes" in row[0] for row in summary.as_rows())
+
+    def test_mid_cell_resume_count_in_summary(self, tmp_path):
+        """The fuller interruption of test_interrupt_mid_cell_resumes_from_
+        checkpoint, re-checked through the summary's new counter."""
+        path = tmp_path / "sweep.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            density_sweep(
+                factories=cdpf_factories(),
+                store=_DieAfter(path, 5),
+                checkpoint_every=2,
+                **KW,
+            )
+        resumed = density_sweep(
+            factories=cdpf_factories(), store=JsonlStore(path),
+            checkpoint_every=2, **KW,
+        )
+        assert resumed.run_summary.n_checkpoint_resumed == 1
+
     def test_resume_prefers_latest_checkpoint(self, tmp_path):
         """load_checkpoints returns the newest record per cell."""
         store = JsonlStore(tmp_path / "s.jsonl")

@@ -27,7 +27,7 @@ from repro.config import (
     dumps_config,
     run_fingerprint,
 )
-from repro.experiments.runner import run_tracking
+from repro.experiments.options import CheckpointPolicy
 from repro.runtime.checkpoint import RunCheckpoint
 
 from .strategies import scenario_configs
@@ -49,14 +49,8 @@ def _run_collecting_checkpoints(config: ScenarioConfig):
     """The uninterrupted run, snapshotting at every iteration boundary."""
     compiled = compile_config(config)
     checkpoints: list[RunCheckpoint] = []
-    result = run_tracking(
-        compiled.tracker,
-        compiled.scenario,
-        compiled.trajectory,
-        rng=compiled.rng,
-        options=compiled.options,
-        checkpoint_every=1,
-        checkpoint_sink=checkpoints.append,
+    result = compiled.run(
+        checkpoint=CheckpointPolicy(every=1, sink=checkpoints.append)
     )
     return result, checkpoints
 
@@ -66,13 +60,8 @@ def _resume(config: ScenarioConfig, checkpoint: RunCheckpoint):
     a newly compiled world fed the JSON-round-tripped record."""
     transported = RunCheckpoint.from_json(checkpoint.to_json())
     compiled = compile_config(config)
-    return run_tracking(
-        compiled.tracker,
-        compiled.scenario,
-        compiled.trajectory,
-        rng=compiled.rng,
-        options=compiled.options,
-        resume_from=transported,
+    return compiled.run(
+        checkpoint=CheckpointPolicy(resume_from=transported)
     )
 
 

@@ -20,6 +20,8 @@ import numpy as np
 import pytest
 
 from repro import (
+    CheckpointPolicy,
+    RunOptions,
     make_paper_scenario,
     make_tracker,
     make_trajectory,
@@ -108,8 +110,11 @@ def test_checkpoint_is_transparent(name, kind):
         scenario,
         trajectory,
         rng=rng,
-        checkpoint_every=CHECKPOINT_EVERY,
-        checkpoint_sink=checkpoints.append,
+        options=RunOptions(
+            checkpoint=CheckpointPolicy(
+                every=CHECKPOINT_EVERY, sink=checkpoints.append
+            )
+        ),
     )
     assert_same_result(observed, reference)
     assert len(checkpoints) == N_ITER // CHECKPOINT_EVERY
@@ -122,7 +127,8 @@ def test_checkpoint_is_transparent(name, kind):
     middle = RunCheckpoint.from_json(checkpoints[-1].to_json())
     tracker, scenario, trajectory, rng = build(name, kind)
     resumed = run_tracking(
-        tracker, scenario, trajectory, rng=rng, resume_from=middle
+        tracker, scenario, trajectory, rng=rng,
+        options=RunOptions(checkpoint=CheckpointPolicy(resume_from=middle)),
     )
     assert_same_result(resumed, reference)
 

@@ -1,0 +1,122 @@
+"""SessionCore: the worker-side session against the determinism contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import dumps_config, run_config, run_fingerprint
+from repro.runtime.checkpoint import CheckpointError
+from repro.runtime.events import IterationEvent, PhaseEvent
+from repro.service.session import SessionCore, config_fingerprint, serialize_event
+
+from .conftest import small_config
+
+
+class TestDeterminism:
+    def test_stepping_matches_serial_run_config(self, config_toml):
+        core = SessionCore(config_toml)
+        while not core.done:
+            core.step()
+        assert core.result()["fingerprint"] == run_fingerprint(
+            run_config(small_config())
+        )
+
+    def test_interleaved_cores_match_their_serial_runs(self):
+        """The satellite's isolation drill: identical configs, different
+        seeds, stepped alternately — each bit-identical to its serial run."""
+        a = SessionCore(dumps_config(small_config(seed=5)))
+        b = SessionCore(dumps_config(small_config(seed=9)))
+        while not (a.done and b.done):
+            if not a.done:
+                a.step()
+            if not b.done:
+                b.step()
+        assert a.result()["fingerprint"] == run_fingerprint(
+            run_config(small_config(seed=5))
+        )
+        assert b.result()["fingerprint"] == run_fingerprint(
+            run_config(small_config(seed=9))
+        )
+        assert a.result()["fingerprint"] != b.result()["fingerprint"]
+
+
+class TestCheckpoint:
+    def test_roundtrip_resumes_bit_identically(self, config_toml):
+        reference = SessionCore(config_toml)
+        while not reference.done:
+            reference.step()
+
+        first = SessionCore(config_toml)
+        first.step()
+        first.step()
+        checkpoint = first.checkpoint()
+        resumed = SessionCore(config_toml, resume_from=checkpoint)
+        assert resumed.next_iteration == 2
+        while not resumed.done:
+            resumed.step()
+        assert resumed.result() == reference.result()
+
+    def test_checkpoint_carries_the_config_fingerprint(self, config_toml):
+        core = SessionCore(config_toml)
+        record = json.loads(core.checkpoint())
+        assert record["fingerprint"] == core.fingerprint
+        assert record["fingerprint"] == config_fingerprint(small_config())
+
+    def test_wrong_config_checkpoint_refused(self, config_toml):
+        checkpoint = SessionCore(config_toml).checkpoint()
+        other = dumps_config(small_config(seed=9))
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            SessionCore(other, resume_from=checkpoint)
+
+
+class TestStepPayload:
+    def test_payload_is_json_safe_and_carries_events(self, config_toml):
+        core = SessionCore(config_toml)
+        payload = core.step()
+        json.dumps(payload)  # must not raise
+        assert payload["iteration"] == 0
+        assert not payload["done"]
+        types = {frame["type"] for frame in payload["events"]}
+        assert "iteration" in types
+        assert "phase" in types  # CDPF runs a phase pipeline
+
+    def test_result_refused_before_done(self, config_toml):
+        core = SessionCore(config_toml)
+        core.step()
+        with pytest.raises(Exception):
+            core.result()
+
+
+class TestSerializeEvent:
+    def test_iteration_event_drops_the_context(self):
+        frame = serialize_event(
+            IterationEvent(
+                tracker="CDPF",
+                iteration=3,
+                context=object(),  # deliberately unserializable
+                estimate=np.array([1.0, 2.0]),
+                estimate_iteration=2,
+            )
+        )
+        assert frame == {
+            "type": "iteration",
+            "tracker": "CDPF",
+            "iteration": 3,
+            "estimate": [1.0, 2.0],
+            "estimate_iteration": 2,
+        }
+
+    def test_phase_event_serializes(self):
+        frame = serialize_event(
+            PhaseEvent(
+                kind="end", tracker="CDPF", iteration=1, phase="propagate",
+                seconds=0.5, bytes=10, messages=2,
+            )
+        )
+        assert frame["type"] == "phase"
+        assert frame["phase"] == "propagate"
+        json.dumps(frame)
+
+    def test_unknown_event_is_none(self):
+        assert serialize_event(object()) is None

@@ -1,0 +1,61 @@
+"""SubscriberQueue: bounded, drop-oldest, close semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.service.streams import QueueClosed, SubscriberQueue
+
+
+def test_drop_oldest_at_capacity():
+    queue = SubscriberQueue(maxsize=3)
+    for i in range(5):
+        queue.put(i)
+    assert len(queue) == 3
+    assert queue.dropped == 2
+
+    async def drain():
+        return [await queue.get() for _ in range(3)]
+
+    assert asyncio.run(drain()) == [2, 3, 4]  # oldest two evicted
+
+
+def test_get_waits_for_put():
+    async def scenario():
+        queue = SubscriberQueue()
+
+        async def producer():
+            await asyncio.sleep(0.01)
+            queue.put("x")
+
+        task = asyncio.create_task(producer())
+        value = await asyncio.wait_for(queue.get(), 1.0)
+        await task
+        return value
+
+    assert asyncio.run(scenario()) == "x"
+
+
+def test_close_drains_then_raises():
+    async def scenario():
+        queue = SubscriberQueue()
+        queue.put(1)
+        queue.close()
+        first = await queue.get()
+        with pytest.raises(QueueClosed):
+            await queue.get()
+        return first
+
+    assert asyncio.run(scenario()) == 1
+
+
+def test_put_after_close_is_ignored():
+    queue = SubscriberQueue()
+    queue.close()
+    queue.put(1)
+    assert len(queue) == 0
+
+
+def test_maxsize_validated():
+    with pytest.raises(ValueError, match=">= 1"):
+        SubscriberQueue(maxsize=0)
