@@ -1,0 +1,193 @@
+"""numpy-vs-numba wall-clock bench for the JIT-served contract kernels.
+
+Times the numba backend against the numpy reference on lock-step-shaped
+workloads — the cross-cell stacked call shapes :mod:`repro.experiments.
+lockstep` issues when it advances a paper-grid sweep (many cells' estimation
+areas in one CSR call, many cells' broadcasts in one ragged call, many
+media's link draws in one keyed batch) — and emits
+``benchmarks/results/BENCH_kernels_jit.json``.
+
+Requires numba (``pytest.importorskip``): the base CI jobs never collect
+this file; the ``jit-kernels`` job installs numba and runs it in smoke mode.
+Two gates, both full-mode only (smoke records timings without judging them):
+
+* **absolute** — the CSR/ragged kernels (``contributions``, ``propagation``)
+  must be >= 2x the numpy reference, whose per-group Python loops are
+  exactly what the JIT eliminates.  ``link`` is recorded but carries no
+  absolute floor: the numpy replica is already fully vectorized, so its
+  margin is regression-guarded only.
+* **regression** — every speedup must stay within 1.3x of the committed
+  baseline ``benchmarks/BENCH_kernels_jit_baseline.json``.
+
+Scale knobs (environment variables):
+
+    REPRO_BENCH_SMOKE           1 = tiny sizes for CI smoke
+    REPRO_BENCH_KERNEL_REPEATS  best-of-N repetitions (default 5)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+pytest.importorskip("numba")
+
+from repro.kernels import contributions as np_contributions
+from repro.kernels import delivery as np_delivery
+from repro.kernels import propagation as np_propagation
+from repro.kernels.backends import numba_backend
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE = Path(__file__).parent / "BENCH_kernels_jit_baseline.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+REPEATS = int(os.environ.get("REPRO_BENCH_KERNEL_REPEATS", 2 if SMOKE else 5))
+
+#: Speedups may drop to baseline/1.3 before the regression gate trips.
+REGRESSION_FACTOR = 1.3
+#: Full-mode floor for the kernels whose numpy reference loops per group.
+MIN_SPEEDUP = {"contributions": 2.0, "propagation": 2.0}
+
+
+def _sizes() -> dict:
+    """Lock-step paper-grid shapes: ~80 stacked cells' worth of one
+    iteration (8 densities x 10 seeds of one algorithm in lock step)."""
+    if SMOKE:
+        return dict(n_groups=48, group_size=8, n_broadcasts=24,
+                    candidates_per=12, n_copies=128)
+    return dict(n_groups=2400, group_size=12, n_broadcasts=640,
+                candidates_per=40, n_copies=8192)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# stacked workloads: (numpy reference call, numba backend call) pairs
+# ---------------------------------------------------------------------------
+
+
+def _contributions_pair(rng, n_groups, group_size, **_):
+    sizes = rng.integers(max(1, group_size // 2), group_size * 2, size=n_groups)
+    flat = rng.uniform(0.5, 30.0, size=int(sizes.sum()))
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    return (
+        lambda: np_contributions.batch_contributions(flat, offsets),
+        lambda: numba_backend.batch_contributions(flat, offsets),
+    )
+
+
+def _propagation_pair(rng, n_broadcasts, candidates_per, **_):
+    counts = rng.integers(max(1, candidates_per // 2), candidates_per * 2,
+                          size=n_broadcasts)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+    total = int(offsets[-1])
+    ids = rng.integers(0, 4000, size=total)
+    pos = rng.uniform(0.0, 100.0, size=(total, 2))
+    predicted = rng.uniform(30.0, 70.0, size=(n_broadcasts, 2))
+    weights = rng.uniform(0.1, 2.0, size=n_broadcasts)
+    kwargs = dict(area_radius=25.0, record_threshold=0.2, max_recorders=12)
+
+    return (
+        lambda: np_propagation.batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets, **kwargs),
+        lambda: numba_backend.batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets, **kwargs),
+    )
+
+
+def _link_pair(rng, n_copies, **_):
+    seeds = rng.integers(0, 2**63, size=n_copies, dtype=np.uint64)
+    senders = rng.integers(0, 2000, size=n_copies, dtype=np.uint64)
+    receivers = rng.integers(0, 2000, size=n_copies, dtype=np.uint64)
+    iterations = rng.integers(0, 10, size=n_copies, dtype=np.uint64)
+    nonces = rng.integers(0, 4, size=n_copies, dtype=np.uint64)
+
+    return (
+        lambda: np_delivery.link_uniform_many(
+            seeds, 1, senders, receivers, iterations, nonces),
+        lambda: numba_backend.link_uniform_many(
+            seeds, 1, senders, receivers, iterations, nonces),
+    )
+
+
+PATHS = {
+    "contributions": _contributions_pair,
+    "propagation": _propagation_pair,
+    "link": _link_pair,
+}
+
+
+def _check_equal(name, numpy_result, jit_result):
+    """The bench doubles as a bit-exactness check on real workloads."""
+    if name == "propagation":
+        for (s_sel, s_p, s_w), (k_sel, k_p, k_w) in zip(numpy_result, jit_result):
+            assert np.array_equal(s_sel, k_sel)
+            assert s_p.tobytes() == k_p.tobytes()
+            assert s_w.tobytes() == k_w.tobytes()
+    else:
+        assert numpy_result.tobytes() == jit_result.tobytes(), name
+
+
+def test_bench_kernels_jit(report_sink):
+    numba_backend.warm_up()  # compile outside the timed region
+    sizes = _sizes()
+    rng = np.random.default_rng(2011)
+    rows = {}
+    for name, make in PATHS.items():
+        numpy_call, jit_call = make(rng, **sizes)
+        numpy_s, numpy_result = _best_of(numpy_call)
+        jit_s, jit_result = _best_of(jit_call)
+        _check_equal(name, numpy_result, jit_result)
+        rows[name] = {
+            "numpy_seconds": numpy_s,
+            "jit_seconds": jit_s,
+            "speedup": numpy_s / jit_s,
+        }
+
+    payload = {"smoke": SMOKE, "repeats": REPEATS, "sizes": sizes, "paths": rows}
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_kernels_jit.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"BENCH_kernels_jit ({'smoke' if SMOKE else 'full'} mode):"]
+    for name, row in rows.items():
+        lines.append(
+            f"  {name:<14} numpy {row['numpy_seconds'] * 1e3:8.3f} ms   "
+            f"jit {row['jit_seconds'] * 1e3:8.3f} ms   "
+            f"speedup {row['speedup']:7.1f}x"
+        )
+    report_sink("\n".join(lines))
+    assert out.exists()
+
+    if SMOKE:
+        return  # timings recorded, but too noisy to judge at smoke sizes
+
+    for name, floor in MIN_SPEEDUP.items():
+        assert rows[name]["speedup"] >= floor, (
+            f"{name} JIT kernel is only {rows[name]['speedup']:.2f}x the "
+            f"numpy reference (needs >= {floor}x)"
+        )
+
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())["paths"]
+        for name, row in rows.items():
+            floor = baseline[name]["speedup"] / REGRESSION_FACTOR
+            assert row["speedup"] >= floor, (
+                f"{name} JIT speedup regressed: {row['speedup']:.2f}x vs "
+                f"baseline {baseline[name]['speedup']:.2f}x "
+                f"(allowed floor {floor:.2f}x)"
+            )

@@ -216,7 +216,11 @@ def build_run_options(config: ScenarioConfig, *, bus: "EventBus | None" = None):
     """The :class:`~repro.experiments.options.RunOptions` for ``config``."""
     from ..experiments.options import RunOptions
 
-    return RunOptions(fault_plan=build_fault_plan(config), bus=bus)
+    kernel_backend = (
+        None if config.kernel_backend == "auto" else config.kernel_backend
+    )
+    return RunOptions(fault_plan=build_fault_plan(config), bus=bus,
+                      kernel_backend=kernel_backend)
 
 
 #: execution strategies :meth:`CompiledRun.run` accepts — mirrors

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels.contributions import batch_contributions
+from ..kernels import batch_contributions  # dispatching: honors backend switches
 
 __all__ = [
     "estimated_contributions",

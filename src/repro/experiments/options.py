@@ -100,12 +100,31 @@ class RunOptions:
     checkpoint:
         A :class:`CheckpointPolicy` shaping periodic snapshots and resume;
         ``None`` runs without checkpointing.
+    kernel_backend:
+        Kernel backend requested for the run's hot paths (see
+        :mod:`repro.kernels.backends`): ``"numpy"`` (the reference) or
+        ``"numba"`` (JIT-compiled, bit-identical by contract).  ``None``
+        keeps the process default.  The request is scoped to each
+        :meth:`~repro.experiments.runner.TrackingRun.step`, so interleaved
+        runs (the service) can mix backends; a process pinned via
+        ``REPRO_KERNEL_BACKEND`` overrides it with a warn-once.
     """
 
     fault_plan: "FaultPlan | None" = None
     bus: EventBus | None = None
     on_iteration: IterationCallback | None = None
     checkpoint: CheckpointPolicy | None = None
+    kernel_backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kernel_backend is not None:
+            from ..kernels.backends import kernel_backend_names
+
+            if self.kernel_backend not in kernel_backend_names():
+                raise ValueError(
+                    f"unknown kernel_backend {self.kernel_backend!r}; "
+                    f"registered: {list(kernel_backend_names())}"
+                )
 
 
 def iteration_subscriber(callback: IterationCallback) -> Callable[[Any], None]:

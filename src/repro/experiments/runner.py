@@ -321,6 +321,14 @@ class TrackingRun:
             )
         k = self.next_iteration
         options = self.options
+        if options.kernel_backend is not None:
+            from ..kernels.backends import use_kernel_backend
+
+            with use_kernel_backend(options.kernel_backend):
+                return self._step_body(k, options)
+        return self._step_body(k, options)
+
+    def _step_body(self, k: int, options: RunOptions) -> StepOutcome:
         tracker = self.tracker
         fault_plan = options.fault_plan
         if fault_plan is not None:

@@ -1,0 +1,349 @@
+"""Pluggable kernel backends behind the batch-axis kernel contract.
+
+The four contract kernels — :func:`~repro.kernels.contributions.
+batch_contributions`, :func:`~repro.kernels.likelihood.batch_likelihood`,
+:func:`~repro.kernels.propagation.batch_propagate_ragged` and
+:func:`~repro.kernels.delivery.link_uniform_many` — are dispatched through
+this package instead of being bound to their numpy reference at import
+time.  Two backends register here:
+
+* ``"numpy"`` — the reference implementations, the default, and the
+  definition of correct: every other backend must reproduce them bit for
+  bit (same float ops, same order, same pairwise-reduction trees).
+* ``"numba"`` — ``@njit``-compiled replicas of the kernels whose float
+  semantics can be preserved exactly (:mod:`~repro.kernels.backends.
+  numba_backend`); kernels where bit-exactness is unattainable under a JIT
+  (``batch_likelihood`` — numpy 2's SIMD transcendentals differ from libm
+  in the last bit) have no JIT variant and stay on numpy.
+
+Selection
+---------
+Three levels, from widest to narrowest scope:
+
+* ``REPRO_KERNEL_BACKEND`` (environment) — pins the whole process, e.g. a
+  deployment opting all service workers in.  The pin wins over *run-scoped*
+  requests (a config or ``RunOptions`` asking for something else falls back
+  with a warn-once ``env-override`` reason) but loses to an explicit
+  :func:`set_kernel_backend` call, so tests and tools keep full control.
+* :func:`set_kernel_backend` — explicit process-level selection.
+* :func:`use_kernel_backend` — a context manager scoping one run (this is
+  what ``RunOptions.kernel_backend`` / ``ScenarioConfig.kernel_backend``
+  travel through).
+
+Resolution is *eager*: every switch rebuilds the active per-kernel table
+once, so the hot path pays exactly one dict lookup per call.  When a
+requested backend cannot serve a kernel, dispatch falls back to numpy for
+that kernel and warns once per (backend, kernel, reason) with a structured
+reason — ``missing-dependency`` (e.g. numba not installed),
+``no-jit-variant`` (documented holdout) or ``env-override``.
+:func:`kernel_backend_info` exposes the live map for ``RunSummary`` rows
+and the service's ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "DISPATCHED_KERNELS",
+    "ENV_VAR",
+    "KernelBackend",
+    "KernelBackendFallbackWarning",
+    "active_kernels",
+    "available_backends",
+    "kernel_backend_info",
+    "kernel_backend_names",
+    "register_backend",
+    "reset_kernel_backend",
+    "set_kernel_backend",
+    "use_kernel_backend",
+    "warm_up_kernels",
+]
+
+#: the contract kernels that route through the dispatcher; everything else
+#: in :mod:`repro.kernels` stays a direct numpy binding
+DISPATCHED_KERNELS = (
+    "batch_contributions",
+    "batch_likelihood",
+    "batch_propagate_ragged",
+    "link_uniform_many",
+)
+
+#: process-wide backend pin honored at import and on every re-resolution
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: structured fallback reasons (the warn-once taxonomy)
+REASON_MISSING_DEPENDENCY = "missing-dependency"
+REASON_NO_JIT_VARIANT = "no-jit-variant"
+REASON_ENV_OVERRIDE = "env-override"
+REASON_UNKNOWN_BACKEND = "unknown-backend"
+
+
+class KernelBackendFallbackWarning(UserWarning):
+    """A requested kernel backend fell back to numpy for >= 1 kernel."""
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One registered backend: a named, partial kernel table.
+
+    ``kernels`` maps contract-kernel names to callables with the reference
+    signatures; a backend may claim any subset (missing names fall back to
+    numpy per kernel).  ``availability`` reports whether the backend can
+    run at all — ``(False, detail)`` routes every kernel to numpy with a
+    ``missing-dependency`` warn-once.  ``warm_up`` pre-compiles/primes the
+    backend (called once per worker process at pool/service spawn).
+    """
+
+    name: str
+    kernels: Mapping[str, Callable]
+    availability: Callable[[], tuple[bool, str | None]] = field(
+        default=lambda: (True, None)
+    )
+    warm_up: Callable[[], None] = field(default=lambda: None)
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+# resolved state: _ACTIVE is the hot-path table (one dict lookup per kernel
+# call); _KERNEL_INFO mirrors it with provenance for kernel_backend_info()
+_ACTIVE: dict[str, Callable] = {}
+_KERNEL_INFO: dict[str, dict] = {}
+_STATE = {"requested": "numpy", "source": "default"}
+_API_SELECTION: str | None = None
+_RUN_SELECTION: str | None = None
+_WARNED: set[tuple[str, str, str]] = set()
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Register (or replace) a backend and re-resolve the active table."""
+    _REGISTRY[backend.name] = backend
+    _rebind()
+
+
+def kernel_backend_names() -> tuple[str, ...]:
+    """The registered backend names, reference backend first."""
+    names = sorted(_REGISTRY)
+    if "numpy" in names:
+        names.remove("numpy")
+        names.insert(0, "numpy")
+    return tuple(names)
+
+
+def available_backends() -> dict[str, dict]:
+    """Availability of every registered backend (name -> probe result)."""
+    out = {}
+    for name, backend in sorted(_REGISTRY.items()):
+        ok, detail = backend.availability()
+        out[name] = {"available": bool(ok)}
+        if detail:
+            out[name]["detail"] = detail
+    return out
+
+
+def _warn_once(backend: str, kernel: str, reason: str, detail: str) -> None:
+    key = (backend, kernel, reason)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"kernel backend {backend!r} cannot serve {kernel!r} "
+        f"[reason={reason}]: {detail}; falling back to numpy",
+        KernelBackendFallbackWarning,
+        stacklevel=3,
+    )
+
+
+def _env_request() -> str | None:
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return None
+    if value not in _REGISTRY:
+        for kernel in DISPATCHED_KERNELS:
+            _warn_once(
+                value,
+                kernel,
+                REASON_UNKNOWN_BACKEND,
+                f"{ENV_VAR}={value!r} names no registered backend "
+                f"(have {sorted(_REGISTRY)})",
+            )
+        return None
+    return value
+
+
+def _rebind() -> None:
+    """Re-resolve the active per-kernel table from the current selections."""
+    env = _env_request()
+    requested, source = "numpy", "default"
+    if env is not None:
+        requested, source = env, "env"
+    if _RUN_SELECTION is not None:
+        if env is not None and _RUN_SELECTION != env:
+            # the deployment-level pin wins over run-scoped requests
+            for kernel in DISPATCHED_KERNELS:
+                _warn_once(
+                    _RUN_SELECTION,
+                    kernel,
+                    REASON_ENV_OVERRIDE,
+                    f"{ENV_VAR}={env!r} pins this process",
+                )
+        else:
+            requested, source = _RUN_SELECTION, "run"
+    if _API_SELECTION is not None:
+        requested, source = _API_SELECTION, "api"
+
+    _STATE["requested"] = requested
+    _STATE["source"] = source
+    reference = _REGISTRY["numpy"]
+    backend = _REGISTRY[requested]
+    ok, detail = (True, None) if requested == "numpy" else backend.availability()
+    for kernel in DISPATCHED_KERNELS:
+        impl = backend.kernels.get(kernel)
+        if requested == "numpy":
+            pass  # the reference serves everything by definition
+        elif not ok:
+            _warn_once(
+                requested,
+                kernel,
+                REASON_MISSING_DEPENDENCY,
+                detail or "backend unavailable",
+            )
+            impl = None
+        elif impl is None:
+            _warn_once(
+                requested,
+                kernel,
+                REASON_NO_JIT_VARIANT,
+                "kernel is a documented numpy-only holdout for this backend",
+            )
+        if impl is None:
+            _ACTIVE[kernel] = reference.kernels[kernel]
+            info = {"backend": "numpy"}
+            if requested != "numpy":
+                info["fallback"] = {
+                    "requested": requested,
+                    "reason": (
+                        REASON_MISSING_DEPENDENCY if not ok else REASON_NO_JIT_VARIANT
+                    ),
+                }
+                if not ok and detail:
+                    info["fallback"]["detail"] = detail
+        else:
+            _ACTIVE[kernel] = impl
+            info = {"backend": requested}
+        _KERNEL_INFO[kernel] = info
+
+
+def _validate(name: str) -> str:
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return name
+
+
+def set_kernel_backend(name: str | None) -> str | None:
+    """Select the process-level kernel backend; returns the previous selection.
+
+    ``name=None`` clears the explicit selection, dropping back to the
+    ``REPRO_KERNEL_BACKEND`` environment pin (if set) or the numpy default.
+    An explicit selection wins over the environment pin — this is the
+    programmer's override; the env var is the deployment's.
+    """
+    global _API_SELECTION
+    if name is not None:
+        _validate(name)
+    previous = _API_SELECTION
+    _API_SELECTION = name
+    _rebind()
+    return previous
+
+
+@contextmanager
+def use_kernel_backend(name: str):
+    """Scope a run-level backend request to a ``with`` block.
+
+    This is the channel ``RunOptions.kernel_backend`` and the config
+    schema's ``kernel_backend`` field travel through.  A process pinned via
+    ``REPRO_KERNEL_BACKEND`` overrides the request (warn-once,
+    ``env-override``); an explicit :func:`set_kernel_backend` selection
+    also takes precedence.  Nesting restores the outer request on exit.
+    """
+    global _RUN_SELECTION
+    _validate(name)
+    previous = _RUN_SELECTION
+    _RUN_SELECTION = name
+    _rebind()
+    try:
+        yield
+    finally:
+        _RUN_SELECTION = previous
+        _rebind()
+
+
+def active_kernels() -> dict[str, Callable]:
+    """The live dispatch table (kernel name -> serving callable)."""
+    return dict(_ACTIVE)
+
+
+def kernel_backend_info() -> dict:
+    """The resolved backend state: requested, source, per-kernel map.
+
+    The shape surfaced in ``RunSummary`` and the service's ``/metrics``::
+
+        {"requested": "numba", "source": "env",
+         "kernels": {"batch_contributions": {"backend": "numba"},
+                     "batch_likelihood": {"backend": "numpy",
+                                          "fallback": {...}}, ...},
+         "backends": {"numpy": {"available": True}, ...}}
+    """
+    return {
+        "requested": _STATE["requested"],
+        "source": _STATE["source"],
+        "kernels": {k: dict(v) for k, v in _KERNEL_INFO.items()},
+        "backends": available_backends(),
+    }
+
+
+def warm_up_kernels() -> None:
+    """Prime the backend serving >= 1 kernel (pre-compile JIT variants).
+
+    Called once per worker process at pool/service spawn so first-call
+    compilation latency never pollutes bench numbers or service p95.
+    A no-op for the numpy reference.
+    """
+    serving = {info["backend"] for info in _KERNEL_INFO.values()}
+    for name in serving:
+        _REGISTRY[name].warm_up()
+
+
+def reset_kernel_backend() -> None:
+    """Drop every selection and the warn-once registry; re-resolve.
+
+    Test helper: returns the dispatcher to a pristine import-time state
+    (modulo the current environment, which is re-read).
+    """
+    global _API_SELECTION, _RUN_SELECTION
+    _API_SELECTION = None
+    _RUN_SELECTION = None
+    _WARNED.clear()
+    _rebind()
+
+
+# -- backend registration (import order matters: numpy first, it is the
+#    fallback target every resolution references) ---------------------------
+
+from . import numpy_backend as _numpy_backend  # noqa: E402
+
+_REGISTRY["numpy"] = _numpy_backend.BACKEND
+
+from . import numba_backend as _numba_backend  # noqa: E402
+
+_REGISTRY["numba"] = _numba_backend.BACKEND
+
+_rebind()

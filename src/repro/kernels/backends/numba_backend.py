@@ -1,0 +1,573 @@
+"""The numba backend: ``@njit``-compiled, bit-exact kernel replicas.
+
+Three of the four contract kernels compile: ``batch_contributions``,
+``batch_propagate_ragged`` and ``link_uniform_many`` use only IEEE-exact
+operations (add/sub/mul/div/sqrt/compare and pure uint64 arithmetic), so a
+scalar transcription reproduces the numpy reference to the last bit — the
+per-group reductions re-implement numpy's *pairwise* summation tree
+(``_pairwise_sum``: 8-accumulator unrolled blocks up to 128 elements,
+recursive halving above) rather than naive accumulation.
+
+``batch_likelihood`` is the documented numpy-only holdout (DESIGN §4k):
+numpy 2's SIMD ``arctan``/``arctan2``/``hypot`` loops differ from libm in
+the last ulp (measured: ~8% of ``arctan2`` values on this toolchain), so
+no JIT transcription can match it bitwise.  Per the bit-exactness contract
+the kernel keeps its numpy implementation instead of loosening the gate;
+the dispatcher warns once with reason ``no-jit-variant``.
+
+JIT caveats (also in DESIGN §4k):
+
+* ``fastmath`` stays **off** — FMA contraction or reassociation would
+  break bit-exactness (and ``norm2d_many``'s emulated-FMA upstream relies
+  on strict ordering).
+* every wrapper normalizes dtype *and* C-contiguity before entering a
+  compiled kernel, so exactly one specialization per kernel ever compiles
+  (steady state asserts no recompilation);
+* ``cache=True`` persists compilations across processes;
+  ``REPRO_KERNEL_JIT_PARALLEL=1`` additionally compiles the ``prange``
+  loops parallel (off by default: the paper-grid workloads are too small
+  to amortize thread fan-out).
+* uint64 arithmetic never mixes with Python int literals (numba would
+  promote through float64); all constants are ``np.uint64`` globals.
+
+Without numba installed the module still imports: ``_jit`` degrades to a
+no-op so the kernel *bodies* remain plain-Python testable (the equivalence
+suite exercises them bitwise either way), while the dispatcher routes
+production calls back to numpy with a ``missing-dependency`` warn-once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["BACKEND", "KERNELS", "is_available", "warm_up"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+    from numba import prange
+
+    _NUMBA_ERROR: str | None = None
+except ImportError as exc:  # the supported no-numba path
+    _numba = None
+    prange = range
+    _NUMBA_ERROR = f"{type(exc).__name__}: {exc}"
+
+_PARALLEL = os.environ.get("REPRO_KERNEL_JIT_PARALLEL", "0") == "1"
+
+
+def _jit(fn):
+    """``numba.njit`` with the contract-safe options; identity without numba."""
+    if _numba is None:
+        return fn
+    return _numba.njit(cache=True, parallel=_PARALLEL, fastmath=False)(fn)
+
+
+def is_available() -> tuple[bool, str | None]:
+    if _numba is None:
+        return False, f"numba is not installed ({_NUMBA_ERROR})"
+    return True, None
+
+
+# ---------------------------------------------------------------------------
+# numpy's pairwise summation, transcribed
+# ---------------------------------------------------------------------------
+
+
+@_jit
+def _pairwise_sum(values, lo, n):
+    """``values[lo:lo + n].sum()`` with numpy's exact reduction tree.
+
+    Transcribed from numpy's ``pairwise_sum_DOUBLE``: sequential below 8
+    elements; an 8-accumulator unrolled block with the fixed combine order
+    ``((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7))`` up to 128; recursive halving
+    (first half rounded down to a multiple of 8) above.  Bit-identical to a
+    contiguous float64 ``.sum()`` for every length.
+    """
+    if n < 8:
+        acc = 0.0
+        for i in range(n):
+            acc += values[lo + i]
+        return acc
+    if n <= 128:
+        r0 = values[lo]
+        r1 = values[lo + 1]
+        r2 = values[lo + 2]
+        r3 = values[lo + 3]
+        r4 = values[lo + 4]
+        r5 = values[lo + 5]
+        r6 = values[lo + 6]
+        r7 = values[lo + 7]
+        i = 8
+        while i < n - (n % 8):
+            r0 += values[lo + i]
+            r1 += values[lo + i + 1]
+            r2 += values[lo + i + 2]
+            r3 += values[lo + i + 3]
+            r4 += values[lo + i + 4]
+            r5 += values[lo + i + 5]
+            r6 += values[lo + i + 6]
+            r7 += values[lo + i + 7]
+            i += 8
+        acc = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            acc += values[lo + i]
+            i += 1
+        return acc
+    half = n // 2
+    half -= half % 8
+    return _pairwise_sum(values, lo, half) + _pairwise_sum(
+        values, lo + half, n - half
+    )
+
+
+# ---------------------------------------------------------------------------
+# batch_contributions
+# ---------------------------------------------------------------------------
+
+
+@_jit
+def _contributions_kernel(distances, offsets, d_min, out):
+    for g in prange(offsets.shape[0] - 1):
+        lo = offsets[g]
+        hi = offsets[g + 1]
+        for i in range(lo, hi):
+            d = distances[i]
+            if d < d_min:
+                d = d_min
+            out[i] = 1.0 / d
+        total = _pairwise_sum(out, lo, hi - lo)
+        for i in range(lo, hi):
+            out[i] = out[i] / total
+
+
+def batch_contributions(distances, offsets=None, *, d_min=1e-3):
+    """JIT replica of :func:`repro.kernels.contributions.batch_contributions`."""
+    distances = np.ascontiguousarray(distances, dtype=np.float64)
+    if offsets is None:
+        offsets = np.array([0, distances.shape[0]], dtype=np.int64)
+    else:
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+    out = np.empty_like(distances)
+    _contributions_kernel(distances, offsets, float(d_min), out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# batch_propagate_ragged
+# ---------------------------------------------------------------------------
+
+
+@_jit
+def _ragged_probs_kernel(pos_s, predicted, group, area_radius, threshold,
+                         mask_s, use_mask, p, keep):
+    for i in prange(pos_s.shape[0]):
+        b = group[i]
+        dx = pos_s[i, 0] - predicted[b, 0]
+        dy = pos_s[i, 1] - predicted[b, 1]
+        d = np.sqrt(dx * dx + dy * dy)
+        v = 1.0 - d / area_radius
+        pv = v if v > 0.0 else 0.0
+        p[i] = pv
+        kept = pv > threshold
+        if use_mask and mask_s[i] == 0:
+            kept = False
+        keep[i] = 1 if kept else 0
+
+
+@_jit
+def _ragged_counts_kernel(keep, offsets, max_recorders, counts):
+    for b in prange(offsets.shape[0] - 1):
+        c = 0
+        for i in range(offsets[b], offsets[b + 1]):
+            c += keep[i]
+        if 0 <= max_recorders < c:
+            c = max_recorders
+        counts[b] = c
+
+
+@_jit
+def _ragged_fill_kernel(p, keep, ids_s, weights, offsets, out_offsets,
+                        sel_out, probs_out, shares_out):
+    for b in prange(offsets.shape[0] - 1):
+        lo = offsets[b]
+        hi = offsets[b + 1]
+        o = out_offsets[b]
+        n_sel = out_offsets[b + 1] - o
+        if n_sel == 0:
+            continue
+        c = 0
+        for i in range(lo, hi):
+            c += keep[i]
+        if c > n_sel:
+            # top-k under (probability desc, id asc) — the same total order
+            # as the reference's stable lexsort((ids, -p))[:k]; the k-pass
+            # strict-improvement scan keeps the earliest of exact key ties,
+            # matching mergesort stability.  The survivors then emit in
+            # position order == ascending id (the slice is id-sorted).
+            taken = np.zeros(hi - lo, dtype=np.uint8)
+            for _ in range(n_sel):
+                best = -1
+                best_p = 0.0
+                best_id = 0
+                for i in range(lo, hi):
+                    if keep[i] == 0 or taken[i - lo] == 1:
+                        continue
+                    if (
+                        best < 0
+                        or p[i] > best_p
+                        or (p[i] == best_p and ids_s[i] < best_id)
+                    ):
+                        best = i
+                        best_p = p[i]
+                        best_id = ids_s[i]
+                taken[best - lo] = 1
+            j = o
+            for i in range(lo, hi):
+                if keep[i] == 1 and taken[i - lo] == 1:
+                    sel_out[j] = i
+                    probs_out[j] = p[i]
+                    j += 1
+        else:
+            j = o
+            for i in range(lo, hi):
+                if keep[i] == 1:
+                    sel_out[j] = i
+                    probs_out[j] = p[i]
+                    j += 1
+        total = _pairwise_sum(probs_out, o, n_sel)
+        w = weights[b]
+        for j in range(o, o + n_sel):
+            shares_out[j] = w * (probs_out[j] / total)
+
+
+def batch_propagate_ragged(
+    predicted,
+    weights,
+    candidate_ids,
+    candidate_positions,
+    candidate_offsets,
+    *,
+    area_radius,
+    record_threshold,
+    max_recorders=None,
+    keep_mask=None,
+):
+    """JIT replica of :func:`repro.kernels.propagation.batch_propagate_ragged`.
+
+    The stable ``(group, id)`` pre-sort stays in numpy (an exact index
+    permutation); the distance/probability pass, per-broadcast selection,
+    top-k cut and pairwise share normalization run compiled.
+    """
+    predicted = np.ascontiguousarray(predicted, dtype=np.float64)
+    weights = np.ascontiguousarray(weights, dtype=np.float64)
+    ids = np.asarray(candidate_ids, dtype=np.intp)
+    pos = np.asarray(candidate_positions, dtype=np.float64)
+    offsets = np.asarray(candidate_offsets, dtype=np.intp)
+    n_b = predicted.shape[0]
+    empty = (
+        np.zeros(0, dtype=np.intp),
+        np.zeros(0, dtype=np.float64),
+        np.zeros(0, dtype=np.float64),
+    )
+    if ids.size == 0:
+        return [empty] * n_b
+
+    counts = np.diff(offsets)
+    group = np.repeat(np.arange(n_b, dtype=np.intp), counts)
+    order = np.lexsort((ids, group))
+    ids_s = np.ascontiguousarray(ids[order], dtype=np.int64)
+    pos_s = np.ascontiguousarray(pos[order])
+    if keep_mask is not None:
+        mask_s = np.ascontiguousarray(
+            np.asarray(keep_mask)[order], dtype=np.uint8
+        )
+        use_mask = True
+    else:
+        mask_s = np.zeros(0, dtype=np.uint8)
+        use_mask = False
+
+    p = np.empty(ids_s.shape[0], dtype=np.float64)
+    keep = np.empty(ids_s.shape[0], dtype=np.int64)
+    offsets64 = np.ascontiguousarray(offsets, dtype=np.int64)
+    group64 = np.ascontiguousarray(group, dtype=np.int64)
+    _ragged_probs_kernel(
+        pos_s, predicted, group64, float(area_radius),
+        max(float(record_threshold), 0.0), mask_s, use_mask, p, keep,
+    )
+    cap = -1 if max_recorders is None else int(max_recorders)
+    counts_out = np.empty(n_b, dtype=np.int64)
+    _ragged_counts_kernel(keep, offsets64, cap, counts_out)
+    out_offsets = np.zeros(n_b + 1, dtype=np.int64)
+    np.cumsum(counts_out, out=out_offsets[1:])
+    total = int(out_offsets[-1])
+    sel_out = np.empty(total, dtype=np.int64)
+    probs_out = np.empty(total, dtype=np.float64)
+    shares_out = np.empty(total, dtype=np.float64)
+    _ragged_fill_kernel(
+        p, keep, ids_s, weights, offsets64, out_offsets,
+        sel_out, probs_out, shares_out,
+    )
+
+    # map sorted-domain flat indices back to slice-relative candidate indices
+    sel_rel = order[sel_out] - np.repeat(offsets[:-1], counts_out)
+    out: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for b in range(n_b):
+        lo = int(out_offsets[b])
+        hi = int(out_offsets[b + 1])
+        if lo == hi:
+            out.append(empty)
+            continue
+        out.append((sel_rel[lo:hi], probs_out[lo:hi], shares_out[lo:hi]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# link_uniform_many: SeedSequence -> PCG64 -> random(), scalar per copy
+# ---------------------------------------------------------------------------
+
+_M32 = np.uint64(0xFFFFFFFF)
+_INIT_A = np.uint64(0x43B0D7E5)
+_MULT_A = np.uint64(0x931E8875)
+_INIT_B = np.uint64(0x8B51F9DD)
+_MULT_B = np.uint64(0x58F38DED)
+_MIX_MULT_L = np.uint64(0xCA01F9DD)
+_MIX_MULT_R = np.uint64(0x4973F715)
+_XSHIFT = np.uint64(16)
+_SHIFT1 = np.uint64(1)
+_SHIFT11 = np.uint64(11)
+_SHIFT32 = np.uint64(32)
+_SHIFT58 = np.uint64(58)
+_SHIFT63 = np.uint64(63)
+_U64_0 = np.uint64(0)
+_U64_1 = np.uint64(1)
+_U64_63 = np.uint64(63)
+_U64_64 = np.uint64(64)
+_PCG_MULT_HI = np.uint64(2549297995355413924)
+_PCG_MULT_LO = np.uint64(4865540595714422341)
+_RECIP_2_53 = 1.0 / 9007199254740992.0
+
+
+@_jit
+def _hashmix(value, hash_const):
+    value = (value ^ hash_const) & _M32
+    hash_const = (hash_const * _MULT_A) & _M32
+    value = (value * hash_const) & _M32
+    value = (value ^ (value >> _XSHIFT)) & _M32
+    return value, hash_const
+
+
+@_jit
+def _mix(x, y):
+    result = ((x * _MIX_MULT_L) - (y * _MIX_MULT_R)) & _M32
+    return (result ^ (result >> _XSHIFT)) & _M32
+
+
+@_jit
+def _mul_64_64(a, b):
+    a_lo = a & _M32
+    a_hi = a >> _SHIFT32
+    b_lo = b & _M32
+    b_hi = b >> _SHIFT32
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    hh = a_hi * b_hi
+    mid = (ll >> _SHIFT32) + (lh & _M32) + (hl & _M32)
+    lo = (ll & _M32) | ((mid & _M32) << _SHIFT32)
+    hi = hh + (lh >> _SHIFT32) + (hl >> _SHIFT32) + (mid >> _SHIFT32)
+    return hi, lo
+
+
+@_jit
+def _add128(a_hi, a_lo, b_hi, b_lo):
+    lo = a_lo + b_lo
+    if lo < a_lo:
+        return a_hi + b_hi + _U64_1, lo
+    return a_hi + b_hi, lo
+
+
+@_jit
+def _pcg_step(s_hi, s_lo, inc_hi, inc_lo):
+    hi, lo = _mul_64_64(s_lo, _PCG_MULT_LO)
+    hi = hi + s_lo * _PCG_MULT_HI + s_hi * _PCG_MULT_LO
+    return _add128(hi, lo, inc_hi, inc_lo)
+
+
+@_jit
+def _link_uniform_kernel(words, out):
+    # one copy per iteration: the full SeedSequence pool mix (entropy word
+    # layout [seed, 0, 0, 0, tag, sender, receiver, iteration, nonce]),
+    # generate_state(4, uint64), PCG64 seeding, one next64, 53-bit scale —
+    # the data flow of delivery._seed_pool/_generate_state8/
+    # _pcg64_first_double unrolled over the pool columns.
+    for k in prange(words.shape[0]):
+        hc = _INIT_A
+        p0, hc = _hashmix(words[k, 0], hc)
+        p1, hc = _hashmix(words[k, 1], hc)
+        p2, hc = _hashmix(words[k, 2], hc)
+        p3, hc = _hashmix(words[k, 3], hc)
+        # cross-mix every (src, dst) pool pair, src outer, skipping src==dst
+        h, hc = _hashmix(p0, hc)
+        p1 = _mix(p1, h)
+        h, hc = _hashmix(p0, hc)
+        p2 = _mix(p2, h)
+        h, hc = _hashmix(p0, hc)
+        p3 = _mix(p3, h)
+        h, hc = _hashmix(p1, hc)
+        p0 = _mix(p0, h)
+        h, hc = _hashmix(p1, hc)
+        p2 = _mix(p2, h)
+        h, hc = _hashmix(p1, hc)
+        p3 = _mix(p3, h)
+        h, hc = _hashmix(p2, hc)
+        p0 = _mix(p0, h)
+        h, hc = _hashmix(p2, hc)
+        p1 = _mix(p1, h)
+        h, hc = _hashmix(p2, hc)
+        p3 = _mix(p3, h)
+        h, hc = _hashmix(p3, hc)
+        p0 = _mix(p0, h)
+        h, hc = _hashmix(p3, hc)
+        p1 = _mix(p1, h)
+        h, hc = _hashmix(p3, hc)
+        p2 = _mix(p2, h)
+        # fold the five spawn-key words into every pool column
+        for w in range(4, 9):
+            src = words[k, w]
+            h, hc = _hashmix(src, hc)
+            p0 = _mix(p0, h)
+            h, hc = _hashmix(src, hc)
+            p1 = _mix(p1, h)
+            h, hc = _hashmix(src, hc)
+            p2 = _mix(p2, h)
+            h, hc = _hashmix(src, hc)
+            p3 = _mix(p3, h)
+        # generate_state(4, uint64) as 8 uint32-domain words
+        hc = _INIT_B
+        s0 = (p0 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s0 = (s0 * hc) & _M32
+        s0 = (s0 ^ (s0 >> _XSHIFT)) & _M32
+        s1 = (p1 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s1 = (s1 * hc) & _M32
+        s1 = (s1 ^ (s1 >> _XSHIFT)) & _M32
+        s2 = (p2 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s2 = (s2 * hc) & _M32
+        s2 = (s2 ^ (s2 >> _XSHIFT)) & _M32
+        s3 = (p3 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s3 = (s3 * hc) & _M32
+        s3 = (s3 ^ (s3 >> _XSHIFT)) & _M32
+        s4 = (p0 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s4 = (s4 * hc) & _M32
+        s4 = (s4 ^ (s4 >> _XSHIFT)) & _M32
+        s5 = (p1 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s5 = (s5 * hc) & _M32
+        s5 = (s5 ^ (s5 >> _XSHIFT)) & _M32
+        s6 = (p2 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s6 = (s6 * hc) & _M32
+        s6 = (s6 ^ (s6 >> _XSHIFT)) & _M32
+        s7 = (p3 ^ hc) & _M32
+        hc = (hc * _MULT_B) & _M32
+        s7 = (s7 * hc) & _M32
+        s7 = (s7 ^ (s7 >> _XSHIFT)) & _M32
+        # little-endian uint64 view of the uint32 word stream
+        seed0 = (s1 << _SHIFT32) | s0
+        seed1 = (s3 << _SHIFT32) | s2
+        seed2 = (s5 << _SHIFT32) | s4
+        seed3 = (s7 << _SHIFT32) | s6
+        init_hi = seed0
+        init_lo = seed1
+        inc_hi = (seed2 << _SHIFT1) | (seed3 >> _SHIFT63)
+        inc_lo = (seed3 << _SHIFT1) | _U64_1
+        # pcg_setseq_128_srandom: state = 0; step; state += initstate; step
+        s_hi, s_lo = _pcg_step(_U64_0, _U64_0, inc_hi, inc_lo)
+        s_hi, s_lo = _add128(s_hi, s_lo, init_hi, init_lo)
+        s_hi, s_lo = _pcg_step(s_hi, s_lo, inc_hi, inc_lo)
+        # next64: advance, then XSL-RR (rotr64(hi ^ lo, state >> 122))
+        s_hi, s_lo = _pcg_step(s_hi, s_lo, inc_hi, inc_lo)
+        xored = s_hi ^ s_lo
+        rot = s_hi >> _SHIFT58
+        # shift counts stay in [0, 63] (the & 63 mirrors numpy's masking)
+        res = (xored >> rot) | (xored << ((_U64_64 - rot) & _U64_63))
+        out[k] = (res >> _SHIFT11) * _RECIP_2_53
+
+
+def link_uniform_many(seed, tag, sender, receivers, iteration, nonces):
+    """JIT replica of :func:`repro.kernels.delivery.link_uniform_many`."""
+    receivers = np.asarray(receivers, dtype=np.uint64)
+    n = receivers.shape[0]
+    words = np.zeros((n, 9), dtype=np.uint64)
+    words[:, 0] = np.asarray(seed, dtype=np.uint64)
+    words[:, 4] = np.uint64(tag)
+    words[:, 5] = np.asarray(sender, dtype=np.uint64)
+    words[:, 6] = receivers
+    words[:, 7] = np.asarray(iteration, dtype=np.uint64)
+    words[:, 8] = np.asarray(nonces, dtype=np.uint64)
+    out = np.empty(n, dtype=np.float64)
+    if _numba is None:
+        # plain-Python execution wraps np.uint64 scalars; the wraparound is
+        # the intended modular arithmetic, not an error
+        with np.errstate(over="ignore"):
+            _link_uniform_kernel(words, out)
+    else:
+        _link_uniform_kernel(words, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# backend registration
+# ---------------------------------------------------------------------------
+
+#: the kernels this backend claims; ``batch_likelihood`` is deliberately
+#: absent (numpy-only holdout, see the module docstring and DESIGN §4k)
+KERNELS = {
+    "batch_contributions": batch_contributions,
+    "batch_propagate_ragged": batch_propagate_ragged,
+    "link_uniform_many": link_uniform_many,
+}
+
+
+def warm_up() -> None:
+    """Compile every claimed kernel on tiny representative inputs.
+
+    The wrappers normalize dtypes/contiguity, so these calls create the
+    one-and-only specialization of each ``@njit`` function; production
+    calls then never recompile (asserted by the steady-state test).
+    """
+    if _numba is None:
+        return
+    batch_contributions(
+        np.array([1.0, 2.0, 3.0]), np.array([0, 2, 3]), d_min=1e-3
+    )
+    batch_propagate_ragged(
+        np.zeros((2, 2)),
+        np.ones(2),
+        np.array([3, 1, 2]),
+        np.array([[1.0, 0.0], [0.5, 0.5], [0.0, 1.0]]),
+        np.array([0, 2, 3]),
+        area_radius=5.0,
+        record_threshold=0.0,
+        max_recorders=1,
+        keep_mask=np.array([True, True, True]),
+    )
+    link_uniform_many(
+        np.array([7, 7]), 1, 3, np.array([4, 5]), 2, np.array([0, 1])
+    )
+
+
+from . import KernelBackend  # noqa: E402  (import cycle: registry lives above)
+
+BACKEND = KernelBackend(
+    name="numba",
+    kernels=KERNELS,
+    availability=is_available,
+    warm_up=warm_up,
+)

@@ -1,0 +1,28 @@
+"""The numpy reference backend: the definition of bit-exact.
+
+Nothing here is new code — the backend table simply names the reference
+implementations the kernel modules have always shipped.  Registering them
+as a backend (rather than letting ``repro.kernels.__init__`` bind them at
+import) is what makes backend switches after import take effect at every
+call site.
+"""
+
+from __future__ import annotations
+
+from . import KernelBackend
+from ..contributions import batch_contributions
+from ..delivery import link_uniform_many
+from ..likelihood import batch_likelihood
+from ..propagation import batch_propagate_ragged
+
+__all__ = ["BACKEND"]
+
+BACKEND = KernelBackend(
+    name="numpy",
+    kernels={
+        "batch_contributions": batch_contributions,
+        "batch_likelihood": batch_likelihood,
+        "batch_propagate_ragged": batch_propagate_ragged,
+        "link_uniform_many": link_uniform_many,
+    },
+)

@@ -351,8 +351,9 @@ class TestRunSummary:
         assert s.tasks_per_sec > 0
         assert 0 < s.parallel_efficiency <= 1.5  # timer noise can nudge past 1
         rows = s.as_rows()
-        assert len(rows) == 7
+        assert len(rows) == 8
         assert ("mid-cell checkpoint resumes", "0") in rows
+        assert ("kernel backends", "numpy") in rows
 
     def test_efficiency_uses_effective_workers(self):
         """A pool of 8 that only ever ran 2 tasks is judged against 2 slots,

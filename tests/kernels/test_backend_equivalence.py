@@ -1,0 +1,258 @@
+"""Differential bit-exactness: the numba backend against the numpy reference.
+
+The backend contract is *bitwise* equality — same float ops, same order,
+same pairwise-reduction trees — so every comparison here is ``tobytes()``
+equality, never ``allclose``.  The suite runs in both environments:
+
+* numba installed — the comparisons exercise the ``@njit``-compiled kernels
+  (this is the CI ``jit-kernels`` job).
+* numba absent — ``_jit`` is the identity, so the same kernel bodies run as
+  pure Python; the float semantics under test are identical, compilation
+  aside, which keeps the contract pinned even on minimal environments.
+
+``batch_likelihood`` has no JIT variant (numpy 2's SIMD ``arctan2`` differs
+from libm in the last ulp — DESIGN §4k) and is deliberately absent here.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import contributions as ref_contributions
+from repro.kernels import delivery as ref_delivery
+from repro.kernels import propagation as ref_propagation
+from repro.kernels.backends import (
+    KernelBackendFallbackWarning,
+    numba_backend,
+    use_kernel_backend,
+)
+
+NUMBA_AVAILABLE = numba_backend.is_available()[0]
+
+CORPUS_DIR = Path(__file__).parent.parent / "fuzz" / "corpus"
+CORPUS_FILES = sorted(p.name for p in CORPUS_DIR.glob("*.toml"))
+
+# -- strategies ---------------------------------------------------------------
+
+finite_distances = st.floats(1e-4, 1e3, allow_nan=False, allow_infinity=False)
+
+ragged_distances = st.lists(
+    st.lists(finite_distances, min_size=1, max_size=40),
+    min_size=1,
+    max_size=12,
+)
+
+u64 = st.integers(0, 2**64 - 1)
+
+
+def _csr(groups):
+    flat = np.array([d for g in groups for d in g], dtype=np.float64)
+    offsets = np.cumsum([0] + [len(g) for g in groups])
+    return flat, np.asarray(offsets, dtype=np.intp)
+
+
+class TestContributionsEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(ragged_distances)
+    def test_csr_bitwise_equal(self, groups):
+        flat, offsets = _csr(groups)
+        ref = ref_contributions.batch_contributions(flat, offsets)
+        jit = numba_backend.batch_contributions(flat, offsets)
+        assert jit.dtype == ref.dtype
+        assert jit.tobytes() == ref.tobytes()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_distances, min_size=1, max_size=200))
+    def test_single_group_default_offsets(self, distances):
+        d = np.array(distances, dtype=np.float64)
+        ref = ref_contributions.batch_contributions(d)
+        jit = numba_backend.batch_contributions(d)
+        assert jit.tobytes() == ref.tobytes()
+
+    def test_pairwise_regime_boundaries(self):
+        """Group sizes straddling numpy's pairwise-sum regime switches
+        (n < 8 sequential, n <= 128 unrolled, recursive above)."""
+        rng = np.random.default_rng(20110415)
+        sizes = [1, 2, 7, 8, 9, 16, 127, 128, 129, 200, 513]
+        groups = [list(rng.uniform(1e-3, 50.0, size=n)) for n in sizes]
+        flat, offsets = _csr(groups)
+        ref = ref_contributions.batch_contributions(flat, offsets)
+        jit = numba_backend.batch_contributions(flat, offsets)
+        assert jit.tobytes() == ref.tobytes()
+
+    @settings(max_examples=50, deadline=None)
+    @given(ragged_distances, st.floats(1e-6, 1.0))
+    def test_d_min_clamp(self, groups, d_min):
+        flat, offsets = _csr(groups)
+        ref = ref_contributions.batch_contributions(flat, offsets, d_min=d_min)
+        jit = numba_backend.batch_contributions(flat, offsets, d_min=d_min)
+        assert jit.tobytes() == ref.tobytes()
+
+
+class TestLinkUniformEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(u64, st.integers(0, 2**32 - 1), u64,
+           st.lists(u64, min_size=1, max_size=64), u64,
+           st.lists(u64, min_size=1, max_size=64))
+    def test_scalar_key_fields_bitwise_equal(self, seed, tag, sender,
+                                             receivers, iteration, nonces):
+        n = min(len(receivers), len(nonces))
+        recv = np.array(receivers[:n], dtype=np.uint64)
+        nonce = np.array(nonces[:n], dtype=np.uint64)
+        ref = ref_delivery.link_uniform_many(seed, tag, sender, recv,
+                                             iteration, nonce)
+        jit = numba_backend.link_uniform_many(seed, tag, sender, recv,
+                                              iteration, nonce)
+        assert jit.tobytes() == ref.tobytes()
+
+    @settings(max_examples=75, deadline=None)
+    @given(st.integers(1, 48), u64)
+    def test_per_copy_arrays_bitwise_equal(self, n, entropy):
+        """The cross-cell axis: per-copy seed / sender / iteration arrays."""
+        rng = np.random.default_rng(entropy)
+        kwargs = dict(
+            seed=rng.integers(0, 2**63, size=n, dtype=np.uint64),
+            tag=int(rng.integers(0, 2**31)),
+            sender=rng.integers(0, 2**20, size=n, dtype=np.uint64),
+            receivers=rng.integers(0, 2**20, size=n, dtype=np.uint64),
+            iteration=rng.integers(0, 2**16, size=n, dtype=np.uint64),
+            nonces=rng.integers(0, 2**63, size=n, dtype=np.uint64),
+        )
+        ref = ref_delivery.link_uniform_many(**kwargs)
+        jit = numba_backend.link_uniform_many(**kwargs)
+        assert jit.tobytes() == ref.tobytes()
+
+    def test_matches_scalar_seedsequence_draw(self):
+        """Both backends equal the ground truth they replicate: one
+        ``SeedSequence -> PCG64 -> random()`` per copy.  Key words live in
+        the uint32 domain — the medium's actual key space, and the domain
+        where the fixed 9-word pool layout equals ``SeedSequence``'s
+        variable-length word list."""
+        keys = [(7, 3, 11, 5, 2, 99), (2**32 - 1, 0, 0, 2**32 - 1, 1, 0)]
+        for seed, tag, sender, receiver, iteration, nonce in keys:
+            truth = np.random.Generator(np.random.PCG64(np.random.SeedSequence(
+                seed, spawn_key=(tag, sender, receiver, iteration, nonce)
+            ))).random()
+            recv = np.array([receiver], dtype=np.uint64)
+            nonces = np.array([nonce], dtype=np.uint64)
+            jit = numba_backend.link_uniform_many(seed, tag, sender, recv,
+                                                  iteration, nonces)
+            assert jit[0] == truth
+
+
+def _random_ragged_case(rng):
+    n_b = int(rng.integers(0, 8))
+    predicted = rng.uniform(0.0, 100.0, size=(n_b, 2))
+    weights = rng.uniform(0.0, 2.0, size=n_b)
+    counts = rng.integers(0, 25, size=n_b)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
+    total = int(offsets[-1])
+    # duplicate ids happen across broadcasts and (rarely) within one — the
+    # id-ascending tie rules must match either way
+    ids = rng.integers(0, 60, size=total)
+    pos = rng.uniform(0.0, 100.0, size=(total, 2))
+    kwargs = dict(
+        area_radius=float(rng.uniform(5.0, 60.0)),
+        record_threshold=float(rng.uniform(0.0, 0.8)),
+        max_recorders=(None if rng.random() < 0.5 else int(rng.integers(0, 6))),
+        keep_mask=(None if rng.random() < 0.5
+                   else rng.random(total) < rng.random()),
+    )
+    return (predicted, weights, ids, pos, offsets), kwargs
+
+
+class TestPropagateRaggedEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(u64)
+    def test_random_cases_bitwise_equal(self, entropy):
+        rng = np.random.default_rng(entropy)
+        args, kwargs = _random_ragged_case(rng)
+        ref = ref_propagation.batch_propagate_ragged(*args, **kwargs)
+        jit = numba_backend.batch_propagate_ragged(*args, **kwargs)
+        assert len(jit) == len(ref)
+        for (sel_j, p_j, s_j), (sel_r, p_r, s_r) in zip(jit, ref):
+            assert sel_j.dtype == sel_r.dtype
+            assert sel_j.tobytes() == sel_r.tobytes()
+            assert p_j.tobytes() == p_r.tobytes()
+            assert s_j.tobytes() == s_r.tobytes()
+
+    def test_empty_batch(self):
+        args = (np.zeros((0, 2)), np.zeros(0), np.zeros(0, dtype=np.intp),
+                np.zeros((0, 2)), np.zeros(1, dtype=np.intp))
+        kwargs = dict(area_radius=10.0, record_threshold=0.1)
+        ref = ref_propagation.batch_propagate_ragged(*args, **kwargs)
+        jit = numba_backend.batch_propagate_ragged(*args, **kwargs)
+        assert len(jit) == len(ref) == 0
+
+    def test_top_k_tie_handling_matches(self):
+        """Equal probabilities broken by ascending id, ties kept at the
+        earliest position — the exact lexsort-stability semantics."""
+        predicted = np.array([[50.0, 50.0]])
+        weights = np.array([1.0])
+        # four candidates equidistant from the predicted point -> equal p
+        pos = np.array([[40.0, 50.0], [60.0, 50.0], [50.0, 40.0], [50.0, 60.0]])
+        ids = np.array([3, 1, 3, 2], dtype=np.intp)
+        offsets = np.array([0, 4], dtype=np.intp)
+        kwargs = dict(area_radius=30.0, record_threshold=0.0, max_recorders=2)
+        ref = ref_propagation.batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets, **kwargs)
+        jit = numba_backend.batch_propagate_ragged(
+            predicted, weights, ids, pos, offsets, **kwargs)
+        assert jit[0][0].tobytes() == ref[0][0].tobytes()
+        assert jit[0][2].tobytes() == ref[0][2].tobytes()
+
+
+class TestCorpusReplayUnderNumba:
+    """Satellite #3: the golden corpus is fingerprint-identical under the
+    numba backend.  With numba absent the backend falls back to numpy, so
+    the replay is trivially identical — one file keeps the path covered;
+    with numba installed every corpus file replays through the JIT kernels.
+    """
+
+    FILES = CORPUS_FILES if NUMBA_AVAILABLE else CORPUS_FILES[:1]
+
+    @pytest.mark.parametrize("name", FILES)
+    def test_fingerprint_bit_identical(self, name):
+        from repro.config import load_config, run_config, run_fingerprint
+
+        fingerprints = json.loads((CORPUS_DIR / "fingerprints.json").read_text())
+        config = load_config(CORPUS_DIR / name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelBackendFallbackWarning)
+            with use_kernel_backend("numba"):
+                fingerprint = run_fingerprint(run_config(config))
+        assert fingerprint == fingerprints[name]
+
+
+@pytest.mark.skipif(not NUMBA_AVAILABLE, reason="requires numba")
+class TestNoRecompilation:
+    def test_steady_state_signatures_stable_after_warm_up(self):
+        """Satellite #6: warm-up compiles each jitted kernel exactly once;
+        production-shaped calls afterwards must hit the cached
+        specialization, never trigger a new one."""
+        numba_backend.warm_up()
+        jitted = [
+            numba_backend._contributions_kernel,
+            numba_backend._ragged_probs_kernel,
+            numba_backend._ragged_counts_kernel,
+            numba_backend._ragged_fill_kernel,
+            numba_backend._link_uniform_kernel,
+        ]
+        before = [len(fn.signatures) for fn in jitted]
+        assert all(n >= 1 for n in before)
+        rng = np.random.default_rng(0)
+        flat, offsets = _csr([list(rng.uniform(0.1, 50.0, size=20))
+                              for _ in range(5)])
+        numba_backend.batch_contributions(flat, offsets)
+        args, kwargs = _random_ragged_case(np.random.default_rng(3))
+        numba_backend.batch_propagate_ragged(*args, **kwargs)
+        numba_backend.link_uniform_many(
+            7, 1, 2, np.arange(10, dtype=np.uint64), 3,
+            np.arange(10, dtype=np.uint64))
+        after = [len(fn.signatures) for fn in jitted]
+        assert after == before, "steady-state call triggered a recompilation"

@@ -1,0 +1,364 @@
+"""The kernel-backend dispatcher: selection, precedence, fallback, surfacing.
+
+Backends are bit-identical by contract, so these tests never compare float
+results across backends (``test_backend_equivalence.py`` owns that) — they
+pin the *plumbing*: which implementation serves each kernel under every
+combination of env pin / explicit selection / run scope, the warn-once
+structured fallback reasons, and the resolved map surfaced through
+``RunOptions`` / ``RunSummary`` / the config schema / the service config.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.kernels import backends
+from repro.kernels.backends import (
+    DISPATCHED_KERNELS,
+    ENV_VAR,
+    KernelBackend,
+    KernelBackendFallbackWarning,
+    REASON_ENV_OVERRIDE,
+    REASON_MISSING_DEPENDENCY,
+    REASON_NO_JIT_VARIANT,
+    available_backends,
+    kernel_backend_info,
+    kernel_backend_names,
+    register_backend,
+    reset_kernel_backend,
+    set_kernel_backend,
+    use_kernel_backend,
+    warm_up_kernels,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_dispatcher():
+    """Each test starts unpinned and leaves no dummy backends behind."""
+    saved_env = os.environ.pop(ENV_VAR, None)
+    saved = dict(backends._REGISTRY)
+    reset_kernel_backend()
+    try:
+        yield
+    finally:
+        backends._REGISTRY.clear()
+        backends._REGISTRY.update(saved)
+        os.environ.pop(ENV_VAR, None)  # drop anything the test set
+        if saved_env is not None:
+            os.environ[ENV_VAR] = saved_env
+        reset_kernel_backend()
+
+
+def _dummy(name="dummy", kernels_map=None, available=True, detail=None):
+    sentinel = {k: (lambda *a, _k=k, **kw: ("served-by-dummy", _k))
+                for k in (kernels_map or DISPATCHED_KERNELS)}
+    return KernelBackend(
+        name=name,
+        kernels=sentinel,
+        availability=lambda: (available, detail),
+    )
+
+
+class TestRegistry:
+    def test_numpy_first_and_numba_registered(self):
+        names = kernel_backend_names()
+        assert names[0] == "numpy"
+        assert "numba" in names
+
+    def test_numpy_always_available(self):
+        assert available_backends()["numpy"] == {"available": True}
+
+    def test_default_serves_everything_from_numpy(self):
+        info = kernel_backend_info()
+        assert info["requested"] == "numpy"
+        assert info["source"] == "default"
+        assert set(info["kernels"]) == set(DISPATCHED_KERNELS)
+        for entry in info["kernels"].values():
+            assert entry == {"backend": "numpy"}
+
+    def test_register_backend_is_selectable(self):
+        register_backend(_dummy())
+        assert "dummy" in kernel_backend_names()
+        set_kernel_backend("dummy")
+        assert kernel_backend_info()["kernels"]["batch_contributions"] == {
+            "backend": "dummy"
+        }
+
+
+class TestSelection:
+    def test_set_returns_previous_and_none_clears(self):
+        register_backend(_dummy())
+        assert set_kernel_backend("dummy") is None
+        assert set_kernel_backend(None) == "dummy"
+        assert kernel_backend_info()["requested"] == "numpy"
+
+    def test_unknown_names_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("nope")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            with use_kernel_backend("nope"):
+                pass  # pragma: no cover
+
+    def test_use_scopes_and_restores(self):
+        register_backend(_dummy())
+        with use_kernel_backend("dummy"):
+            info = kernel_backend_info()
+            assert (info["requested"], info["source"]) == ("dummy", "run")
+        info = kernel_backend_info()
+        assert (info["requested"], info["source"]) == ("numpy", "default")
+
+    def test_use_nests(self):
+        register_backend(_dummy("a"))
+        register_backend(_dummy("b"))
+        with use_kernel_backend("a"):
+            with use_kernel_backend("b"):
+                assert kernel_backend_info()["requested"] == "b"
+            assert kernel_backend_info()["requested"] == "a"
+
+    def test_env_pin_wins_over_run_scope_with_env_override_warning(self):
+        register_backend(_dummy("pinned"))
+        register_backend(_dummy("asked"))
+        os.environ[ENV_VAR] = "pinned"
+        reset_kernel_backend()
+        assert kernel_backend_info()["source"] == "env"
+        with pytest.warns(KernelBackendFallbackWarning, match=REASON_ENV_OVERRIDE):
+            with use_kernel_backend("asked"):
+                assert kernel_backend_info()["requested"] == "pinned"
+
+    def test_explicit_set_wins_over_env_pin(self):
+        register_backend(_dummy("pinned"))
+        register_backend(_dummy("chosen"))
+        os.environ[ENV_VAR] = "pinned"
+        reset_kernel_backend()
+        set_kernel_backend("chosen")
+        info = kernel_backend_info()
+        assert (info["requested"], info["source"]) == ("chosen", "api")
+
+    def test_unknown_env_value_warns_and_falls_back(self):
+        os.environ[ENV_VAR] = "not-a-backend"
+        with pytest.warns(KernelBackendFallbackWarning, match="unknown-backend"):
+            reset_kernel_backend()
+        info = kernel_backend_info()
+        assert info["requested"] == "numpy"
+        for entry in info["kernels"].values():
+            assert entry["backend"] == "numpy"
+
+
+class TestFallback:
+    def test_unavailable_backend_falls_back_per_kernel(self):
+        register_backend(_dummy(available=False, detail="library missing"))
+        with pytest.warns(KernelBackendFallbackWarning) as caught:
+            set_kernel_backend("dummy")
+        assert len(caught) == len(DISPATCHED_KERNELS)
+        info = kernel_backend_info()
+        for entry in info["kernels"].values():
+            assert entry["backend"] == "numpy"
+            assert entry["fallback"]["reason"] == REASON_MISSING_DEPENDENCY
+            assert entry["fallback"]["detail"] == "library missing"
+
+    def test_partial_backend_serves_claimed_kernels_only(self):
+        register_backend(_dummy(kernels_map=("batch_contributions",)))
+        with pytest.warns(KernelBackendFallbackWarning) as caught:
+            set_kernel_backend("dummy")
+        assert len(caught) == len(DISPATCHED_KERNELS) - 1
+        info = kernel_backend_info()["kernels"]
+        assert info["batch_contributions"] == {"backend": "dummy"}
+        for name in DISPATCHED_KERNELS:
+            if name == "batch_contributions":
+                continue
+            assert info[name]["backend"] == "numpy"
+            assert info[name]["fallback"]["reason"] == REASON_NO_JIT_VARIANT
+
+    def test_warnings_fire_once_per_backend_kernel_reason(self):
+        register_backend(_dummy(available=False))
+        with pytest.warns(KernelBackendFallbackWarning):
+            set_kernel_backend("dummy")
+        with warnings_none():
+            set_kernel_backend(None)
+            set_kernel_backend("dummy")  # same resolution: already warned
+
+    def test_numba_without_numba_falls_back_missing_dependency(self):
+        available, _ = backends._REGISTRY["numba"].availability()
+        if available:
+            pytest.skip("numba installed: fallback path not reachable")
+        with pytest.warns(KernelBackendFallbackWarning) as caught:
+            set_kernel_backend("numba")
+        reasons = {w.message.args[0] for w in caught}
+        assert any(REASON_MISSING_DEPENDENCY in r for r in reasons)
+        info = kernel_backend_info()["kernels"]
+        assert all(entry["backend"] == "numpy" for entry in info.values())
+
+    def test_likelihood_is_a_numba_holdout(self):
+        """The documented bit-exactness holdout: even with numba installed,
+        batch_likelihood stays on the numpy reference."""
+        assert "batch_likelihood" not in backends._REGISTRY["numba"].kernels
+
+
+class warnings_none:
+    """Context asserting no KernelBackendFallbackWarning is emitted."""
+
+    def __enter__(self):
+        import warnings
+
+        self._ctx = warnings.catch_warnings(record=True)
+        self._records = self._ctx.__enter__()
+        import warnings as w
+
+        w.simplefilter("always")
+        return self
+
+    def __exit__(self, *exc):
+        self._ctx.__exit__(*exc)
+        fallbacks = [
+            r for r in self._records
+            if issubclass(r.category, KernelBackendFallbackWarning)
+        ]
+        assert not fallbacks, [str(r.message) for r in fallbacks]
+        return False
+
+
+class TestDispatchReachesCallSites:
+    """Satellite #1: a post-import switch is visible everywhere."""
+
+    def test_wrapper_sees_backend_switched_after_import(self):
+        register_backend(_dummy())
+        out = kernels.batch_contributions(np.array([1.0, 2.0]))
+        assert isinstance(out, np.ndarray)  # numpy default first
+        set_kernel_backend("dummy")
+        assert kernels.batch_contributions(np.array([1.0, 2.0])) == (
+            "served-by-dummy",
+            "batch_contributions",
+        )
+        set_kernel_backend(None)
+        assert isinstance(kernels.batch_contributions(np.array([1.0, 2.0])), np.ndarray)
+
+    def test_medium_link_draws_route_through_dispatcher(self):
+        """The medium imported its kernel long before the switch."""
+        from repro.network import links
+
+        register_backend(_dummy(kernels_map=("link_uniform_many",)))
+        with pytest.warns(KernelBackendFallbackWarning):  # the 3 unclaimed
+            set_kernel_backend("dummy")
+        assert links.link_uniform_many(1, 2, 3, np.array([4]), 5, np.array([6])) == (
+            "served-by-dummy",
+            "link_uniform_many",
+        )
+
+    def test_lockstep_kernels_route_through_dispatcher(self):
+        from repro.experiments import lockstep
+
+        register_backend(_dummy(kernels_map=("batch_contributions",)))
+        with pytest.warns(KernelBackendFallbackWarning):  # the 3 unclaimed
+            set_kernel_backend("dummy")
+        assert lockstep.batch_contributions(np.array([1.0])) == (
+            "served-by-dummy",
+            "batch_contributions",
+        )
+
+    def test_warm_up_runs_clean_by_default(self):
+        warm_up_kernels()  # numpy warm-up is a no-op; must not raise
+
+
+class TestOptionSurfaces:
+    def test_run_options_validates_backend_name(self):
+        from repro.experiments.options import RunOptions
+
+        with pytest.raises(ValueError, match="unknown kernel_backend"):
+            RunOptions(kernel_backend="nope")
+        assert RunOptions(kernel_backend="numpy").kernel_backend == "numpy"
+        assert RunOptions().kernel_backend is None
+
+    def test_run_sweep_validates_backend_name(self):
+        from repro.experiments.engine import run_sweep
+        from repro.experiments.sweep import default_tracker_factories
+
+        with pytest.raises(ValueError, match="unknown kernel_backend"):
+            run_sweep(
+                [],
+                factories=default_tracker_factories(),
+                kernel_backend="nope",
+            )
+
+    def test_service_config_validates_backend_name(self):
+        from repro.service import ServiceConfig
+
+        with pytest.raises(ValueError, match="unknown kernel_backend"):
+            ServiceConfig(kernel_backend="nope")
+        assert ServiceConfig(kernel_backend="numpy").kernel_backend == "numpy"
+
+    def test_scenario_config_round_trips_kernel_backend(self):
+        from repro.config import ScenarioConfig
+        from repro.config.schema import ConfigError
+        from repro.config.toml_io import dumps_config, loads_config
+
+        cfg = ScenarioConfig(kernel_backend="numba")
+        assert ScenarioConfig.from_dict(cfg.to_dict()) == cfg
+        assert loads_config(dumps_config(cfg)) == cfg
+        assert ScenarioConfig().kernel_backend == "auto"
+        with pytest.raises(ConfigError, match="kernel_backend"):
+            ScenarioConfig(kernel_backend="nope")
+
+    def test_compiled_options_carry_backend(self):
+        from repro.config import ScenarioConfig
+        from repro.config.compile import build_run_options
+
+        assert build_run_options(ScenarioConfig()).kernel_backend is None
+        assert (
+            build_run_options(ScenarioConfig(kernel_backend="numpy")).kernel_backend
+            == "numpy"
+        )
+
+
+class TestRunSummarySurface:
+    def test_summary_property_collapses_uniform_map(self):
+        from repro.experiments.engine import RunSummary
+
+        s = RunSummary(n_tasks=1, n_executed=1, n_resumed=0, max_workers=1,
+                       wall_clock_s=1.0, task_time_s=1.0)
+        assert s.kernel_backend_summary == "numpy"
+        s = RunSummary(n_tasks=1, n_executed=1, n_resumed=0, max_workers=1,
+                       wall_clock_s=1.0, task_time_s=1.0,
+                       kernel_backends=(("a", "numpy"), ("b", "numpy")))
+        assert s.kernel_backend_summary == "numpy"
+        s = RunSummary(n_tasks=1, n_executed=1, n_resumed=0, max_workers=1,
+                       wall_clock_s=1.0, task_time_s=1.0,
+                       kernel_backends=(("a", "numba"), ("b", "numpy")))
+        assert s.kernel_backend_summary == "a=numba, b=numpy"
+
+    def test_sweep_reports_resolved_backends(self):
+        from repro.experiments.sweep import density_sweep
+
+        sweep = density_sweep(
+            densities=(5,), n_seeds=1, n_iterations=2,
+            scenario_kwargs={"width": 80.0, "height": 60.0},
+            trajectory_kwargs={"start": (5.0, 30.0)},
+            kernel_backend="numpy",
+        )
+        s = sweep.run_summary
+        assert dict(s.kernel_backends) == {
+            k: "numpy" for k in DISPATCHED_KERNELS
+        }
+        assert ("kernel backends", "numpy") in s.as_rows()
+
+    def test_sweep_with_numba_request_is_bit_identical(self):
+        """Whether numba is installed (JIT serves) or not (numpy fallback),
+        a numba-requested sweep must equal the default sweep exactly."""
+        from repro.experiments.sweep import density_sweep
+
+        kwargs = dict(
+            densities=(5,), n_seeds=1, n_iterations=2,
+            scenario_kwargs={"width": 80.0, "height": 60.0},
+            trajectory_kwargs={"start": (5.0, 30.0)},
+        )
+        base = density_sweep(**kwargs)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelBackendFallbackWarning)
+            jit = density_sweep(kernel_backend="numba", **kwargs)
+        for key, pt in base.points.items():
+            assert jit.points[key].rmse_runs == pt.rmse_runs
+            assert jit.points[key].bytes_runs == pt.bytes_runs
+            assert jit.points[key].messages_runs == pt.messages_runs
